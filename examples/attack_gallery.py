@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Run the full Table 6 security study and print the verdict matrix.
+
+Every scenario is first validated against the undefended binary (the
+exploit must genuinely reach its goal), then evaluated under each context
+alone and under full BASTION.  The final column checks our ✓/× pattern
+against the paper's Table 6.
+
+Run:  python examples/attack_gallery.py
+"""
+
+from repro.attacks.runner import table6_matrix
+
+
+def main():
+    rows = table6_matrix()
+    print("%-28s %-7s  CT CF AI  %-9s %s" % ("attack", "works?", "full", "paper"))
+    print("-" * 72)
+    category = None
+    for evaluation in rows:
+        spec = evaluation.spec
+        if spec.category != category:
+            category = spec.category
+            print("-- %s" % category)
+        marks = "  ".join(
+            "Y" if evaluation.blocks(c) else "." for c in ("CT", "CF", "AI")
+        )
+        print(
+            "%-28s %-7s  %s  %-9s %s"
+            % (
+                spec.name,
+                "yes" if evaluation.valid else "NO",
+                marks,
+                "blocked" if evaluation.blocked_by_full else "BYPASSED",
+                "match" if evaluation.matches_paper() else "MISMATCH",
+            )
+        )
+    print("-" * 72)
+    matched = sum(1 for e in rows if e.valid and e.matches_paper())
+    print("%d/%d rows reproduce the paper's Table 6" % (matched, len(rows)))
+
+    print("\nSample detections:")
+    for evaluation in rows[:3] + rows[-2:]:
+        outcome = evaluation.full
+        if outcome.violations:
+            print("  %-28s %s" % (evaluation.spec.name, outcome.violations[0]))
+
+
+if __name__ == "__main__":
+    main()

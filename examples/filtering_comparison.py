@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Why allowlists and debloating are not enough (§2.2), demonstrated.
+
+Takes mini-NGINX and shows, against the same NEWTON-CPI-style attack:
+
+- **debloating** removes dead code but must keep mmap/mprotect (they are
+  legitimately used), so the attack surface survives;
+- a **seccomp allowlist** ALLOWs mprotect outright — the hijacked call
+  sails through;
+- **LLVM CFI** passes because the bent callsite is type-compatible;
+- **BASTION** blocks the same attack with all three contexts.
+
+Run:  python examples/filtering_comparison.py
+"""
+
+from repro.attacks.catalog import attack_by_name
+from repro.attacks.runner import run_attack
+from repro.baselines.debloat import debloat_module
+from repro.baselines.seccomp_filter import build_allowlist_filter
+from repro.apps.nginx import build_nginx
+from repro.kernel.seccomp import evaluate_filters, SECCOMP_RET_ALLOW, action_name
+from repro.monitor.policy import ContextPolicy
+from repro.syscalls.table import nr_of
+from repro.vm.cpu import CPUOptions
+
+
+def main():
+    module = build_nginx()
+    spec = attack_by_name("newton_cpi")
+
+    print("=== debloating ===")
+    _slim, report = debloat_module(module)
+    print("functions removed:", len(report.removed_functions))
+    print("sensitive syscalls surviving debloat:",
+          ", ".join(sorted(report.surviving_sensitive)))
+
+    print("\n=== seccomp allowlist ===")
+    filt = build_allowlist_filter(module)
+    action, _ = evaluate_filters([filt], nr_of("mprotect"))
+    print("allowlist verdict for mprotect:", action_name(action))
+    assert action == SECCOMP_RET_ALLOW  # the §2.2 gap
+
+    print("\n=== the NEWTON CPI attack vs each defense ===")
+    undefended = run_attack(spec, None, "none")
+    print("undefended      : %s" % ("SUCCEEDS" if undefended.succeeded else "fails"))
+
+    cfi = run_attack(spec, None, "llvm_cfi", cpu_options=CPUOptions(llvm_cfi=True))
+    print("LLVM CFI        : %s" % ("SUCCEEDS (bypassed)" if cfi.succeeded else "blocked"))
+
+    cet = run_attack(spec, None, "cet", cpu_options=CPUOptions(cet=True))
+    print("CET             : %s" % ("SUCCEEDS (bypassed)" if cet.succeeded else "blocked"))
+
+    bastion = run_attack(spec, ContextPolicy.full(), "bastion")
+    verdict = "blocked by %s" % bastion.blocked_by if bastion.blocked else "SUCCEEDS"
+    print("BASTION (full)  : %s" % verdict)
+    if bastion.violations:
+        print("                  %s" % bastion.violations[0])
+
+
+if __name__ == "__main__":
+    main()

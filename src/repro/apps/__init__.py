@@ -1,0 +1,40 @@
+"""Workload applications, written in the IR, plus their load generators.
+
+- :mod:`repro.apps.libc` — the C-library layer: one wrapper function per
+  syscall (the functions whose callsites BASTION classifies and protects),
+  string/memory helpers, and a bump allocator;
+- :mod:`repro.apps.nginx` — mini-NGINX: master/worker init, keep-alive HTTP
+  serving, and the paper's two running examples (Listing 1's
+  ``ngx_execute_proc``/``ngx_output_chain`` and Listing 2's
+  ``ngx_http_get_indexed_variable``);
+- :mod:`repro.apps.sqlite` — mini-SQLite: pager + journal over the VFS-style
+  indirect dispatch table, driven by a DBT2-style new-order mix;
+- :mod:`repro.apps.vsftpd` — mini-vsftpd: control/data-channel FTP with
+  per-session privilege drop and PASV downloads;
+- :mod:`repro.apps.workloads` — the wrk / DBT2 / dkftpbench stand-ins that
+  inject connections and pace requests.
+"""
+
+from repro.apps.libc import build_libc, LIBC_WRAPPERS
+from repro.apps.nginx import build_nginx, NginxConfig
+from repro.apps.sqlite import build_sqlite, SqliteConfig
+from repro.apps.vsftpd import build_vsftpd, VsftpdConfig
+from repro.apps.workloads import (
+    WrkWorkload,
+    Dbt2Workload,
+    DkftpbenchWorkload,
+)
+
+__all__ = [
+    "build_libc",
+    "LIBC_WRAPPERS",
+    "build_nginx",
+    "NginxConfig",
+    "build_sqlite",
+    "SqliteConfig",
+    "build_vsftpd",
+    "VsftpdConfig",
+    "WrkWorkload",
+    "Dbt2Workload",
+    "DkftpbenchWorkload",
+]

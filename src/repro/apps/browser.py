@@ -1,0 +1,98 @@
+"""mini-browser: a C++-flavoured renderer host — the COOP attack target.
+
+Models the pieces Counterfeit Object-Oriented Programming needs (§10.3):
+
+- objects carry a vptr; *every* virtual call loads the vtable and dispatches
+  indirectly with the same type signature (``virt1``), so COOP's
+  vtable-entry reuse is invisible to type-based CFI;
+- one virtual method (``renderer_spawn``) legitimately reaches ``execve``
+  (spawning a sandboxed renderer process, as Chrome does), so the syscall
+  is directly-callable and reached through sanctioned control flow —
+  Table 6's COOP row: CT ×, CF ×, AI ✓ (only the counterfeit object's
+  fields give the attack away).
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.libc import build_libc
+from repro.ir.builder import ModuleBuilder
+
+RENDERER_BINARY = "/opt/browser/renderer"
+
+
+@dataclass(frozen=True)
+class BrowserConfig:
+    """Build-time constants for the IR program."""
+
+    events: int = 12
+    render_burn: int = 2_000
+
+
+def build_browser(config=BrowserConfig()):
+    """Build the mini-browser module (libc linked in)."""
+    mb = ModuleBuilder("browser")
+    mb.extend(build_libc())
+
+    mb.struct("blink_object", ["vptr", "path", "flags"])
+
+    mb.global_string("g_renderer_path", RENDERER_BINARY)
+    #: vtable: slot 0 = render, slot 1 = spawn
+    mb.global_var("g_vt_document", size=2)
+    mb.global_var("g_document", size=3, struct="blink_object")
+    mb.global_var("g_frame_count", init=0)
+
+    f = mb.function("doc_render", params=["obj"], sig="virt1")
+    f.burn(config.render_burn)
+    count_p = f.addr_global("g_frame_count")
+    count = f.load(count_p)
+    count2 = f.add(count, 1)
+    f.store(count_p, count2)
+    f.ret(0)
+
+    # the legitimate execve user: spawn a sandboxed renderer process.
+    # (posix_spawn-style direct exec: the simulated kernel records the exec
+    # and the caller continues — child scheduling is elided, DESIGN.md §2.)
+    f = mb.function("renderer_spawn", params=["obj"], sig="virt1")
+    path_p = f.gep(f.p("obj"), "blink_object", "path")
+    path = f.load(path_p)
+    rc = f.call("execve", [path, 0, 0])
+    f.ret(rc)
+
+    # virtual dispatch: obj->vptr[slot](obj)
+    f = mb.function("vcall", params=["obj", "slot"])
+    vptr_p = f.gep(f.p("obj"), "blink_object", "vptr")
+    vtable = f.load(vptr_p)
+    entry = f.index(vtable, f.p("slot"))
+    method = f.load(entry)
+    rc = f.icall(method, [f.p("obj")], sig="virt1")
+    f.ret(rc)
+
+    f = mb.function("event_loop", params=["obj"])
+
+    def tick(i):
+        f.hook("browser_event")
+        f.call("vcall", [f.p("obj"), 0], void=True)
+
+    f.loop_range(f.const(config.events), tick)
+    # spawn one renderer at the end of the event loop
+    f.call("vcall", [f.p("obj"), 1], void=True)
+    f.ret(0)
+
+    f = mb.function("main", params=[])
+    vt = f.addr_global("g_vt_document")
+    render = f.funcaddr("doc_render")
+    f.store(vt, render)
+    vt1 = f.add(vt, 8)
+    spawn = f.funcaddr("renderer_spawn")
+    f.store(vt1, spawn)
+
+    doc = f.addr_global("g_document")
+    vptr_p = f.gep(doc, "blink_object", "vptr")
+    f.store(vptr_p, vt)
+    path_p = f.gep(doc, "blink_object", "path")
+    rpath = f.addr_global("g_renderer_path")
+    f.store(path_p, rpath)
+
+    f.call("event_loop", [doc], void=True)
+    f.ret(0)
+    return mb.build()

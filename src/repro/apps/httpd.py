@@ -1,0 +1,162 @@
+"""mini-Apache (httpd): the AOCR and NEWTON CsCFI attack target.
+
+Deliberate properties, mirroring what those attacks exploit in real Apache:
+
+- ``exec_cmd`` is **legitimately called through a function pointer** (module
+  cleanup hooks), so ``execve`` has a sanctioned indirect path — the reason
+  the AOCR Apache attack bypasses the call-type context (Table 6: CT ×);
+- ``ap_get_exec_line`` reaches ``exec_cmd`` but is itself **never
+  address-taken** — hijacking a function pointer onto it is exactly what
+  the control-flow context catches (Table 6: CF ✓);
+- the program **never uses mprotect** (no pools, plain buffers), so the
+  NEWTON CsCFI attack's target syscall is *not-callable* here and the
+  call-type context (via the seccomp filter) kills it outright.
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.libc import build_libc
+from repro.ir.builder import ModuleBuilder
+
+HTTPD_PORT = 8080
+HTDOCS = "/var/apache/htdocs/index.html"
+CGI_LINE = "/usr/lib/cgi-bin/rotatelogs"
+PAGE_BYTES = 512
+
+
+@dataclass(frozen=True)
+class HttpdConfig:
+    """Build-time constants for the IR program."""
+
+    request_burn: int = 8_000
+    handlers: int = 2
+
+
+def build_httpd(config=HttpdConfig()):
+    """Build the mini-Apache module (libc linked in)."""
+    mb = ModuleBuilder("httpd")
+    mb.extend(build_libc())
+
+    mb.struct("cmd_ctx_t", ["line", "args"])
+
+    mb.global_string("g_doc_path", HTDOCS)
+    mb.global_string("g_cgi_line", CGI_LINE)
+    mb.global_string("g_hdr_200", "HTTP/1.1 200 OK\r\n\r\n")
+    mb.global_var("g_cmd_ctx", size=2, struct="cmd_ctx_t")
+    mb.global_var("g_exec_hook", size=1)  # cleanup hook: -> exec_cmd
+    mb.global_var("g_handlers", size=4)  # module handler table
+    mb.global_var("g_req_buf", size=600)
+    mb.global_var("g_statbuf", size=8)
+    mb.global_var("g_sockaddr", size=4)
+    mb.global_var("g_client_sa", size=4)
+    mb.global_var("g_salen", init=3)
+    mb.global_var("g_listen_fd", init=-1)
+    mb.global_var("g_shutdown_requested", init=0)
+
+    # exec_cmd(path): the exec primitive, invoked directly AND via the hook
+    f = mb.function("exec_cmd", params=["path"], sig="fn1")
+    rc = f.call("execve", [f.p("path"), 0, 0])
+    f.ret(rc)
+
+    # ap_get_exec_line: loads the configured CGI line and execs it.
+    # NEVER address-taken — the AOCR Apache attack hijacks a pointer here.
+    # (Its C type matches the handler signature, so coarse CFI lets the
+    # hijack through — §10.3.)
+    f = mb.function("ap_get_exec_line", params=["r"], sig="fn3")
+    line_p = f.gep(f.addr_global("g_cmd_ctx"), "cmd_ctx_t", "line")
+    line = f.load(line_p)
+    rc = f.call("exec_cmd", [line])
+    f.ret(rc)
+
+    # the legitimate module handler (address-taken, lives in g_handlers)
+    f = mb.function("ap_static_handler", params=["r", "buf", "n"], sig="fn3")
+    f.burn(200)
+    path = f.addr_global("g_doc_path")
+    fd = f.call("open", [path, 0, 0])
+    st = f.addr_global("g_statbuf")
+    f.call("fstat", [fd, st], void=True)
+    size_p = f.add(st, 8)
+    size = f.load(size_p)
+    hdr = f.addr_global("g_hdr_200")
+    f.call("write", [f.p("r"), hdr, 19], void=True)
+    f.call("sendfile", [f.p("r"), fd, 0, size], void=True)
+    f.call("close", [fd], void=True)
+    f.ret(0)
+
+    # ap_run_handler: dispatch through the module table — the
+    # corruptible indirect callsite the attacks lean on
+    f = mb.function("ap_run_handler", params=["r", "idx", "n"])
+    f.hook("ap_run_handler")
+    table = f.addr_global("g_handlers")
+    slot = f.index(table, f.p("idx"))
+    handler = f.load(slot)
+    buf = f.addr_global("g_req_buf")
+    rc = f.icall(handler, [f.p("r"), buf, f.p("n")], sig="fn3")
+    f.ret(rc)
+
+    # ap_cleanup_run: the LEGITIMATE indirect path to exec (log rotation)
+    f = mb.function("ap_cleanup_run", params=[])
+    flag_p = f.addr_global("g_shutdown_requested")
+    flag = f.load(flag_p)
+
+    def rotate():
+        hook_p = f.addr_global("g_exec_hook")
+        hook = f.load(hook_p)
+        line_p = f.gep(f.addr_global("g_cmd_ctx"), "cmd_ctx_t", "line")
+        line = f.load(line_p)
+        f.icall(hook, [line], sig="fn1", void=True)
+
+    f.if_then(flag, rotate)
+    f.ret(0)
+
+    f = mb.function("ap_mpm_run", params=[])
+    f.label("accept_loop")
+    lfd_p = f.addr_global("g_listen_fd")
+    lfd = f.load(lfd_p)
+    sa = f.addr_global("g_client_sa")
+    salen = f.addr_global("g_salen")
+    conn = f.call("accept", [lfd, sa, salen])
+    bad = f.lt(conn, 0)
+    f.branch(bad, "shutdown", "serve")
+    f.label("serve")
+    buf = f.addr_global("g_req_buf")
+    f.label("next_request")
+    n = f.call("read", [conn, buf, 2048])
+    done = f.binop("<=", n, 0)
+    f.branch(done, "conn_done", "handle")
+    f.label("handle")
+    f.burn(config.request_burn)
+    f.call("ap_run_handler", [conn, 0, n], void=True)
+    f.jump("next_request")
+    f.label("conn_done")
+    f.call("close", [conn], void=True)
+    f.jump("accept_loop")
+    f.label("shutdown")
+    f.call("ap_cleanup_run", [], void=True)
+    f.ret(0)
+
+    f = mb.function("main", params=[])
+    # module registration: handler table + cleanup exec hook
+    table = f.addr_global("g_handlers")
+    h = f.funcaddr("ap_static_handler")
+    f.store(table, h)
+    hook_p = f.addr_global("g_exec_hook")
+    e = f.funcaddr("exec_cmd")
+    f.store(hook_p, e)
+    ctx = f.addr_global("g_cmd_ctx")
+    line_p = f.gep(ctx, "cmd_ctx_t", "line")
+    cgi = f.addr_global("g_cgi_line")
+    f.store(line_p, cgi)
+
+    sfd = f.call("socket", [2, 1, 0])
+    sa = f.addr_global("g_sockaddr")
+    f.store(sa, 2)
+    sa_port = f.add(sa, 8)
+    f.store(sa_port, HTTPD_PORT)
+    f.call("bind", [sfd, sa, 16])
+    f.call("listen", [sfd, 128])
+    lfd_p = f.addr_global("g_listen_fd")
+    f.store(lfd_p, sfd)
+    f.call("ap_mpm_run", [], void=True)
+    f.ret(0)
+    return mb.build()

@@ -1,0 +1,248 @@
+"""The IR C-library layer.
+
+Syscall wrappers are tiny ``is_wrapper`` functions — one ``Syscall``
+instruction passing the parameters straight through, mirroring glibc's thin
+syscall stubs.  The BASTION compiler treats *calls to these wrappers* as the
+protected syscall callsites (§6.1), so an application never needs raw
+``Syscall`` instructions.
+
+Also provides the helpers real C programs lean on (strlen/strcpy/strcmp,
+word-wise memcpy/memset, a bump-allocating malloc) so applications read like
+their C originals.
+"""
+
+from repro.ir.builder import ModuleBuilder
+from repro.syscalls.table import SYSCALL_BY_NAME
+from repro.vm.loader import HEAP_BASE
+from repro.vm.memory import WORD
+
+#: wrappers linked into every application (name -> arity)
+LIBC_WRAPPERS = {
+    "read": 3,
+    "write": 3,
+    "open": 3,
+    "openat": 4,
+    "close": 1,
+    "stat": 2,
+    "fstat": 2,
+    "lseek": 3,
+    "sendfile": 4,
+    "pread64": 4,
+    "pwrite64": 4,
+    "access": 2,
+    "mmap": 6,
+    "mprotect": 3,
+    "munmap": 2,
+    "mremap": 5,
+    "brk": 1,
+    "socket": 3,
+    "bind": 3,
+    "listen": 2,
+    "accept": 3,
+    "accept4": 4,
+    "connect": 3,
+    "setsockopt": 5,
+    "shutdown": 2,
+    "sendto": 6,
+    "recvfrom": 6,
+    "clone": 5,
+    "fork": 0,
+    "vfork": 0,
+    "execve": 3,
+    "execveat": 5,
+    "exit": 1,
+    "wait4": 4,
+    "getpid": 0,
+    "getuid": 0,
+    "setuid": 1,
+    "setgid": 1,
+    "setreuid": 2,
+    "chmod": 2,
+    "dup": 1,
+    "dup2": 2,
+    "pipe": 1,
+    "readv": 3,
+    "getdents": 3,
+    "writev": 3,
+    "unlink": 1,
+    "rename": 2,
+    "mkdir": 2,
+    "nanosleep": 2,
+    "getrandom": 3,
+    "fsync": 1,
+    "fcntl": 3,
+    "umask": 1,
+    "setsid": 0,
+}
+
+
+def _add_wrapper(mb, name, arity):
+    params = ["a%d" % i for i in range(arity)]
+    fb = mb.function(name, params=params)
+    result = fb.syscall(name, [fb.p(p) for p in params])
+    fb.ret(result)
+    fb.func.is_wrapper = True
+
+
+def build_libc(wrappers=None):
+    """Build the libc module; ``extend`` it into an application module."""
+    mb = ModuleBuilder("libc", entry="strlen")  # entry unused; libc is linked
+    chosen = wrappers if wrappers is not None else LIBC_WRAPPERS
+    for name, arity in chosen.items():
+        if name not in SYSCALL_BY_NAME:
+            raise ValueError("unknown syscall for wrapper: %r" % name)
+        _add_wrapper(mb, name, arity)
+
+    _add_string_helpers(mb)
+    _add_memory_helpers(mb)
+    _add_allocator(mb)
+    _add_system(mb)
+    return mb.build()
+
+
+def _add_system(mb):
+    """``system(cmd)``: fork + execve, as in glibc.
+
+    Linked into every binary whether or not the application calls it — the
+    classic ret2libc surface.  Its *direct* calls to the fork/execve
+    wrappers are what make those syscalls directly-callable even in
+    programs that never spawn anything (why Table 6's ROP rows show the
+    call-type context bypassed).
+    """
+    f = mb.function("system", params=["cmd"])
+    pid = f.call("fork", [])
+    child = f.eq(pid, 0)
+
+    def in_child():
+        rc = f.call("execve", [f.p("cmd"), 0, 0])
+        f.call("exit", [rc], void=True)
+
+    f.if_then(child, in_child)
+    f.call("wait4", [pid, 0, 0, 0], void=True)
+    f.ret(0)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _add_string_helpers(mb):
+    # strlen(s): slots until NUL
+    f = mb.function("strlen", params=["s"])
+    n = f.const(0, dst="n")
+    f.label("loop")
+    p = f.index(f.p("s"), n)
+    ch = f.load(p)
+    done = f.eq(ch, 0)
+    f.branch(done, "end", "next")
+    f.label("next")
+    n2 = f.add(n, 1)
+    f.move(n2, dst="n")
+    f.jump("loop")
+    f.label("end")
+    f.ret(n)
+
+    # strcpy(dst, src): returns dst
+    f = mb.function("strcpy", params=["dst", "src"])
+    i = f.const(0, dst="i")
+    f.label("loop")
+    sp = f.index(f.p("src"), i)
+    ch = f.load(sp)
+    dp = f.index(f.p("dst"), i)
+    f.store(dp, ch)
+    done = f.eq(ch, 0)
+    f.branch(done, "end", "next")
+    f.label("next")
+    i2 = f.add(i, 1)
+    f.move(i2, dst="i")
+    f.jump("loop")
+    f.label("end")
+    f.ret(f.p("dst"))
+
+    # strcmp(a, b): 0 if equal, else difference at first mismatch
+    f = mb.function("strcmp", params=["a", "b"])
+    i = f.const(0, dst="i")
+    f.label("loop")
+    pa = f.index(f.p("a"), i)
+    ca = f.load(pa)
+    pb = f.index(f.p("b"), i)
+    cb = f.load(pb)
+    diff = f.sub(ca, cb)
+    neq = f.ne(diff, 0)
+    f.branch(neq, "end", "check_nul")
+    f.label("check_nul")
+    nul = f.eq(ca, 0)
+    f.branch(nul, "end", "next")
+    f.label("next")
+    i2 = f.add(i, 1)
+    f.move(i2, dst="i")
+    f.jump("loop")
+    f.label("end")
+    f.ret(diff)
+
+    # strncmp-ish prefix test: starts_with(s, prefix) -> 1/0
+    f = mb.function("starts_with", params=["s", "prefix"])
+    i = f.const(0, dst="i")
+    f.label("loop")
+    pp = f.index(f.p("prefix"), i)
+    pc = f.load(pp)
+    done = f.eq(pc, 0)
+    f.branch(done, "yes", "cmp")
+    f.label("cmp")
+    sp = f.index(f.p("s"), i)
+    sc = f.load(sp)
+    neq = f.ne(sc, pc)
+    f.branch(neq, "no", "next")
+    f.label("next")
+    i2 = f.add(i, 1)
+    f.move(i2, dst="i")
+    f.jump("loop")
+    f.label("yes")
+    one = f.const(1)
+    f.ret(one)
+    f.label("no")
+    zero = f.const(0)
+    f.ret(zero)
+
+
+def _add_memory_helpers(mb):
+    # memcpy_w(dst, src, nwords)
+    f = mb.function("memcpy_w", params=["dst", "src", "n"])
+
+    def body(i):
+        sp = f.index(f.p("src"), i)
+        v = f.load(sp)
+        dp = f.index(f.p("dst"), i)
+        f.store(dp, v)
+
+    f.loop_range(f.p("n"), body)
+    f.ret(f.p("dst"))
+
+    # memset_w(dst, value, nwords)
+    f = mb.function("memset_w", params=["dst", "value", "n"])
+
+    def body(i):
+        dp = f.index(f.p("dst"), i)
+        f.store(dp, f.p("value"))
+
+    f.loop_range(f.p("n"), body)
+    f.ret(f.p("dst"))
+
+
+def _add_allocator(mb):
+    """A bump allocator: ``malloc(nwords)`` returning a heap pointer."""
+    mb.global_var("__heap_next", init=HEAP_BASE)
+
+    f = mb.function("malloc", params=["nwords"])
+    hp = f.addr_global("__heap_next")
+    cur = f.load(hp)
+    span = f.mul(f.p("nwords"), WORD)
+    nxt = f.add(cur, span)
+    pad = f.add(nxt, WORD)  # one-slot red zone between allocations
+    f.store(hp, pad)
+    f.ret(cur)
+
+    f = mb.function("free", params=["ptr"])
+    zero = f.const(0)
+    f.ret(zero)

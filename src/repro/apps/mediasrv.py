@@ -1,0 +1,102 @@
+"""mini-mediaserver: the synthesized CVE attack target.
+
+A small streaming daemon with the memory-corruption surface the Table 6
+CVE exploits rely on: a heap parse buffer that overflows into an adjacent
+handler structure holding a function pointer and argument fields.  The
+program legitimately uses ``mmap`` (frame pool), ``setuid``/``setgid``
+(privilege drop, direct only), ``open``/``read``/``write``, and ``socket``
+— and never uses ``execve``/``execveat``/``vfork``/``mremap``/``chmod``/
+``connect``, the syscalls the CVE payloads try to reach.
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.libc import build_libc
+from repro.ir.builder import ModuleBuilder
+
+MEDIA_PORT = 8554
+MEDIA_FILE = "/srv/media/stream.ts"
+
+
+@dataclass(frozen=True)
+class MediaConfig:
+    """Build-time constants for the IR program."""
+
+    frames: int = 8
+    frame_burn: int = 3_000
+
+
+def build_mediasrv(config=MediaConfig()):
+    """Build the mini-mediaserver module (libc linked in)."""
+    mb = ModuleBuilder("mediasrv")
+    mb.extend(build_libc())
+
+    mb.struct("frame_handler_t", ["on_frame", "arg0", "arg1", "arg2"])
+
+    mb.global_string("g_media_path", MEDIA_FILE)
+    #: the overflow-adjacent layout: parse buffer, then the handler struct
+    mb.global_var("g_parse_buf", size=64)
+    mb.global_var("g_handler", size=4, struct="frame_handler_t")
+    mb.global_var("g_frame_pool", init=0)
+    mb.global_var("g_statbuf", size=8)
+    mb.global_var("g_frames_done", init=0)
+
+    # the legitimate frame callback (address-taken)
+    f = mb.function("ms_decode_frame", params=["arg0", "arg1", "arg2"], sig="fn3")
+    f.burn(config.frame_burn)
+    count_p = f.addr_global("g_frames_done")
+    count = f.load(count_p)
+    count2 = f.add(count, 1)
+    f.store(count_p, count2)
+    f.ret(0)
+
+    # parse one frame record into the buffer; benign frames fit, but the
+    # record length is attacker-controlled in the real CVEs — the hook is
+    # where the oversized record lands and runs off the end of the buffer
+    f = mb.function("ms_parse_frame", params=["fd", "seq"])
+    buf = f.addr_global("g_parse_buf")
+    n = f.call("read", [f.p("fd"), buf, 48])
+    f.hook("ms_parse_frame")  # heap-overflow trigger point
+    f.ret(n)
+
+    # dispatch through the (possibly clobbered) handler struct
+    f = mb.function("ms_on_frame", params=[])
+    handler = f.addr_global("g_handler")
+    fn_p = f.gep(handler, "frame_handler_t", "on_frame")
+    fn = f.load(fn_p)
+    a0_p = f.gep(handler, "frame_handler_t", "arg0")
+    a0 = f.load(a0_p)
+    a1_p = f.gep(handler, "frame_handler_t", "arg1")
+    a1 = f.load(a1_p)
+    a2_p = f.gep(handler, "frame_handler_t", "arg2")
+    a2 = f.load(a2_p)
+    rc = f.icall(fn, [a0, a1, a2], sig="fn3")
+    f.ret(rc)
+
+    f = mb.function("main", params=[])
+    # privilege drop (the only legitimate setuid/setgid, direct calls)
+    f.call("setuid", [99], void=True)
+    f.call("setgid", [99], void=True)
+    # frame pool
+    pool = f.call("mmap", [0, 1 << 20, 3, 0x22, -1, 0])
+    pool_p = f.addr_global("g_frame_pool")
+    f.store(pool_p, pool)
+    # streaming socket (bound, never connected anywhere)
+    f.call("socket", [2, 2, 0], void=True)
+    # register the frame handler
+    handler = f.addr_global("g_handler")
+    fn_p = f.gep(handler, "frame_handler_t", "on_frame")
+    cb = f.funcaddr("ms_decode_frame")
+    f.store(fn_p, cb)
+
+    path = f.addr_global("g_media_path")
+    fd = f.call("open", [path, 0, 0])
+
+    def per_frame(i):
+        f.call("ms_parse_frame", [fd, i], void=True)
+        f.call("ms_on_frame", [], void=True)
+
+    f.loop_range(f.const(config.frames), per_frame)
+    f.call("close", [fd], void=True)
+    f.ret(0)
+    return mb.build()

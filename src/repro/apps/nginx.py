@@ -1,0 +1,481 @@
+"""mini-NGINX: an IR web server mirroring the paper's running examples.
+
+Structure follows real NGINX closely enough that every experiment has its
+anchor:
+
+- ``ngx_execute_proc`` — Listing 1: the legitimate (binary-upgrade) use of
+  ``execve`` with arguments loaded from an ``ngx_exec_ctx_t``;
+- ``ngx_output_chain`` — Listing 1's argument-corruptible indirect callsite
+  ``ctx->output_filter(ctx->filter_ctx, in)``;
+- ``ngx_http_get_indexed_variable`` — Listing 2: the
+  ``v[index].get_handler(r, &r->variables[index], v[index].data)`` indexed
+  dispatch the NEWTON-style attack bends out of bounds;
+- master/worker initialization (pools via ``mmap``, guards via ``mprotect``,
+  ``clone`` + ``setuid``/``setgid`` per worker) producing the Table 4 usage
+  profile, then a keep-alive ``accept4`` serving loop.
+
+Heavy C work that the IR does not model instruction-by-instruction (header
+parsing, filter chains, logging formatters) is charged through ``burn``
+cycle costs so the performance shape stays realistic.
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.libc import build_libc
+from repro.ir.builder import ModuleBuilder
+from repro.kernel.vfs import O_APPEND, O_CREAT
+
+#: HTTP port the server listens on.
+NGINX_PORT = 80
+
+#: VFS paths the harness provisions before launch.
+CONF_PATH = "/etc/nginx/nginx.conf"
+DOC_ROOT = "/var/www/html/index.html"
+LOG_PATH = "/var/log/nginx/access.log"
+UPGRADE_BINARY = "/usr/sbin/nginx-new"
+
+#: size of the static page served (the paper's 6,745-byte webpage)
+PAGE_BYTES = 6745
+
+
+@dataclass(frozen=True)
+class NginxConfig:
+    """Build-time constants for the IR program.
+
+    ``workers``/``pools``/``guards`` shape the Table 4 init profile;
+    ``request_burn`` models the per-request C work not expressed in IR.
+    """
+
+    workers: int = 4
+    pools: int = 16
+    guards: int = 10
+    http_vars: int = 4  # entries actually initialized in the v[] array
+    var_slots: int = 8  # allocated entries (OOB space for Listing 2 attack)
+    request_burn: int = 60_000
+    init_burn: int = 20_000
+
+
+def build_nginx(config=NginxConfig()):
+    """Build the mini-NGINX module (libc linked in)."""
+    mb = ModuleBuilder("nginx")
+    mb.extend(build_libc())
+
+    # -- types ----------------------------------------------------------
+    mb.struct("ngx_exec_ctx_t", ["path", "argv", "envp"])
+    mb.struct("ngx_http_variable_t", ["get_handler", "data", "flags"])
+    mb.struct("ngx_output_chain_ctx_t", ["output_filter", "filter_ctx"])
+    mb.struct(
+        "ngx_request_t", ["fd", "uri", "status", "var_value", "var_index"]
+    )
+
+    # -- globals -----------------------------------------------------------
+    mb.global_string("g_conf_path", CONF_PATH)
+    mb.global_string("g_doc_root", DOC_ROOT)
+    mb.global_string("g_log_path", LOG_PATH)
+    mb.global_string("g_upgrade_path", UPGRADE_BINARY)
+    mb.global_string("g_get_prefix", "GET ")
+    mb.global_string("g_hdr_200", "HTTP/1.1 200 OK\r\nServer: nginx\r\n\r\n")
+    mb.global_string("g_hdr_404", "HTTP/1.1 404 Not Found\r\n\r\n")
+    mb.global_string("g_logline", "127.0.0.1 GET / 200\n")
+    mb.global_string("g_uri_root", "/")
+    mb.global_string("g_uri_index", "/index.html")
+    mb.global_var("g_uri_buf", size=64)
+    mb.global_var("g_exec_ctx", size=3, struct="ngx_exec_ctx_t")
+    mb.global_var("g_exec_argv", size=2)
+    mb.global_var("g_upgrade_flag", init=0)
+    mb.global_var("g_http_vars", size=config.var_slots * 3)
+    mb.global_var("g_output_ctx", size=2, struct="ngx_output_chain_ctx_t")
+    mb.global_var("g_request", size=5, struct="ngx_request_t")
+    mb.global_var("g_listen_fd", init=-1)
+    mb.global_var("g_log_fd", init=-1)
+    mb.global_var("g_pools", size=max(config.pools, 1))
+    mb.global_var("g_sockaddr", size=4)
+    mb.global_var("g_client_sa", size=4)
+    mb.global_var("g_salen", init=3)
+    mb.global_var("g_statbuf", size=8)
+    mb.global_var("g_req_buf", size=600)
+    mb.global_var("g_var_depth", init=0)
+
+    _build_handlers(mb)
+    _build_listing1(mb, config)
+    _build_listing2(mb, config)
+    _build_init(mb, config)
+    _build_serving(mb, config)
+    _build_main(mb, config)
+    return mb.build()
+
+
+# ---------------------------------------------------------------------------
+# indexed-variable handlers (targets stored in the v[] array)
+# ---------------------------------------------------------------------------
+
+
+def _build_handlers(mb):
+    for name in ("host", "uri", "status", "args"):
+        f = mb.function("ngx_http_var_%s" % name, params=["r", "v", "data"], sig="fn3")
+        f.burn(60)
+        f.store(f.p("v"), f.p("data"))
+        one = f.const(1)
+        f.ret(one)
+
+
+# ---------------------------------------------------------------------------
+# Listing 1: ngx_execute_proc + ngx_output_chain
+# ---------------------------------------------------------------------------
+
+
+def _build_listing1(mb, config):
+    # static void ngx_execute_proc(ngx_cycle_t *cycle, void *data)
+    f = mb.function("ngx_execute_proc", params=["cycle", "data"])
+    path_p = f.gep(f.p("data"), "ngx_exec_ctx_t", "path")
+    path = f.load(path_p)
+    argv_p = f.gep(f.p("data"), "ngx_exec_ctx_t", "argv")
+    argv = f.load(argv_p)
+    envp_p = f.gep(f.p("data"), "ngx_exec_ctx_t", "envp")
+    envp = f.load(envp_p)
+    rc = f.call("execve", [path, argv, envp])
+    failed = f.eq(rc, -1)
+    f.if_then(failed, lambda: f.call("ngx_log_error", [f.const(1)], void=True))
+    f.call("exit", [1], void=True)
+    f.ret(0)
+
+    # ngx_spawn_process: real NGINX invokes process bodies through a
+    # function-pointer argument — ngx_execute_proc is address-taken, which
+    # is exactly what lets Control Jujutsu's full-function reuse pass
+    # coarse CFI (and BASTION's CF context) legitimately.
+    f = mb.function("ngx_spawn_process", params=["proc_fn", "data"])
+    rc = f.icall(f.p("proc_fn"), [0, f.p("data")], sig="fn2")
+    f.ret(rc)
+
+    # binary-upgrade path: the only legitimate route to execve
+    f = mb.function("ngx_upgrade_binary", params=["cycle"])
+    ctx = f.addr_global("g_exec_ctx")
+    h = f.funcaddr("ngx_execute_proc")
+    f.call("ngx_spawn_process", [h, ctx], void=True)
+    f.ret(0)
+
+    # ngx_int_t ngx_output_chain(ctx, in) — the corruptible indirect callsite
+    f = mb.function("ngx_output_chain", params=["ctx", "in_"])
+    flt_p = f.gep(f.p("ctx"), "ngx_output_chain_ctx_t", "output_filter")
+    flt = f.load(flt_p, dst="flt")
+    fctx_p = f.gep(f.p("ctx"), "ngx_output_chain_ctx_t", "filter_ctx")
+    fctx = f.load(fctx_p, dst="fctx")
+    f.hook("ngx_output_chain_icall")
+    rc = f.icall(flt, [fctx, f.p("in_")], sig="fn2")
+    f.ret(rc)
+
+    # the legitimate filter installed in g_output_ctx
+    f = mb.function("ngx_chain_writer", params=["ctx", "in_"], sig="fn2")
+    f.burn(120)
+    f.ret(0)
+
+    f = mb.function("ngx_log_error", params=["code"])
+    msg = f.addr_global("g_hdr_404")
+    f.call("write", [2, msg, 16], void=True)
+    f.ret(0)
+
+
+# ---------------------------------------------------------------------------
+# Listing 2: ngx_http_get_indexed_variable
+# ---------------------------------------------------------------------------
+
+
+def _build_listing2(mb, config):
+    f = mb.function("ngx_http_get_indexed_variable", params=["r", "index"])
+    f.hook("ngx_indexed_variable_entry")
+    base = f.addr_global("g_http_vars")
+    entry = f.index(base, f.p("index"), scale=3)
+    handler = f.load(entry)  # v[index].get_handler
+    data_p = f.add(entry, 8)  # v[index].data
+    data = f.load(data_p)
+    vaddr = f.gep(f.p("r"), "ngx_request_t", "var_value")
+    rc = f.icall(handler, [f.p("r"), vaddr, data], sig="fn3")
+    ok = f.eq(rc, 1)
+
+    def cache():
+        depth_p = f.addr_global("g_var_depth")
+        depth = f.load(depth_p)
+        depth2 = f.add(depth, 1)
+        f.store(depth_p, depth2)
+
+    f.if_then(ok, cache)
+    f.ret(rc)
+
+
+# ---------------------------------------------------------------------------
+# initialization (Table 4's mmap/mprotect/clone/setuid profile)
+# ---------------------------------------------------------------------------
+
+
+def _build_init(mb, config):
+    f = mb.function("ngx_parse_config", params=[])
+    path = f.addr_global("g_conf_path")
+    fd = f.call("open", [path, 0, 0])
+    buf = f.addr_global("g_req_buf")
+    f.call("read", [fd, buf, 256])
+    f.call("close", [fd])
+    f.burn(config.init_burn)
+    f.ret(0)
+
+    f = mb.function("ngx_create_pool", params=["size"])
+    addr = f.call("mmap", [0, f.p("size"), 3, 0x22, -1, 0])
+    f.ret(addr)
+
+    f = mb.function("ngx_guard_pool", params=["addr"])
+    rc = f.call("mprotect", [f.p("addr"), 4096, 1])
+    f.ret(rc)
+
+    f = mb.function("ngx_init_cycle", params=[])
+    pools = f.addr_global("g_pools")
+
+    def make_pool(i):
+        p = f.call("ngx_create_pool", [16384])
+        slot = f.index(pools, i)
+        f.store(slot, p)
+
+    f.loop_range(f.const(config.pools), make_pool)
+
+    def guard(i):
+        wrapped = f.binop("%", i, config.pools)
+        slot = f.index(pools, wrapped)
+        p = f.load(slot)
+        f.call("ngx_guard_pool", [p], void=True)
+
+    f.loop_range(f.const(config.guards), guard)
+
+    # exec context for the upgrade path (Listing 1 data)
+    ctx = f.addr_global("g_exec_ctx")
+    path_p = f.gep(ctx, "ngx_exec_ctx_t", "path")
+    upath = f.addr_global("g_upgrade_path")
+    f.store(path_p, upath)
+    argv = f.addr_global("g_exec_argv")
+    f.store(argv, upath)
+    argv1 = f.add(argv, 8)
+    f.store(argv1, 0)
+    argv_p = f.gep(ctx, "ngx_exec_ctx_t", "argv")
+    f.store(argv_p, argv)
+    envp_p = f.gep(ctx, "ngx_exec_ctx_t", "envp")
+    f.store(envp_p, 0)
+
+    # indexed-variable table (Listing 2 data)
+    vars_base = f.addr_global("g_http_vars")
+    for i, name in enumerate(("host", "uri", "status", "args")):
+        if i >= config.http_vars:
+            break
+        h = f.funcaddr("ngx_http_var_%s" % name)
+        slot = f.index(vars_base, f.const(i), scale=3)
+        f.store(slot, h)
+        data_slot = f.add(slot, 8)
+        f.store(data_slot, 200 + i)
+
+    # output chain context (Listing 1 icall target)
+    octx = f.addr_global("g_output_ctx")
+    writer = f.funcaddr("ngx_chain_writer")
+    f.store(octx, writer)
+    octx1 = f.add(octx, 8)
+    f.store(octx1, 0)
+
+    # listening socket
+    sfd = f.call("socket", [2, 1, 0])
+    sa = f.addr_global("g_sockaddr")
+    f.store(sa, 2)  # AF_INET
+    sa_port = f.add(sa, 8)
+    f.store(sa_port, NGINX_PORT)
+    f.call("bind", [sfd, sa, 16])
+    f.call("listen", [sfd, 1024])
+    lfd_p = f.addr_global("g_listen_fd")
+    f.store(lfd_p, sfd)
+
+    # persistent access log
+    lpath = f.addr_global("g_log_path")
+    lfd = f.call("open", [lpath, O_CREAT | O_APPEND, 0o644])
+    logfd_p = f.addr_global("g_log_fd")
+    f.store(logfd_p, lfd)
+
+    f.call("ngx_spawn_workers", [], void=True)
+    f.ret(0)
+
+    f = mb.function("ngx_spawn_workers", params=[])
+
+    def spawn(i):
+        fn = f.funcaddr("ngx_worker_cycle")
+        f.call("clone", [0, 0, fn, 0, 0], void=True)
+        f.call("setuid", [33], void=True)
+        f.call("setgid", [33], void=True)
+        s = f.call("socket", [2, 2, 0])
+        sa = f.addr_global("g_sockaddr")
+        f.call("connect", [s, sa, 16], void=True)
+
+    f.loop_range(f.const(config.workers), spawn)
+    f.ret(0)
+
+
+# ---------------------------------------------------------------------------
+# serving loop
+# ---------------------------------------------------------------------------
+
+
+def _build_serving(mb, config):
+    # ngx_parse_request_line: real parsing — verify the method, extract the
+    # URI between the spaces into g_uri_buf, map "/" and "/index.html" to
+    # the document root, everything else to 0 (404).
+    f = mb.function("ngx_parse_uri", params=["buf"])
+    prefix = f.addr_global("g_get_prefix")
+    is_get = f.call("starts_with", [f.p("buf"), prefix])
+    f.branch(is_get, "copy_uri", "bad_request")
+
+    f.label("copy_uri")
+    ubuf = f.addr_global("g_uri_buf")
+    f.const(4, dst="src_i")  # skip "GET "
+    f.const(0, dst="dst_i")
+    f.label("copy_loop")
+    sp = f.index(f.p("buf"), f.var("src_i"))
+    ch = f.load(sp)
+    is_space = f.eq(ch, 0x20)
+    f.branch(is_space, "copied", "check_end")
+    f.label("check_end")
+    is_nul = f.eq(ch, 0)
+    f.branch(is_nul, "copied", "copy_char")
+    f.label("copy_char")
+    dp = f.index(ubuf, f.var("dst_i"))
+    f.store(dp, ch)
+    f.move(f.add(f.var("src_i"), 1), dst="src_i")
+    f.move(f.add(f.var("dst_i"), 1), dst="dst_i")
+    too_long = f.binop(">=", f.var("dst_i"), 60)
+    f.branch(too_long, "copied", "copy_loop")
+    f.label("copied")
+    endp = f.index(ubuf, f.var("dst_i"))
+    f.store(endp, 0)
+
+    # route: "/" or "/index.html" -> the static page, else 404
+    root = f.addr_global("g_uri_root")
+    is_root = f.call("strcmp", [ubuf, root])
+    f.branch(f.eq(is_root, 0), "serve_index", "check_index")
+    f.label("check_index")
+    index_uri = f.addr_global("g_uri_index")
+    is_index = f.call("strcmp", [ubuf, index_uri])
+    f.branch(f.eq(is_index, 0), "serve_index", "not_found")
+    f.label("serve_index")
+    doc = f.addr_global("g_doc_root")
+    f.ret(doc)
+    f.label("bad_request")
+    f.label("not_found")
+    zero = f.const(0)
+    f.ret(zero)
+
+    f = mb.function("ngx_hash_uri", params=["buf"])
+    h = f.const(5381, dst="h")
+
+    def mix(i):
+        p = f.index(f.p("buf"), i)
+        c = f.load(p)
+        h33 = f.mul(f.var("h"), 33)
+        hx = f.binop("^", h33, c)
+        f.move(hx, dst="h")
+
+    f.loop_range(f.const(8), mix)
+    f.ret(f.var("h"))
+
+    # serve one static file over fd
+    f = mb.function("ngx_static_handler", params=["fd", "uri"])
+    st = f.addr_global("g_statbuf")
+    f.call("stat", [f.p("uri"), st])
+    filefd = f.call("open", [f.p("uri"), 0, 0])
+    bad = f.lt(filefd, 0)
+
+    def not_found():
+        h404 = f.addr_global("g_hdr_404")
+        f.call("write", [f.p("fd"), h404, 26], void=True)
+
+    def serve():
+        f.call("fstat", [filefd, st], void=True)
+        size_p = f.add(st, 8)
+        size = f.load(size_p)
+        f.call("lseek", [filefd, 0, 0], void=True)
+        hdr = f.addr_global("g_hdr_200")
+        f.call("write", [f.p("fd"), hdr, 33], void=True)
+        f.call("sendfile", [f.p("fd"), filefd, 0, size], void=True)
+        f.call("close", [filefd], void=True)
+        octx = f.addr_global("g_output_ctx")
+        f.call("ngx_output_chain", [octx, f.p("fd")], void=True)
+
+    f.if_then(bad, not_found, serve)
+    f.ret(0)
+
+    f = mb.function("ngx_log_access", params=["fd"])
+    logfd_p = f.addr_global("g_log_fd")
+    logfd = f.load(logfd_p)
+    line = f.addr_global("g_logline")
+    f.call("write", [logfd, line, 20], void=True)
+    f.ret(0)
+
+    f = mb.function("ngx_handle_request", params=["fd", "buf", "n"])
+    f.burn(config.request_burn)
+    f.hook("ngx_request")
+    uri = f.call("ngx_parse_uri", [f.p("buf")])
+    unresolved = f.eq(uri, 0)
+
+    def not_found():
+        h404 = f.addr_global("g_hdr_404")
+        f.call("write", [f.p("fd"), h404, 26], void=True)
+
+    f.if_then(unresolved, not_found)
+    h = f.call("ngx_hash_uri", [f.p("buf")])
+    idx = f.binop("&", h, config.http_vars - 1)
+    r = f.addr_global("g_request")
+    fd_p = f.gep(r, "ngx_request_t", "fd")
+    f.store(fd_p, f.p("fd"))
+    idx_p = f.gep(r, "ngx_request_t", "var_index")
+    f.store(idx_p, idx)
+    f.call("ngx_http_get_indexed_variable", [r, idx], void=True)
+
+    def serve_static():
+        f.call("ngx_static_handler", [f.p("fd"), uri], void=True)
+
+    f.if_then(f.ne(uri, 0), serve_static)
+    f.call("ngx_log_access", [f.p("fd")], void=True)
+    f.ret(0)
+
+    f = mb.function("ngx_handle_connection", params=["fd"])
+    f.label("next_request")
+    buf = f.addr_global("g_req_buf")
+    n = f.call("read", [f.p("fd"), buf, 4096])
+    done = f.binop("<=", n, 0)
+    f.branch(done, "finish", "handle")
+    f.label("handle")
+    f.call("ngx_handle_request", [f.p("fd"), buf, n], void=True)
+    f.jump("next_request")
+    f.label("finish")
+    f.call("close", [f.p("fd")], void=True)
+    f.ret(0)
+
+    f = mb.function("ngx_worker_cycle", params=[])
+    f.label("accept_loop")
+    lfd_p = f.addr_global("g_listen_fd")
+    lfd = f.load(lfd_p)
+    sa = f.addr_global("g_client_sa")
+    salen = f.addr_global("g_salen")
+    conn = f.call("accept4", [lfd, sa, salen, 0])
+    bad = f.lt(conn, 0)
+    f.branch(bad, "shutdown", "serve")
+    f.label("serve")
+    f.call("ngx_handle_connection", [conn], void=True)
+    f.jump("accept_loop")
+    f.label("shutdown")
+    f.ret(0)
+
+
+def _build_main(mb, config):
+    f = mb.function("ngx_master_cycle", params=[])
+    f.hook("ngx_master_cycle")
+    flag_p = f.addr_global("g_upgrade_flag")
+    flag = f.load(flag_p)
+    f.if_then(flag, lambda: f.call("ngx_upgrade_binary", [0], void=True))
+    f.call("ngx_worker_cycle", [], void=True)
+    f.ret(0)
+
+    f = mb.function("main", params=[])
+    f.call("ngx_parse_config", [], void=True)
+    f.call("ngx_init_cycle", [], void=True)
+    f.call("ngx_master_cycle", [], void=True)
+    f.ret(0)

@@ -1,0 +1,402 @@
+"""mini-SQLite: pager + journal over VFS-style indirect dispatch.
+
+Mirrors the pieces of SQLite that matter to the paper's experiments:
+
+- an ``sqlite3_vfs``-style method table (``xOpen``/``xRead``/``xWrite``/
+  ``xSync``) — every page operation goes through an *indirect call*, which is
+  why LLVM CFI's per-icall checks cost more here than BASTION does (§9.2);
+- a pager with a rollback journal: each new-order transaction writes the
+  journal, reads pages via ``pread64``, commits via ``pwrite64`` + ``fsync``
+  — the Table 7 filesystem-syscall profile;
+- page-cache setup via ``mmap`` and guard-page management via ``mprotect``,
+  both at initialization and periodically at runtime ("SQLite relies more on
+  mprotect compared to NGINX or vsftpd", §9.2 / Table 4);
+- worker-thread spawn via ``clone``;
+- a DBT2-style terminal server: the workload connects terminals over a
+  socket and paces NEWORDER requests (NOTPM is derived from the cycle count).
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.libc import build_libc
+from repro.ir.builder import ModuleBuilder
+
+SQLITE_PORT = 5432
+DB_PATH = "/data/test.db"
+JOURNAL_PATH = "/data/test.db-journal"
+PAGE_SIZE = 512
+
+
+@dataclass(frozen=True)
+class SqliteConfig:
+    """Build-time constants for the IR program."""
+
+    threads: int = 16  # clone count = threads * 3 (thread + bookkeeping)
+    init_mmaps: int = 42
+    init_mprotects: int = 60
+    runtime_mprotect_every: int = 64  # cache-pressure mprotect cadence (txns)
+    items_per_order: int = 10  # DBT2 new-order line items
+    btree_seed_keys: int = 64  # index entries planted at startup
+    btree_key_mask: int = 0x3FF  # key space (collisions keep depth realistic)
+    txn_burn: int = 60_000
+    init_burn: int = 30_000
+
+
+def build_sqlite(config=SqliteConfig()):
+    """Build the mini-SQLite module (libc linked in)."""
+    mb = ModuleBuilder("sqlite")
+    mb.extend(build_libc())
+
+    mb.struct("sqlite3_vfs", ["xOpen", "xRead", "xWrite", "xSync"])
+    mb.struct("sqlite3_pager", ["db_fd", "journal_fd", "page_count"])
+    mb.struct("btree_node", ["key", "left", "right"])
+
+    mb.global_string("g_db_path", DB_PATH)
+    mb.global_string("g_journal_path", JOURNAL_PATH)
+    mb.global_string("g_result", "NEWORDER OK 00000000000000000000000000000000")
+    mb.global_var("g_vfs", size=4, struct="sqlite3_vfs")
+    mb.global_var("g_pager", size=3, struct="sqlite3_pager")
+    mb.global_var("g_cache", size=max(config.init_mmaps, 1))
+    mb.global_var("g_page_buf", size=520)  # holds one 512-byte page
+    mb.global_var("g_journal_buf", size=40)
+    mb.global_var("g_req_buf", size=40)
+    mb.global_var("g_sockaddr", size=4)
+    mb.global_var("g_client_sa", size=4)
+    mb.global_var("g_salen", init=3)
+    mb.global_var("g_listen_fd", init=-1)
+    mb.global_var("g_txn_count", init=0)
+    mb.global_var("g_lcg_state", init=88172645463325252)
+    mb.global_var("g_btree_root", init=0)
+
+    _build_vfs(mb)
+    _build_btree(mb, config)
+    _build_pager(mb, config)
+    _build_new_order(mb, config)
+    _build_server(mb, config)
+    _build_main(mb, config)
+    return mb.build()
+
+
+# ---------------------------------------------------------------------------
+# the VFS method table (indirect-call surface)
+# ---------------------------------------------------------------------------
+
+
+def _build_vfs(mb):
+    f = mb.function("sqlite_x_open", params=["path", "flags", "mode", "unused"], sig="os4")
+    fd = f.call("open", [f.p("path"), f.p("flags"), f.p("mode")])
+    f.ret(fd)
+
+    f = mb.function("sqlite_x_read", params=["fd", "buf", "n", "off"], sig="os4")
+    rc = f.call("pread64", [f.p("fd"), f.p("buf"), f.p("n"), f.p("off")])
+    f.ret(rc)
+
+    f = mb.function("sqlite_x_write", params=["fd", "buf", "n", "off"], sig="os4")
+    rc = f.call("pwrite64", [f.p("fd"), f.p("buf"), f.p("n"), f.p("off")])
+    f.ret(rc)
+
+    f = mb.function("sqlite_x_sync", params=["fd", "unused1", "unused2", "unused3"], sig="os4")
+    rc = f.call("fsync", [f.p("fd")])
+    f.ret(rc)
+
+    f = mb.function("sqlite_install_vfs", params=[])
+    vfs = f.addr_global("g_vfs")
+    for i, impl in enumerate(
+        ("sqlite_x_open", "sqlite_x_read", "sqlite_x_write", "sqlite_x_sync")
+    ):
+        slot = f.add(vfs, i * 8)
+        addr = f.funcaddr(impl)
+        f.store(slot, addr)
+    f.ret(0)
+
+    # sqlite3OsX(...): dispatch through the method table (1 icall each)
+    for name, field_offset in (
+        ("sqlite_os_read", 1),
+        ("sqlite_os_write", 2),
+        ("sqlite_os_sync", 3),
+    ):
+        f = mb.function(name, params=["fd", "buf", "n", "off"])
+        vfs = f.addr_global("g_vfs")
+        slot = f.add(vfs, field_offset * 8)
+        method = f.load(slot)
+        rc = f.icall(method, [f.p("fd"), f.p("buf"), f.p("n"), f.p("off")], sig="os4")
+        f.ret(rc)
+
+
+# ---------------------------------------------------------------------------
+# btree with an indirect comparator
+# ---------------------------------------------------------------------------
+
+
+def _build_btree(mb, config):
+    f = mb.function("sqlite_key_cmp", params=["a", "b"], sig="cmp2")
+    f.burn(25)
+    d = f.sub(f.p("a"), f.p("b"))
+    f.ret(d)
+
+    # node allocation: {key, left, right}
+    f = mb.function("sqlite_btree_new_node", params=["key"])
+    node = f.call("malloc", [3])
+    key_p = f.gep(node, "btree_node", "key")
+    f.store(key_p, f.p("key"))
+    left_p = f.gep(node, "btree_node", "left")
+    f.store(left_p, 0)
+    right_p = f.gep(node, "btree_node", "right")
+    f.store(right_p, 0)
+    f.ret(node)
+
+    # insert(key): standard unbalanced BST insert; every comparison goes
+    # through the collation function pointer, as in real SQLite
+    f = mb.function("sqlite_btree_insert", params=["key"])
+    cmp_fn = f.funcaddr("sqlite_key_cmp")
+    root_p = f.addr_global("g_btree_root")
+    root = f.load(root_p)
+    empty = f.eq(root, 0)
+
+    def plant_root():
+        node = f.call("sqlite_btree_new_node", [f.p("key")])
+        f.store(root_p, node)
+        f.ret(node)
+
+    f.if_then(empty, plant_root)
+    f.move(root, dst="cur")
+    f.label("walk")
+    cur_key_p = f.gep(f.var("cur"), "btree_node", "key")
+    cur_key = f.load(cur_key_p)
+    d = f.icall(cmp_fn, [f.p("key"), cur_key], sig="cmp2")
+    f.branch(f.eq(d, 0), "found", "descend")
+    f.label("descend")
+    f.branch(f.lt(d, 0), "go_left", "go_right")
+    f.label("go_left")
+    left_p2 = f.gep(f.var("cur"), "btree_node", "left")
+    f.move(left_p2, dst="slot")
+    f.jump("step")
+    f.label("go_right")
+    right_p2 = f.gep(f.var("cur"), "btree_node", "right")
+    f.move(right_p2, dst="slot")
+    f.label("step")
+    nxt = f.load(f.var("slot"))
+    f.branch(f.eq(nxt, 0), "attach", "advance")
+    f.label("advance")
+    f.move(nxt, dst="cur")
+    f.jump("walk")
+    f.label("attach")
+    node = f.call("sqlite_btree_new_node", [f.p("key")])
+    f.store(f.var("slot"), node)
+    f.ret(node)
+    f.label("found")
+    f.ret(f.var("cur"))
+
+    # search(key) -> node | 0
+    f = mb.function("sqlite_btree_search", params=["key"])
+    cmp_fn = f.funcaddr("sqlite_key_cmp")
+    root_p = f.addr_global("g_btree_root")
+    root = f.load(root_p)
+    f.move(root, dst="cur")
+    f.label("walk")
+    f.branch(f.eq(f.var("cur"), 0), "missing", "compare")
+    f.label("compare")
+    key_p2 = f.gep(f.var("cur"), "btree_node", "key")
+    cur_key = f.load(key_p2)
+    d = f.icall(cmp_fn, [f.p("key"), cur_key], sig="cmp2")
+    f.branch(f.eq(d, 0), "hit", "descend")
+    f.label("descend")
+    f.branch(f.lt(d, 0), "go_left", "go_right")
+    f.label("go_left")
+    lp = f.gep(f.var("cur"), "btree_node", "left")
+    f.move(f.load(lp), dst="cur")
+    f.jump("walk")
+    f.label("go_right")
+    rp = f.gep(f.var("cur"), "btree_node", "right")
+    f.move(f.load(rp), dst="cur")
+    f.jump("walk")
+    f.label("hit")
+    f.ret(f.var("cur"))
+    f.label("missing")
+    zero = f.const(0)
+    f.ret(zero)
+
+    # seed the index at startup
+    f = mb.function("sqlite_btree_seed", params=[])
+
+    def plant(i):
+        key = f.call("sqlite_lcg_next", [])
+        masked = f.binop("&", key, config.btree_key_mask)
+        f.call("sqlite_btree_insert", [masked], void=True)
+
+    f.loop_range(f.const(config.btree_seed_keys), plant)
+    f.ret(0)
+
+
+# ---------------------------------------------------------------------------
+# pager
+# ---------------------------------------------------------------------------
+
+
+def _build_pager(mb, config):
+    f = mb.function("sqlite_open_database", params=[])
+    pager = f.addr_global("g_pager")
+    path = f.addr_global("g_db_path")
+    db_fd = f.call("open", [path, 0o102, 0o644])  # O_CREAT | O_RDWR
+    db_p = f.gep(pager, "sqlite3_pager", "db_fd")
+    f.store(db_p, db_fd)
+    jpath = f.addr_global("g_journal_path")
+    j_fd = f.call("open", [jpath, 0o102, 0o644])
+    j_p = f.gep(pager, "sqlite3_pager", "journal_fd")
+    f.store(j_p, j_fd)
+    f.ret(0)
+
+    f = mb.function("sqlite_init_cache", params=[])
+    cache = f.addr_global("g_cache")
+
+    def alloc(i):
+        p = f.call("mmap", [0, 65536, 3, 0x22, -1, 0])
+        slot = f.index(cache, i)
+        f.store(slot, p)
+
+    f.loop_range(f.const(config.init_mmaps), alloc)
+
+    def guard(i):
+        wrapped = f.binop("%", i, config.init_mmaps)
+        slot = f.index(cache, wrapped)
+        p = f.load(slot)
+        f.call("mprotect", [p, 4096, 1], void=True)
+
+    f.loop_range(f.const(config.init_mprotects), guard)
+    f.burn(config.init_burn)
+    f.ret(0)
+
+    f = mb.function("sqlite_worker_main", params=["arg"])
+    f.burn(500)
+    f.ret(0)
+
+    f = mb.function("sqlite_spawn_threads", params=[])
+
+    def spawn(i):
+        fn = f.funcaddr("sqlite_worker_main")
+        f.call("clone", [0, 0, fn, 0, 0], void=True)
+
+    f.loop_range(f.const(config.threads * 3), spawn)
+    f.ret(0)
+
+    # periodic cache pressure: mprotect a cache page (runtime mprotect usage)
+    f = mb.function("sqlite_cache_pressure", params=["txn"])
+    cache = f.addr_global("g_cache")
+    slot_i = f.binop("%", f.p("txn"), config.init_mmaps)
+    slot = f.index(cache, slot_i)
+    p = f.load(slot)
+    f.call("mprotect", [p, 4096, 3], void=True)
+    f.ret(0)
+
+
+# ---------------------------------------------------------------------------
+# DBT2 new-order transaction
+# ---------------------------------------------------------------------------
+
+
+def _build_new_order(mb, config):
+    f = mb.function("sqlite_lcg_next", params=[])
+    state_p = f.addr_global("g_lcg_state")
+    s = f.load(state_p)
+    s2 = f.mul(s, 6364136223846793005)
+    s3 = f.add(s2, 1442695040888963407)
+    f.store(state_p, s3)
+    h = f.binop(">>", s3, 33)
+    f.ret(h)
+
+    f = mb.function("sqlite_new_order", params=["warehouse"])
+    pager = f.addr_global("g_pager")
+    db_p = f.gep(pager, "sqlite3_pager", "db_fd")
+    db_fd = f.load(db_p)
+    j_p = f.gep(pager, "sqlite3_pager", "journal_fd")
+    j_fd = f.load(j_p)
+    jbuf = f.addr_global("g_journal_buf")
+    pbuf = f.addr_global("g_page_buf")
+
+    # BEGIN: journal header
+    f.call("sqlite_os_write", [j_fd, jbuf, 64, 0], void=True)
+
+    def line_item(i):
+        key = f.call("sqlite_lcg_next", [])
+        masked = f.binop("&", key, 0x3FF)
+        node = f.call("sqlite_btree_search", [masked])
+        miss = f.eq(node, 0)
+        f.if_then(miss, lambda: f.call("sqlite_btree_insert", [masked], void=True))
+        pageno = f.binop("&", masked, 0xFF)
+        off = f.mul(pageno, PAGE_SIZE)
+        f.call("sqlite_os_read", [db_fd, pbuf, PAGE_SIZE, off], void=True)
+        f.burn(500)
+
+    f.loop_range(f.const(config.items_per_order), line_item)
+
+    # COMMIT: write back two pages, sync, truncate journal
+    f.call("sqlite_os_write", [db_fd, pbuf, PAGE_SIZE, 0], void=True)
+    f.call("sqlite_os_write", [db_fd, pbuf, PAGE_SIZE, PAGE_SIZE], void=True)
+    f.call("sqlite_os_sync", [db_fd, 0, 0, 0], void=True)
+
+    count_p = f.addr_global("g_txn_count")
+    count = f.load(count_p)
+    count2 = f.add(count, 1)
+    f.store(count_p, count2)
+    pressure = f.binop("%", count2, config.runtime_mprotect_every)
+    hit = f.eq(pressure, 0)
+    f.if_then(hit, lambda: f.call("sqlite_cache_pressure", [count2], void=True))
+
+    f.burn(config.txn_burn)
+    f.ret(count2)
+
+
+# ---------------------------------------------------------------------------
+# the terminal server loop (DBT2 drives this over a socket)
+# ---------------------------------------------------------------------------
+
+
+def _build_server(mb, config):
+    f = mb.function("sqlite_handle_terminal", params=["conn"])
+    buf = f.addr_global("g_req_buf")
+    f.label("next_txn")
+    n = f.call("read", [f.p("conn"), buf, 128])
+    done = f.binop("<=", n, 0)
+    f.branch(done, "finish", "run")
+    f.label("run")
+    f.hook("sqlite_txn")
+    f.call("sqlite_new_order", [1], void=True)
+    result = f.addr_global("g_result")
+    f.call("write", [f.p("conn"), result, 44], void=True)
+    f.jump("next_txn")
+    f.label("finish")
+    f.call("close", [f.p("conn")], void=True)
+    f.ret(0)
+
+    f = mb.function("sqlite_server_loop", params=[])
+    sfd = f.call("socket", [2, 1, 0])
+    sa = f.addr_global("g_sockaddr")
+    f.store(sa, 2)
+    sa_port = f.add(sa, 8)
+    f.store(sa_port, SQLITE_PORT)
+    f.call("bind", [sfd, sa, 16])
+    f.call("listen", [sfd, 64])
+    lfd_p = f.addr_global("g_listen_fd")
+    f.store(lfd_p, sfd)
+    f.label("accept_loop")
+    csa = f.addr_global("g_client_sa")
+    salen = f.addr_global("g_salen")
+    conn = f.call("accept", [sfd, csa, salen])
+    bad = f.lt(conn, 0)
+    f.branch(bad, "shutdown", "serve")
+    f.label("serve")
+    f.call("sqlite_handle_terminal", [conn], void=True)
+    f.jump("accept_loop")
+    f.label("shutdown")
+    f.ret(0)
+
+
+def _build_main(mb, config):
+    f = mb.function("main", params=[])
+    f.call("sqlite_open_database", [], void=True)
+    f.call("sqlite_install_vfs", [], void=True)
+    f.call("sqlite_btree_seed", [], void=True)
+    f.call("sqlite_init_cache", [], void=True)
+    f.call("sqlite_spawn_threads", [], void=True)
+    f.call("sqlite_server_loop", [], void=True)
+    f.ret(0)

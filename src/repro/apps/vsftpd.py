@@ -1,0 +1,200 @@
+"""mini-vsftpd: control/data-channel FTP with per-session privilege drop.
+
+Mirrors the vsftpd behaviours the paper's evaluation leans on:
+
+- per-session ``setuid``/``setgid`` privilege drop (Table 4's 12 each);
+- PASV data connections: every ``RETR`` creates a fresh data socket —
+  ``socket``/``bind``/``listen``/``accept`` per transfer, which is why
+  vsftpd's Table 4 row is dominated by networking syscalls;
+- downloads served by a chunked ``sendfile`` loop (dkftpbench fetches a
+  large file; the transfer cost dominates and BASTION's rare traps all but
+  vanish — the 1.65% column of Figure 3 and the mild Table 7 row).
+"""
+
+from dataclasses import dataclass
+
+from repro.apps.libc import build_libc
+from repro.ir.builder import ModuleBuilder
+
+FTP_PORT = 21
+DATA_PORT_BASE = 20000
+FILE_PATH = "/srv/ftp/file.bin"
+
+#: sendfile chunk size (vsftpd streams large files in bounded chunks)
+CHUNK_BYTES = 2 << 20
+
+
+@dataclass(frozen=True)
+class VsftpdConfig:
+    """Build-time constants for the IR program."""
+
+    ftp_uid: int = 1001
+    ftp_gid: int = 1001
+    session_burn: int = 8_000
+    command_burn: int = 1_500
+
+
+def build_vsftpd(config=VsftpdConfig()):
+    """Build the mini-vsftpd module (libc linked in)."""
+    mb = ModuleBuilder("vsftpd")
+    mb.extend(build_libc())
+
+    mb.global_string("g_file_path", FILE_PATH)
+    mb.global_string("g_banner", "220 vsftpd\n")
+    mb.global_string("g_login_ok", "230 ok\n")
+    mb.global_string("g_pasv_ok", "227 pasv\n")
+    mb.global_string("g_xfer_ok", "226 ok\n")
+    mb.global_string("g_bye", "221 bye\n")
+    mb.global_string("g_cmd_retr", "RETR")
+    mb.global_string("g_cmd_list", "LIST")
+    mb.global_string("g_ftp_dir", "/srv/ftp")
+    mb.global_var("g_dirent_buf", size=200)
+    mb.global_string("g_cmd_quit", "QUIT")
+    mb.global_var("g_cmd_buf", size=80)
+    mb.global_var("g_sockaddr", size=4)
+    mb.global_var("g_data_sa", size=4)
+    mb.global_var("g_client_sa", size=4)
+    mb.global_var("g_salen", init=3)
+    mb.global_var("g_statbuf", size=8)
+    mb.global_var("g_listen_fd", init=-1)
+    mb.global_var("g_next_data_port", init=DATA_PORT_BASE)
+
+    _build_data_channel(mb, config)
+    _build_session(mb, config)
+    _build_main(mb, config)
+    return mb.build()
+
+
+def _build_data_channel(mb, config):
+    # PASV: open a fresh data socket and accept the client's data connection
+    f = mb.function("vsftpd_pasv_data", params=["conn"])
+    s = f.call("socket", [2, 1, 0])
+    port_p = f.addr_global("g_next_data_port")
+    port = f.load(port_p)
+    port2 = f.add(port, 1)
+    f.store(port_p, port2)
+    sa = f.addr_global("g_data_sa")
+    f.store(sa, 2)
+    sa_port = f.add(sa, 8)
+    f.store(sa_port, port)
+    f.call("bind", [s, sa, 16])
+    f.call("listen", [s, 1])
+    pasv = f.addr_global("g_pasv_ok")
+    f.call("write", [f.p("conn"), pasv, 10], void=True)
+    csa = f.addr_global("g_client_sa")
+    salen = f.addr_global("g_salen")
+    d = f.call("accept", [s, csa, salen])
+    f.call("close", [s], void=True)
+    f.ret(d)
+
+    # LIST: stream the directory listing over a PASV data channel
+    f = mb.function("vsftpd_list", params=["conn"])
+    data_fd = f.call("vsftpd_pasv_data", [f.p("conn")])
+    dpath = f.addr_global("g_ftp_dir")
+    dir_fd = f.call("open", [dpath, 0, 0])
+    buf = f.addr_global("g_dirent_buf")
+    f.label("dents_loop")
+    n = f.call("getdents", [dir_fd, buf, 160])
+    done = f.binop("<=", n, 0)
+    f.branch(done, "dents_done", "send_chunk")
+    f.label("send_chunk")
+    f.call("write", [data_fd, buf, n], void=True)
+    f.jump("dents_loop")
+    f.label("dents_done")
+    f.call("close", [dir_fd], void=True)
+    f.call("close", [data_fd], void=True)
+    ok = f.addr_global("g_xfer_ok")
+    f.call("write", [f.p("conn"), ok, 7], void=True)
+    f.ret(0)
+
+    # RETR: stream the file over the data channel in bounded chunks
+    f = mb.function("vsftpd_retr", params=["conn"])
+    data_fd = f.call("vsftpd_pasv_data", [f.p("conn")])
+    path = f.addr_global("g_file_path")
+    file_fd = f.call("open", [path, 0, 0])
+    st = f.addr_global("g_statbuf")
+    f.call("fstat", [file_fd, st], void=True)
+    f.label("xfer_loop")
+    sent = f.call("sendfile", [data_fd, file_fd, 0, CHUNK_BYTES])
+    more = f.binop(">", sent, 0)
+    f.branch(more, "xfer_loop", "xfer_done")
+    f.label("xfer_done")
+    f.call("close", [file_fd], void=True)
+    f.call("close", [data_fd], void=True)
+    ok = f.addr_global("g_xfer_ok")
+    f.call("write", [f.p("conn"), ok, 7], void=True)
+    f.ret(0)
+
+
+def _build_session(mb, config):
+    f = mb.function("vsftpd_login", params=["conn"])
+    buf = f.addr_global("g_cmd_buf")
+    f.call("read", [f.p("conn"), buf, 64], void=True)
+    f.burn(config.command_burn)
+    f.call("setuid", [config.ftp_uid], void=True)
+    f.call("setgid", [config.ftp_gid], void=True)
+    ok = f.addr_global("g_login_ok")
+    f.call("write", [f.p("conn"), ok, 7], void=True)
+    f.ret(0)
+
+    f = mb.function("vsftpd_handle_session", params=["conn"])
+    banner = f.addr_global("g_banner")
+    f.call("write", [f.p("conn"), banner, 11], void=True)
+    f.call("vsftpd_login", [f.p("conn")], void=True)
+    f.burn(config.session_burn)
+    buf = f.addr_global("g_cmd_buf")
+    f.label("cmd_loop")
+    n = f.call("read", [f.p("conn"), buf, 64])
+    done = f.binop("<=", n, 0)
+    f.branch(done, "finish", "dispatch")
+    f.label("dispatch")
+    f.burn(config.command_burn)
+    retr = f.addr_global("g_cmd_retr")
+    is_retr = f.call("starts_with", [buf, retr])
+    f.branch(is_retr, "do_retr", "check_list")
+    f.label("do_retr")
+    f.hook("vsftpd_retr")
+    f.call("vsftpd_retr", [f.p("conn")], void=True)
+    f.jump("cmd_loop")
+    f.label("check_list")
+    list_s = f.addr_global("g_cmd_list")
+    is_list = f.call("starts_with", [buf, list_s])
+    f.branch(is_list, "do_list", "check_quit")
+    f.label("do_list")
+    f.call("vsftpd_list", [f.p("conn")], void=True)
+    f.jump("cmd_loop")
+    f.label("check_quit")
+    quit_s = f.addr_global("g_cmd_quit")
+    is_quit = f.call("starts_with", [buf, quit_s])
+    f.branch(is_quit, "do_quit", "cmd_loop")
+    f.label("do_quit")
+    bye = f.addr_global("g_bye")
+    f.call("write", [f.p("conn"), bye, 8], void=True)
+    f.label("finish")
+    f.call("close", [f.p("conn")], void=True)
+    f.ret(0)
+
+
+def _build_main(mb, config):
+    f = mb.function("main", params=[])
+    sfd = f.call("socket", [2, 1, 0])
+    sa = f.addr_global("g_sockaddr")
+    f.store(sa, 2)
+    sa_port = f.add(sa, 8)
+    f.store(sa_port, FTP_PORT)
+    f.call("bind", [sfd, sa, 16])
+    f.call("listen", [sfd, 64])
+    lfd_p = f.addr_global("g_listen_fd")
+    f.store(lfd_p, sfd)
+    f.call("setsid", [], void=True)
+    f.label("accept_loop")
+    csa = f.addr_global("g_client_sa")
+    salen = f.addr_global("g_salen")
+    conn = f.call("accept", [sfd, csa, salen])
+    bad = f.lt(conn, 0)
+    f.branch(bad, "shutdown", "serve")
+    f.label("serve")
+    f.call("vsftpd_handle_session", [conn], void=True)
+    f.jump("accept_loop")
+    f.label("shutdown")
+    f.ret(0)

@@ -1,0 +1,49 @@
+"""The §10 security study: 32 referenced exploits across 17 scenarios.
+
+- :mod:`repro.attacks.primitives` — the threat model of §4 as code: an
+  attacker with arbitrary read/write into the protected process, symbol
+  knowledge (coarse ASLR assumed bypassed via the read primitive), and
+  trigger points standing in for the memory-corruption vulnerabilities
+  (CVE-2013-2028 and friends);
+- :mod:`repro.attacks.rop` — ret2libc chain construction over the VM's
+  real in-memory stack;
+- :mod:`repro.attacks.catalog` — every Table 6 row as an executable
+  scenario with a kernel-event success oracle;
+- :mod:`repro.attacks.runner` — runs each attack unprotected (it must
+  succeed) and under each single context (CT / CF / AI) plus full BASTION,
+  regenerating the Table 6 ✓/× matrix.
+"""
+
+from repro.attacks.primitives import AttackEnv
+from repro.attacks.catalog import AttackSpec, CATALOG, attack_by_name
+from repro.attacks.runner import (
+    AttackOutcome,
+    AttackEvaluation,
+    run_attack,
+    evaluate_attack,
+    table6_matrix,
+)
+from repro.attacks.adaptive import (
+    AdaptiveOutcome,
+    adaptive_study,
+    blind_forger,
+    constant_violator,
+    oracle_forger,
+)
+
+__all__ = [
+    "AttackEnv",
+    "AttackSpec",
+    "CATALOG",
+    "attack_by_name",
+    "AttackOutcome",
+    "AttackEvaluation",
+    "run_attack",
+    "evaluate_attack",
+    "table6_matrix",
+    "AdaptiveOutcome",
+    "adaptive_study",
+    "oracle_forger",
+    "blind_forger",
+    "constant_violator",
+]

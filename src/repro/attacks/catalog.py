@@ -1,0 +1,574 @@
+"""The Table 6 attack catalog: every row as an executable scenario.
+
+Each :class:`AttackSpec` carries the paper's expected verdict per context
+(``True`` = that context alone blocks the exploit, the table's ✓) plus a
+``stage`` function that arms the corruption at the victim's vulnerability
+trigger, and an ``oracle`` that decides from kernel evidence whether the
+attacker reached their goal.
+
+Every attack is validated by the runner to *succeed against the undefended
+binary* before its blocked/bypassed verdicts mean anything.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.attacks.rop import launch_ret2libc
+from repro.vm.memory import WORD
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One Table 6 scenario."""
+
+    name: str
+    category: str  # Table 6 section header
+    target: str  # 'nginx' | 'httpd' | 'browser' | 'mediasrv'
+    description: str
+    #: the paper's row: context -> can block (✓)
+    expected: dict = field(default_factory=dict)
+    stage: object = None  # callable(env)
+    oracle: object = None  # callable(env) -> bool
+    #: compile/monitor with the §11.2 filesystem extension (AOCR Attack 1
+    #: abuses open/write, which are only protected under the extension)
+    needs_fs_extension: bool = False
+    #: extension scenarios beyond the paper's Table 6 rows (excluded from
+    #: the table-matching matrix, exercised by the extended catalog)
+    extra: bool = False
+    refs: str = ""
+
+
+CATALOG = []
+
+
+def _register(**kwargs):
+    spec = AttackSpec(**kwargs)
+    CATALOG.append(spec)
+    return spec
+
+
+def attack_by_name(name):
+    for spec in CATALOG:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Return-oriented programming (§10.1; evaluated without CET)
+# ---------------------------------------------------------------------------
+
+
+def _stage_rop_user_command(env):
+    def fire(env):
+        sh = env.plant_string("/bin/sh")
+        launch_ret2libc(env, [("execve", (sh, 0, 0))])
+
+    env.on_hook("ngx_request", fire)
+
+
+_register(
+    name="rop_execute_user_command",
+    category="Return-oriented programming (ROP)",
+    target="nginx",
+    description="Stack smash; ret2libc into execve('/bin/sh').",
+    expected={"CT": False, "CF": True, "AI": True},
+    stage=_stage_rop_user_command,
+    oracle=lambda env: env.executed("/bin/sh"),
+    refs="[1,3,5,7,8,11,13,15-20]",
+)
+
+
+def _stage_rop_root_command(env):
+    def fire(env):
+        sh = env.plant_string("/bin/sh")
+        launch_ret2libc(env, [("setuid", (0,)), ("execve", (sh, 0, 0))])
+
+    env.on_hook("ngx_request", fire)
+
+
+_register(
+    name="rop_execute_root_command",
+    category="Return-oriented programming (ROP)",
+    target="nginx",
+    description="ROP chain: setuid(0) then execve('/bin/sh') for a root shell.",
+    expected={"CT": False, "CF": True, "AI": True},
+    stage=_stage_rop_root_command,
+    oracle=lambda env: env.setuid_attempted(0) and env.executed("/bin/sh"),
+    refs="[11]",
+)
+
+
+def _stage_rop_mem_perm(env):
+    def fire(env):
+        pools = env.global_addr("g_pools")
+        pool0 = env.read(pools)  # a live RW mapping to make executable
+        launch_ret2libc(env, [("mprotect", (pool0, 4096, 7))])
+
+    env.on_hook("ngx_request", fire)
+
+
+_register(
+    name="rop_alter_memory_permission",
+    category="Return-oriented programming (ROP)",
+    target="nginx",
+    description="ROP into mprotect(pool, RWX) to stage shellcode past DEP.",
+    expected={"CT": False, "CF": True, "AI": True},
+    stage=_stage_rop_mem_perm,
+    oracle=lambda env: env.made_memory_executable(),
+    refs="[2,4,6,12]",
+)
+
+
+# ---------------------------------------------------------------------------
+# Direct system call manipulation (§10.2)
+# ---------------------------------------------------------------------------
+
+
+def _stage_newton_cscfi(env):
+    def fire(env):
+        # make the whole text segment (our 'libc') RWX: redirect the module
+        # handler pointer at mprotect and groom its three arguments
+        table = env.global_addr("g_handlers")
+        env.write(table, env.func_addr("mprotect"))
+        # the dispatch is h(r, buf, n): corrupt the locals feeding it
+        env.write(env.current_local_addr("r"), 0x400000)  # text base
+        env.write(env.current_local_addr("n"), 7)  # PROT_RWX
+
+    env.on_hook("ap_run_handler", fire)
+
+
+_register(
+    name="newton_cscfi",
+    category="Direct system call manipulation",
+    target="httpd",
+    description=(
+        "NEWTON CsCFI: function pointer bent onto mprotect (a syscall the "
+        "program never uses) to make code pages writable."
+    ),
+    expected={"CT": True, "CF": True, "AI": True},
+    stage=_stage_newton_cscfi,
+    oracle=lambda env: env.made_memory_executable(),
+    refs="[93]",
+)
+
+
+def _stage_aocr_nginx1(env):
+    def fire(env):
+        shadow = env.plant_string("/etc/shadow")
+        vars_base = env.global_addr("g_http_vars")
+        env.write(vars_base, env.func_addr("open"))  # v[0].get_handler
+        env.write(env.current_local_addr("index"), 0)
+        env.write(env.current_local_addr("r"), shadow)  # open's pathname
+
+    env.on_hook("ngx_indexed_variable_entry", fire)
+
+
+_register(
+    name="aocr_nginx_attack1",
+    category="Direct system call manipulation",
+    target="nginx",
+    description=(
+        "AOCR NGINX Attack 1: leverage open/write indirectly to leak the "
+        "code layout (reads /etc/shadow through a bent handler pointer)."
+    ),
+    expected={"CT": True, "CF": True, "AI": True},
+    stage=_stage_aocr_nginx1,
+    oracle=lambda env: env.opened("/etc/shadow"),
+    needs_fs_extension=True,
+    refs="[81]",
+)
+
+
+def _overflow_handler(env, target_func, arg0, arg1=0, arg2=0):
+    """The mediaserver heap overflow: run off g_parse_buf into g_handler."""
+    buf = env.global_addr("g_parse_buf")
+    handler = env.global_addr("g_handler")
+    overflow_start = buf + 64 * WORD
+    if overflow_start != handler:
+        raise AssertionError("layout changed: overflow no longer adjacent")
+    env.write(handler + env.struct_offset("frame_handler_t", "on_frame"), target_func)
+    env.write(handler + env.struct_offset("frame_handler_t", "arg0"), arg0)
+    env.write(handler + env.struct_offset("frame_handler_t", "arg1"), arg1)
+    env.write(handler + env.struct_offset("frame_handler_t", "arg2"), arg2)
+
+
+def _cve(name, description, stage, oracle, refs):
+    return _register(
+        name=name,
+        category="Direct system call manipulation",
+        target="mediasrv",
+        description=description,
+        expected={"CT": True, "CF": True, "AI": True},
+        stage=stage,
+        oracle=oracle,
+        refs=refs,
+    )
+
+
+def _stage_cve_2016_10190(env):
+    def fire(env):
+        sh = env.plant_string("/bin/sh")
+        _overflow_handler(env, env.func_addr("execve"), sh, 0, 0)
+
+    env.on_hook("ms_parse_frame", fire)
+
+
+_cve(
+    "cve_2016_10190",
+    "ffmpeg HTTP chunked-size heap overflow: callback bent onto execve.",
+    _stage_cve_2016_10190,
+    lambda env: env.executed("/bin/sh"),
+    "[75]",
+)
+
+
+def _stage_cve_2016_10191(env):
+    def fire(env):
+        sh = env.plant_string("/bin/sh")
+        _overflow_handler(env, env.func_addr("execveat"), 0, sh, 0)
+
+    env.on_hook("ms_parse_frame", fire)
+
+
+_cve(
+    "cve_2016_10191",
+    "ffmpeg RTMP packet overflow: callback bent onto execveat (never used).",
+    _stage_cve_2016_10191,
+    lambda env: env.executed("/bin/sh"),
+    "[76]",
+)
+
+
+def _stage_cve_2015_8617(env):
+    def fire(env):
+        passwd = env.plant_string("/etc/passwd")
+        _overflow_handler(env, env.func_addr("chmod"), passwd, 0o777, 0)
+
+    env.on_hook("ms_parse_frame", fire)
+
+
+_cve(
+    "cve_2015_8617",
+    "PHP format-string: pointer bent onto chmod('/etc/passwd', 0777).",
+    _stage_cve_2015_8617,
+    lambda env: env.chmod_attempted("/etc/passwd"),
+    "[74]",
+)
+
+
+def _stage_cve_2012_0809(env):
+    def fire(env):
+        _overflow_handler(env, env.func_addr("setuid"), 0, 0, 0)
+
+    env.on_hook("ms_parse_frame", fire)
+
+
+_cve(
+    "cve_2012_0809",
+    "sudo format-string: pointer bent onto setuid(0) (used direct-only).",
+    _stage_cve_2012_0809,
+    lambda env: env.setuid_attempted(0),
+    "[70]",
+)
+
+
+def _stage_cve_2013_2028(env):
+    def fire(env):
+        # nginx chunked-encoding overflow: bend the (already-loaded) output
+        # filter pointer onto mprotect; its two call args cover addr/len,
+        # and the third argument register is groomed on the stale stack
+        # slot that will become the wrapper's prot parameter.
+        env.write(env.current_local_addr("flt"), env.func_addr("mprotect"))
+        pools = env.global_addr("g_pools")
+        pool0 = env.read(pools)
+        env.write(env.current_local_addr("fctx"), pool0)  # mprotect addr
+        env.write(env.current_local_addr("in_"), 4096)  # mprotect len
+        wrapper_fp = env.cpu.sp - 2 * WORD
+        env.write(wrapper_fp - 3 * WORD, 7)  # prot = PROT_RWX
+
+    env.on_hook("ngx_output_chain_icall", fire)
+
+
+_register(
+    name="cve_2013_2028",
+    category="Direct system call manipulation",
+    target="nginx",
+    description="nginx chunked overflow: ctx->output_filter bent onto mprotect(RWX).",
+    expected={"CT": True, "CF": True, "AI": True},
+    stage=_stage_cve_2013_2028,
+    oracle=lambda env: env.made_memory_executable(),
+    refs="[71]",
+)
+
+
+def _stage_cve_2014_8668(env):
+    def fire(env):
+        pool = env.read(env.global_addr("g_frame_pool"))
+        _overflow_handler(env, env.func_addr("mremap"), pool, 4096, 1 << 20)
+
+    env.on_hook("ms_parse_frame", fire)
+
+
+_cve(
+    "cve_2014_8668",
+    "libtiff BMP overflow: pointer bent onto mremap (never used).",
+    _stage_cve_2014_8668,
+    lambda env: env.mremap_attempted(),
+    "[73]",
+)
+
+
+def _stage_cve_2014_1912(env):
+    def fire(env):
+        sockaddr = env.plant_words([2, 4444, 0x7F000001])
+        _overflow_handler(env, env.func_addr("connect"), 3, sockaddr, 16)
+
+    env.on_hook("ms_parse_frame", fire)
+
+
+_cve(
+    "cve_2014_1912",
+    "python recvfrom_into overflow: pointer bent onto connect(:4444) (C2).",
+    _stage_cve_2014_1912,
+    lambda env: env.connected_to(4444),
+    "[72]",
+)
+
+
+# ---------------------------------------------------------------------------
+# Indirect system call manipulation (§10.3)
+# ---------------------------------------------------------------------------
+
+
+def _stage_newton_cpi(env):
+    def fire(env):
+        # No code/data pointer is corrupted in place: the attacker sprays a
+        # counterfeit ngx_http_variable_t entry and bends only the *index*
+        # so v[index] lands on it; the callsite's own argument variables
+        # supply mprotect's addr/len/prot.
+        vars_base = env.global_addr("g_http_vars")
+        # land the counterfeit entry on an exact v[index] stride so only the
+        # integer index needs corrupting
+        stride = 3 * WORD
+        k = (env._scratch_next - vars_base) // stride + 1
+        entry = vars_base + k * stride
+        env.write(entry, env.func_addr("mprotect"))
+        env.write(entry + WORD, 7)  # v[index].data -> PROT_RWX
+        env.write(entry + 2 * WORD, 0)
+        env._scratch_next = entry + 4 * WORD
+        index = k
+        env.write(env.current_local_addr("index"), index)
+        pools = env.global_addr("g_pools")
+        pool0 = env.read(pools)
+        env.write(env.current_local_addr("r"), pool0)  # mprotect addr
+
+    env.on_hook("ngx_indexed_variable_entry", fire)
+
+
+_register(
+    name="newton_cpi",
+    category="Indirect system call manipulation",
+    target="nginx",
+    description=(
+        "NEWTON CPI: out-of-bounds v[index].get_handler dispatch onto "
+        "mprotect with attacker-controlled non-pointer arguments "
+        "(Listing 2)."
+    ),
+    expected={"CT": True, "CF": True, "AI": True},
+    stage=_stage_newton_cpi,
+    oracle=lambda env: env.made_memory_executable(),
+    refs="[93]",
+)
+
+
+def _stage_aocr_apache(env):
+    def fire(env):
+        sh = env.plant_string("/bin/sh")
+        table = env.global_addr("g_handlers")
+        env.write(table, env.func_addr("ap_get_exec_line"))
+        line_slot = env.global_addr("g_cmd_ctx") + env.struct_offset(
+            "cmd_ctx_t", "line"
+        )
+        env.write(line_slot, sh)
+
+    env.on_hook("ap_run_handler", fire)
+
+
+_register(
+    name="aocr_apache",
+    category="Indirect system call manipulation",
+    target="httpd",
+    description=(
+        "AOCR Apache: hijack a handler pointer onto ap_get_exec_line "
+        "(same C type, so coarse CFI passes); exec is legitimately "
+        "indirect elsewhere, so call-type passes too."
+    ),
+    expected={"CT": False, "CF": True, "AI": True},
+    stage=_stage_aocr_apache,
+    oracle=lambda env: env.executed("/bin/sh"),
+    refs="[93]",
+)
+
+
+def _stage_aocr_nginx2(env):
+    def fire(env):
+        # Data-only: flip the master-loop upgrade flag and swap the exec
+        # context's path — control flow stays entirely legitimate.
+        sh = env.plant_string("/bin/sh")
+        env.write(env.global_addr("g_upgrade_flag"), 1)
+        path_slot = env.global_addr("g_exec_ctx") + env.struct_offset(
+            "ngx_exec_ctx_t", "path"
+        )
+        env.write(path_slot, sh)
+
+    env.on_hook("ngx_master_cycle", fire)
+
+
+_register(
+    name="aocr_nginx_attack2",
+    category="Indirect system call manipulation",
+    target="nginx",
+    description=(
+        "AOCR NGINX Attack 2: corrupt only globals so the master loop "
+        "itself calls exec with attacker parameters."
+    ),
+    expected={"CT": False, "CF": False, "AI": True},
+    stage=_stage_aocr_nginx2,
+    oracle=lambda env: env.executed("/bin/sh"),
+    refs="[81]",
+)
+
+
+def _stage_coop(env):
+    def fire(env):
+        # Counterfeit object-oriented programming: spray a fake object whose
+        # vptr points *into* a legitimate vtable (off by one slot) so the
+        # benign render dispatch becomes renderer_spawn('/bin/sh').
+        sh = env.plant_string("/bin/sh")
+        vt = env.global_addr("g_vt_document")
+        counterfeit = env.plant_words([vt + WORD, sh, 0])
+        env.write(env.current_local_addr("obj"), counterfeit)
+
+    env.on_hook("browser_event", fire)
+
+
+_register(
+    name="coop_chrome",
+    category="Indirect system call manipulation",
+    target="browser",
+    description=(
+        "COOP: counterfeit objects chained through legitimate virtual "
+        "callsites; every dispatch is type-correct for CFI."
+    ),
+    expected={"CT": False, "CF": False, "AI": True},
+    stage=_stage_coop,
+    oracle=lambda env: env.executed("/bin/sh"),
+    refs="[34]",
+)
+
+
+def _stage_control_jujutsu(env):
+    def fire(env):
+        # Full-function reuse: redirect the (argument-corruptible) indirect
+        # callsite in ngx_output_chain onto ngx_execute_proc with a
+        # counterfeit ngx_exec_ctx_t (Listing 1's attack).
+        sh = env.plant_string("/bin/sh")
+        argv = env.plant_words([sh, 0])
+        ctx = env.plant_words([sh, argv, 0])
+        env.write(env.current_local_addr("flt"), env.func_addr("ngx_execute_proc"))
+        # output_filter(filter_ctx, in): the counterfeit exec context must
+        # arrive in ngx_execute_proc's `data` parameter (the second slot)
+        env.write(env.current_local_addr("in_"), ctx)
+
+    env.on_hook("ngx_output_chain_icall", fire)
+
+
+_register(
+    name="control_jujutsu",
+    category="Indirect system call manipulation",
+    target="nginx",
+    description=(
+        "Control Jujutsu: ctx->output_filter redirected to "
+        "ngx_execute_proc (address-taken, type-compatible) with a "
+        "counterfeit exec context."
+    ),
+    expected={"CT": False, "CF": False, "AI": True},
+    stage=_stage_control_jujutsu,
+    oracle=lambda env: env.executed("/bin/sh"),
+    refs="[38]",
+)
+
+
+# ---------------------------------------------------------------------------
+# Extension scenarios beyond the paper's Table 6 (marked extra=True)
+# ---------------------------------------------------------------------------
+
+
+def _stage_rop_mmap_rwx(env):
+    def fire(env):
+        launch_ret2libc(env, [("mmap", (0, 8192, 7, 0x22, -1, 0))])
+
+    env.on_hook("ngx_request", fire)
+
+
+_register(
+    name="rop_mmap_rwx",
+    category="Return-oriented programming (ROP)",
+    target="nginx",
+    description="ROP into mmap(PROT_RWX) for a fresh writable+executable page.",
+    expected={"CT": False, "CF": True, "AI": True},
+    stage=_stage_rop_mmap_rwx,
+    oracle=lambda env: env.made_memory_executable(),
+    extra=True,
+)
+
+
+def _stage_rop_chmod(env):
+    def fire(env):
+        passwd = env.plant_string("/etc/passwd")
+        launch_ret2libc(env, [("chmod", (passwd, 0o777))])
+
+    env.on_hook("ngx_request", fire)
+
+
+_register(
+    name="rop_chmod_unused_syscall",
+    category="Return-oriented programming (ROP)",
+    target="nginx",
+    description=(
+        "ROP into chmod('/etc/passwd', 0777): NGINX never uses chmod, so "
+        "unlike the paper's ROP rows the call-type context (seccomp KILL) "
+        "stops even the ROP variant."
+    ),
+    expected={"CT": True, "CF": True, "AI": True},
+    stage=_stage_rop_chmod,
+    oracle=lambda env: env.chmod_attempted("/etc/passwd"),
+    extra=True,
+)
+
+
+def _stage_ret2system(env):
+    def fire(env):
+        sh = env.plant_string("/bin/sh")
+        launch_ret2libc(env, [("system", (sh,))])
+
+    env.on_hook("ngx_request", fire)
+
+
+_register(
+    name="ret2system",
+    category="Return-oriented programming (ROP)",
+    target="nginx",
+    description=(
+        "Classic ret2libc into system('/bin/sh').  Documents a known "
+        "limitation (DESIGN.md): entering system() at its entry point runs "
+        "its own instrumentation, laundering the attacker's argument into "
+        "the shadow copies — AI alone does not fire; the control-flow "
+        "context (stack bottoming out in system, not main) catches it."
+    ),
+    expected={"CT": False, "CF": True, "AI": False},
+    stage=_stage_ret2system,
+    oracle=lambda env: "/bin/sh" in env.execve_paths()
+    or any(e.details.get("child_pid") for e in env.events("fork")),
+    extra=True,
+)

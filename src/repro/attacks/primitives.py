@@ -1,0 +1,157 @@
+"""Attacker primitives: the §4 threat model as code.
+
+An :class:`AttackEnv` gives an attack script exactly what the paper grants
+the adversary — arbitrary read/write into the victim's memory (via one or
+more assumed memory-corruption vulnerabilities), knowledge of the address
+layout (the read primitive defeats coarse ASLR), and nothing else.  DEP and
+(optionally) CET remain in force; the monitor's state and the kernel are
+out of reach.
+
+Trigger points: attacks arm themselves on the victim's ``hook`` intrinsics
+— each hook stands in for reaching the vulnerable code path (e.g. the
+chunked-encoding parser of CVE-2013-2028).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import AttackError
+from repro.vm.memory import WORD
+
+#: attacker-groomed staging area (heap-spray landing zone)
+SCRATCH_BASE = 0x7F50_0000_0000
+
+
+@dataclass
+class AttackEnv:
+    """Everything an attack script may touch."""
+
+    kernel: object
+    proc: object
+    cpu: object
+    image: object
+    monitor: object = None
+    _scratch_next: int = SCRATCH_BASE
+    notes: list = field(default_factory=list)
+
+    # -- symbol knowledge ---------------------------------------------------
+
+    def func_addr(self, name):
+        try:
+            return self.image.func_base[name]
+        except KeyError:
+            raise AttackError("no such function %r in target" % name) from None
+
+    def global_addr(self, name):
+        try:
+            return self.image.global_addr[name]
+        except KeyError:
+            raise AttackError("no such global %r in target" % name) from None
+
+    def struct_offset(self, struct, field_name):
+        return WORD * self.image.module.types.get(struct).offset(field_name)
+
+    # -- the arbitrary read/write primitive -----------------------------------
+
+    def read(self, addr):
+        return self.proc.memory.read(addr)
+
+    def write(self, addr, value):
+        self.proc.memory.write(addr, value)
+
+    def write_cstr(self, addr, text):
+        self.proc.memory.write_cstr(addr, text)
+
+    # -- staging ---------------------------------------------------------------
+
+    def plant_words(self, words, align_words=1):
+        """Spray words into the staging area; returns their address."""
+        if align_words > 1:
+            stride = WORD * align_words
+            self._scratch_next = (
+                (self._scratch_next + stride - 1) // stride * stride
+            )
+        addr = self._scratch_next
+        self.proc.memory.write_block(addr, words)
+        self._scratch_next = addr + WORD * (len(words) + 2)
+        return addr
+
+    def plant_string(self, text):
+        """Spray a C string; returns its address."""
+        addr = self._scratch_next
+        used = self.proc.memory.write_cstr(addr, text)
+        self._scratch_next = addr + WORD * (used + 2)
+        return addr
+
+    def fake_frame(self, params, saved_fp=0, return_addr=0):
+        """Build a counterfeit stack frame in the staging area.
+
+        Layout matches the CPU: ``mem[fp] = saved_fp``, ``mem[fp+8] =
+        return address``, parameter ``i`` at ``fp - 8*(i+1)``.  Returns the
+        frame-pointer value.
+        """
+        base = self._scratch_next + WORD * (len(params) + 4)
+        for i, value in enumerate(params):
+            self.proc.memory.write(base - WORD * (i + 1), value)
+        self.proc.memory.write(base, saved_fp)
+        self.proc.memory.write(base + WORD, return_addr)
+        self._scratch_next = base + 4 * WORD
+        return base
+
+    # -- control over the live frame ---------------------------------------------
+
+    def current_local_addr(self, var_name):
+        """Address of a local slot in the frame active at the trigger."""
+        return self.cpu.local_addr(var_name)
+
+    def smash_return(self, new_return_addr, new_saved_fp=None):
+        """Classic stack smash of the *current* frame."""
+        self.write(self.cpu.fp + WORD, new_return_addr)
+        if new_saved_fp is not None:
+            self.write(self.cpu.fp, new_saved_fp)
+
+    # -- triggers -----------------------------------------------------------------
+
+    def on_hook(self, point, fn, once=True):
+        """Arm ``fn`` at the victim's ``point`` hook (the vulnerability)."""
+        state = {"fired": False}
+
+        def trampoline(cpu):
+            if once and state["fired"]:
+                return
+            state["fired"] = True
+            fn(self)
+
+        self.cpu.hooks[point] = trampoline
+
+    # -- oracles -------------------------------------------------------------------
+
+    def events(self, kind):
+        return self.kernel.events_of(kind)
+
+    def execve_paths(self):
+        return [e.details.get("path") for e in self.events("execve")]
+
+    def executed(self, path):
+        return path in self.execve_paths()
+
+    def made_memory_executable(self):
+        """Any mprotect/mmap that produced an executable+writable mapping."""
+        for event in self.events("mprotect_exec"):
+            if event.details.get("writable"):
+                return True
+        return self.proc.mm is not None and self.proc.mm.has_wx_region()
+
+    def opened(self, path):
+        return any(p == path for _pid, p in self.kernel.open_log)
+
+    def setuid_attempted(self, uid):
+        return any(e.details.get("uid") == uid for e in self.events("setuid"))
+
+    def chmod_attempted(self, path):
+        return any(e.details.get("path") == path for e in self.events("chmod"))
+
+    def connected_to(self, port):
+        return any(e.details.get("port") == port for e in self.events("connect"))
+
+    def mremap_attempted(self):
+        return bool(self.events("mremap"))

@@ -1,0 +1,38 @@
+"""ret2libc chain construction (§10.1).
+
+A ROP payload in this VM is a linked list of counterfeit frames: each frame
+holds the arguments for one libc target, its saved-fp slot points at the
+next frame, and its return-address slot points at the next target's entry.
+Smashing the victim frame's return address with the first target launches
+the chain — precisely because the CPU's ``ret`` trusts the in-memory stack
+(and precisely what a CET shadow stack faults on).
+"""
+
+
+def build_ret2libc_chain(env, calls):
+    """Stage a chain of ``(function_name, args)`` libc calls.
+
+    Returns ``(first_target_addr, first_frame_fp)``; smash the victim frame
+    with these to launch.  The last frame's return address is 0, so the
+    process "exits cleanly" after the payload (stealthy exit).
+    """
+    if not calls:
+        raise ValueError("empty ROP chain")
+    frames = []
+    # Build from the last gadget backwards so each frame can point onward.
+    next_fp = 0
+    next_target = 0
+    for name, args in reversed(calls):
+        target = env.func_addr(name)
+        fp = env.fake_frame(list(args), saved_fp=next_fp, return_addr=next_target)
+        frames.append(fp)
+        next_fp = fp
+        next_target = target
+    return next_target, next_fp
+
+
+def launch_ret2libc(env, calls):
+    """Build the chain and smash the current frame to start it."""
+    target, frame = build_ret2libc_chain(env, calls)
+    env.smash_return(target, frame)
+    return target, frame

@@ -1,0 +1,243 @@
+"""Attack evaluation harness: regenerates Table 6.
+
+For every catalog entry:
+
+1. run against the **undefended** binary (CET off, per §10.1's "defend ROP
+   in the absence of CET") — the exploit must reach its goal, otherwise the
+   scenario is broken and no blocked-verdict means anything;
+2. run under each context **alone** (CT / CF / AI) — a kill before the goal
+   is that context's ✓;
+3. run under **full BASTION** — every Table 6 attack must be blocked.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.apps.browser import BrowserConfig, build_browser
+from repro.apps.httpd import HTDOCS, HTTPD_PORT, HttpdConfig, build_httpd
+from repro.apps.mediasrv import MEDIA_FILE, MediaConfig, build_mediasrv
+from repro.apps.nginx import NginxConfig, build_nginx
+from repro.apps.workloads import SimpleServerWorkload, WrkWorkload
+from repro.attacks.catalog import CATALOG
+from repro.attacks.primitives import AttackEnv
+from repro.compiler.pipeline import BastionCompiler
+from repro.kernel.kernel import Kernel
+from repro.monitor.monitor import BastionMonitor
+from repro.monitor.policy import ContextPolicy
+from repro.vm.cpu import CPU, CPUOptions
+from repro.vm.loader import Image
+
+
+def _nginx_env(kernel):
+    from repro.bench.harness import _setup_nginx_env
+
+    _setup_nginx_env(kernel)
+    kernel.vfs.makedirs("/etc")
+    kernel.vfs.write_file("/etc/shadow", b"root:$6$secret\n", mode=0o600)
+    kernel.vfs.write_file("/etc/passwd", b"root:x:0:0\n")
+
+
+def _httpd_env(kernel):
+    kernel.vfs.makedirs("/bin")
+    kernel.vfs.makedirs("/var/apache/htdocs")
+    kernel.vfs.makedirs("/usr/lib/cgi-bin")
+    kernel.vfs.write_file(HTDOCS, b"<html>apache</html>" + b"x" * 480)
+    kernel.vfs.write_file("/usr/lib/cgi-bin/rotatelogs", b"\x7fELF", mode=0o755)
+    kernel.vfs.write_file("/bin/sh", b"\x7fELF-shell", mode=0o755)
+
+
+def _browser_env(kernel):
+    kernel.vfs.makedirs("/bin")
+    kernel.vfs.makedirs("/opt/browser")
+    kernel.vfs.write_file("/opt/browser/renderer", b"\x7fELF", mode=0o755)
+    kernel.vfs.write_file("/bin/sh", b"\x7fELF-shell", mode=0o755)
+
+
+def _mediasrv_env(kernel):
+    kernel.vfs.makedirs("/bin")
+    kernel.vfs.makedirs("/srv/media")
+    kernel.vfs.makedirs("/etc")
+    kernel.vfs.write_file(MEDIA_FILE, b"\x47" * 4096)
+    kernel.vfs.write_file("/etc/passwd", b"root:x:0:0\n")
+    kernel.vfs.write_file("/bin/sh", b"\x7fELF-shell", mode=0o755)
+
+
+_TARGETS = {
+    "nginx": {
+        "build": lambda: build_nginx(NginxConfig(workers=2, pools=4, guards=3)),
+        "env": _nginx_env,
+        "workload": lambda: WrkWorkload(connections=2, requests_per_connection=3),
+    },
+    "httpd": {
+        "build": lambda: build_httpd(HttpdConfig()),
+        "env": _httpd_env,
+        "workload": lambda: SimpleServerWorkload(
+            HTTPD_PORT, connections=2, requests=2, response_threshold=100
+        ),
+    },
+    "browser": {
+        "build": lambda: build_browser(BrowserConfig(events=6)),
+        "env": _browser_env,
+        "workload": None,
+    },
+    "mediasrv": {
+        "build": lambda: build_mediasrv(MediaConfig(frames=4)),
+        "env": _mediasrv_env,
+        "workload": None,
+    },
+}
+
+_module_cache = {}
+_artifact_cache = {}
+
+
+def _target_module(target):
+    if target not in _module_cache:
+        _module_cache[target] = _TARGETS[target]["build"]()
+    return _module_cache[target]
+
+
+def _target_artifact(target, extend_filesystem):
+    key = (target, extend_filesystem)
+    if key not in _artifact_cache:
+        _artifact_cache[key] = BastionCompiler(
+            extend_filesystem=extend_filesystem
+        ).compile(_target_module(target))
+    return _artifact_cache[key]
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one (attack, defense) run."""
+
+    attack: str
+    defense: str
+    status: object
+    succeeded: bool = False
+    blocked: bool = False
+    blocked_by: str = None  # 'call-type' | 'control-flow' | 'arg-integrity'
+    violations: list = field(default_factory=list)
+
+    def __str__(self):
+        verdict = "SUCCEEDED" if self.succeeded else (
+            "blocked by %s" % self.blocked_by if self.blocked else "fizzled"
+        )
+        return "%s under %s: %s" % (self.attack, self.defense, verdict)
+
+
+def run_attack(spec, policy=None, defense_name=None, cpu_options=None):
+    """Run one attack under ``policy`` (None = undefended).
+
+    CET is disabled by default: the Table 6 study evaluates BASTION's
+    contexts on their own (§10.1 explicitly covers the no-CET case).  Pass
+    explicit ``cpu_options`` to arm hardware/compiler baselines instead
+    (``CPUOptions(llvm_cfi=True)``, ``CPUOptions(cet=True)``).
+    """
+    target = _TARGETS[spec.target]
+    kernel = Kernel()
+    target["env"](kernel)
+    options = cpu_options or CPUOptions(cet=False)
+
+    monitor = None
+    if policy is not None:
+        artifact = _target_artifact(spec.target, spec.needs_fs_extension)
+        monitor = BastionMonitor(artifact, policy=policy)
+        proc, cpu = monitor.launch(kernel, cpu_options=options)
+    else:
+        image = Image(_target_module(spec.target))
+        proc = kernel.create_process(spec.target, image)
+        cpu = CPU(image, proc, kernel, options)
+
+    env = AttackEnv(kernel=kernel, proc=proc, cpu=cpu, image=cpu.image, monitor=monitor)
+    spec.stage(env)
+
+    workload_factory = target["workload"]
+    if workload_factory is not None:
+        workload_factory().attach(kernel, proc)
+
+    status = cpu.run()
+
+    outcome = AttackOutcome(
+        attack=spec.name,
+        defense=defense_name or (policy.label() if policy else "none"),
+        status=status,
+        succeeded=spec.oracle(env),
+    )
+    if monitor is not None and monitor.violations:
+        outcome.blocked = True
+        outcome.blocked_by = monitor.violations[0].context
+        outcome.violations = list(monitor.violations)
+    elif proc.kill_reason and proc.kill_reason.startswith("seccomp"):
+        # the seccomp KILL of a not-callable syscall IS the call-type
+        # context's coarse half (§3.1)
+        outcome.blocked = True
+        outcome.blocked_by = "call-type"
+    elif status.kind == "fault" and "CFIFault" in status.reason:
+        outcome.blocked = True
+        outcome.blocked_by = "llvm-cfi"
+    elif status.kind == "fault" and "ShadowStackFault" in status.reason:
+        outcome.blocked = True
+        outcome.blocked_by = "cet"
+    # A defense that fires only *after* the attacker reached their goal did
+    # not block the attack (e.g. an incidental fault on a later dispatch).
+    if outcome.succeeded and outcome.blocked:
+        outcome.blocked = False
+        outcome.blocked_by = None
+    return outcome
+
+
+_CONTEXT_POLICIES = {
+    "CT": ContextPolicy.ct_only(),
+    "CF": ContextPolicy.cf_only(),
+    "AI": ContextPolicy.ai_only(),
+}
+
+
+@dataclass
+class AttackEvaluation:
+    """One Table 6 row: per-context verdicts plus validation runs."""
+
+    spec: object
+    unprotected: AttackOutcome = None
+    by_context: dict = field(default_factory=dict)  # 'CT'/'CF'/'AI' -> Outcome
+    full: AttackOutcome = None
+
+    @property
+    def valid(self):
+        """The exploit really works when undefended."""
+        return self.unprotected is not None and self.unprotected.succeeded
+
+    def blocks(self, context):
+        outcome = self.by_context.get(context)
+        return bool(outcome and outcome.blocked and not outcome.succeeded)
+
+    def matches_paper(self):
+        """Do our ✓/× verdicts match the paper's Table 6 row?"""
+        return all(
+            self.blocks(ctx) == expected
+            for ctx, expected in self.spec.expected.items()
+        )
+
+    @property
+    def blocked_by_full(self):
+        return bool(self.full and self.full.blocked and not self.full.succeeded)
+
+
+def evaluate_attack(spec):
+    """Run the full Table 6 protocol for one attack."""
+    evaluation = AttackEvaluation(spec=spec)
+    evaluation.unprotected = run_attack(spec, None, "none")
+    for context, policy in _CONTEXT_POLICIES.items():
+        evaluation.by_context[context] = run_attack(spec, policy, context)
+    evaluation.full = run_attack(spec, ContextPolicy.full(), "full")
+    return evaluation
+
+
+def table6_matrix(catalog=None, include_extra=False):
+    """Evaluate the Table 6 attacks; returns ``[AttackEvaluation, ...]``.
+
+    ``include_extra`` adds the extension scenarios beyond the paper's rows.
+    """
+    specs = catalog if catalog is not None else [
+        spec for spec in CATALOG if include_extra or not spec.extra
+    ]
+    return [evaluate_attack(spec) for spec in specs]

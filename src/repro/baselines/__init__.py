@@ -1,0 +1,29 @@
+"""Baseline defenses BASTION is compared against (§2.2, §9.2, Table 6).
+
+- :mod:`repro.baselines.seccomp_filter` — plain seccomp allowlisting: the
+  coarse-grained binary-decision filtering the paper argues is insufficient;
+- :mod:`repro.baselines.debloat` — reachability-based debloating: removes
+  never-used code/syscalls but must keep sensitive-but-used ones;
+- :mod:`repro.baselines.llvm_cfi` — coarse-grained type-signature CFI (the
+  ``-fsanitize=cfi`` stand-in), enforced by the CPU at indirect callsites;
+- :mod:`repro.baselines.dfi` — application-wide data-flow integrity, whose
+  per-access cost motivates BASTION's narrow argument-integrity context.
+
+CET (hardware shadow stack) lives in :mod:`repro.vm.shadowstack` and is
+enabled through :class:`repro.vm.cpu.CPUOptions`.
+"""
+
+from repro.baselines.seccomp_filter import build_allowlist_filter, used_syscalls
+from repro.baselines.debloat import debloat_module, DebloatReport
+from repro.baselines.llvm_cfi import llvm_cfi_options, cfi_equivalence_classes
+from repro.baselines.dfi import dfi_options
+
+__all__ = [
+    "build_allowlist_filter",
+    "used_syscalls",
+    "debloat_module",
+    "DebloatReport",
+    "llvm_cfi_options",
+    "cfi_equivalence_classes",
+    "dfi_options",
+]

@@ -1,0 +1,19 @@
+"""Application-wide DFI baseline (§2.2 "Data-flow integrity").
+
+DFI instruments *every* load and store to validate reaching definitions —
+the per-access cost the paper contrasts with BASTION's argument-only scope
+(§3.3: "magnitudes smaller than ... conventional application-wide DFI-style
+defenses").  The CPU charges :attr:`CostModel.dfi_per_access` on each memory
+access when armed; the ablation bench compares that against BASTION's
+instrumentation-site counts.
+"""
+
+from repro.vm.cpu import CPUOptions
+
+
+def dfi_options(**overrides):
+    """CPU options with the DFI baseline armed."""
+    options = CPUOptions(dfi=True)
+    for key, value in overrides.items():
+        setattr(options, key, value)
+    return options

@@ -1,0 +1,45 @@
+"""Coarse-grained LLVM CFI baseline (§9.2 "Comparison against CET and LLVM CFI").
+
+LLVM CFI checks that every indirect call's target belongs to the callsite's
+*type-signature equivalence class* — no per-path precision, no argument
+checks.  The enforcement itself happens in the CPU
+(:meth:`repro.vm.cpu.CPU._cfi_check`); this module provides the run
+configuration and an analysis of equivalence-class sizes, the quantity that
+determines how permissive the defense is (§2.2: large ECs are bypassable).
+"""
+
+from repro.ir.callgraph import build_callgraph
+from repro.vm.cpu import CPUOptions
+
+
+def llvm_cfi_options(**overrides):
+    """CPU options with LLVM CFI armed (CFI and CET don't stack — §9.2
+    notes LLVM CFI "does not function properly when paired with CET")."""
+    options = CPUOptions(llvm_cfi=True, cet=False)
+    for key, value in overrides.items():
+        setattr(options, key, value)
+    return options
+
+
+def cfi_equivalence_classes(module):
+    """Map each type signature to its member functions.
+
+    Only address-taken functions matter (others can never be indirect-call
+    targets), mirroring how Clang builds its jump tables.
+    """
+    callgraph = build_callgraph(module)
+    classes = {}
+    for name in sorted(callgraph.address_taken):
+        func = module.functions.get(name)
+        if func is None:
+            continue
+        classes.setdefault(func.sig, []).append(name)
+    return classes
+
+
+def largest_equivalence_class(module):
+    """Size of the biggest EC — the attacker's room to move under CFI."""
+    classes = cfi_equivalence_classes(module)
+    if not classes:
+        return 0
+    return max(len(members) for members in classes.values())

@@ -1,0 +1,29 @@
+"""Experiment harnesses regenerating every table and figure of §9–§10.
+
+- :mod:`repro.bench.harness` — run (app, workload, defense-config), collect
+  cycles / throughput / syscall traces;
+- :mod:`repro.bench.experiments` — the per-table/figure generators
+  (Figure 3, Tables 3, 4, 5, 6, 7) plus the §11 ablations;
+- :mod:`repro.bench.report` — text rendering of the tables;
+- ``python -m repro.bench <experiment>`` — CLI entry point.
+"""
+
+from repro.bench.harness import (
+    DefenseConfig,
+    RunResult,
+    CONFIGS,
+    FIGURE3_LADDER,
+    run_app,
+    build_app,
+    SIM_HZ,
+)
+
+__all__ = [
+    "DefenseConfig",
+    "RunResult",
+    "CONFIGS",
+    "FIGURE3_LADDER",
+    "run_app",
+    "build_app",
+    "SIM_HZ",
+]

@@ -1,0 +1,47 @@
+"""CLI entry point: ``python -m repro.bench <experiment> [--scale S]``.
+
+Experiments: figure3, table3, table4, table5, table6, table7,
+security_baselines, ablation_dfi, all.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.report import RENDERERS
+
+_SCALED = {"figure3", "table3", "table4", "table7", "ablation_dfi"}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the BASTION paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(RENDERERS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale multiplier (smaller = faster, noisier)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(RENDERERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        renderer = RENDERERS[name]
+        start = time.time()
+        if name in _SCALED:
+            print(renderer(args.scale))
+        else:
+            print(renderer())
+        print("[%s finished in %.1fs]\n" % (name, time.time() - start))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

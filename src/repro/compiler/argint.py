@@ -1,0 +1,330 @@
+"""Argument-integrity context analysis (§6.3).
+
+Implements the paper's three-step, field-sensitive, inter-procedural
+backward use-def analysis:
+
+1. every variable used as a sensitive-syscall argument is sensitive;
+2. backward data-flow over use-def chains adds every variable used to
+   define a sensitive variable (crossing call boundaries through parameters
+   — the ``b2 <- flags`` case of Figure 2 — and through return values);
+3. writes to a struct *field* that feeds a sensitive variable make that
+   field sensitive program-wide (``gshm->size``), likewise for globals.
+
+**Binding anchors at the origin lvalue.**  Figure 2 binds
+``ctx_bind_mem_2(&gshm->size)`` — the *field address*, not a load
+temporary.  Accordingly, when an argument is the result of a load, the bind
+plan records the address variable (``mem_at``), so the monitor compares the
+argument register against the shadow copy of the *origin* memory.  Shadow
+copies are refreshed only at genuine writes (constant/computed definitions,
+parameter entry, stores) — never at loads, which would otherwise launder a
+corrupted read into a "legitimate" shadow value.
+
+Known approximation (documented in DESIGN.md): no alias analysis — writes
+through arbitrary pointers that happen to alias a sensitive slot are not
+instrumented.  The paper's LLVM pass has the same character (it follows
+use-def chains, not a points-to closure).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ir.callgraph import CallSite
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrLocal,
+    BinOp,
+    Call,
+    Const,
+    Gep,
+    Imm,
+    Index,
+    Load,
+    Move,
+    Ret,
+    Store,
+    Syscall,
+    Var,
+)
+
+MAX_BIND_POSITION = 6
+
+
+@dataclass
+class BindPlan:
+    """Instrumentation plan for one callsite."""
+
+    site: CallSite
+    syscall: str = None  # set when the site is a sensitive syscall callsite
+    #: list of (position, kind, payload):
+    #:   ('const', value)      — expected constant
+    #:   ('mem', var_name)     — bind &var (its frame slot)
+    #:   ('mem_at', addr_var)  — bind the address held in addr_var (origin)
+    binds: list = field(default_factory=list)
+
+    def has_position(self, pos):
+        return any(b[0] == pos for b in self.binds)
+
+
+@dataclass
+class ArgIntInfo:
+    """Result of the argument-integrity analysis."""
+
+    plans: dict = field(default_factory=dict)  # CallSite -> BindPlan
+    sensitive_locals: set = field(default_factory=set)  # (func, var)
+    sensitive_fields: set = field(default_factory=set)  # (struct, field)
+    sensitive_globals: set = field(default_factory=set)  # global name
+    sensitive_stores: set = field(default_factory=set)  # CallSite of Stores
+    #: (func, var) whose shadow copy must NOT be refreshed at loads — kept
+    #: for documentation; loads never refresh shadows at all.
+    load_defined: set = field(default_factory=set)
+
+
+class _Analyzer:
+    def __init__(self, module, callgraph, sensitive_sites):
+        self.module = module
+        self.callgraph = callgraph
+        self.sensitive_sites = sensitive_sites
+        self.info = ArgIntInfo()
+        self._def_maps = {}
+        self._local_queue = []
+        self._field_queue = []
+        self._global_queue = []
+
+    # -- def lookup -------------------------------------------------------
+
+    def _defs(self, func_name, var_name):
+        def_map = self._def_maps.get(func_name)
+        if def_map is None:
+            def_map = {}
+            for idx, instr in enumerate(self.module.functions[func_name].body):
+                for dname in instr.defs():
+                    def_map.setdefault(dname, []).append((idx, instr))
+            self._def_maps[func_name] = def_map
+        return def_map.get(var_name, ())
+
+    def _last_def_before(self, func_name, var_name, site_index):
+        """The textually closest definition of ``var`` before ``site_index``."""
+        best = None
+        for idx, instr in self._defs(func_name, var_name):
+            if idx < site_index:
+                best = instr
+        return best
+
+    # -- marking ------------------------------------------------------------
+
+    def mark_local(self, func_name, var_name):
+        key = (func_name, var_name)
+        if key not in self.info.sensitive_locals:
+            self.info.sensitive_locals.add(key)
+            self._local_queue.append(key)
+
+    def mark_operand(self, func_name, operand):
+        if isinstance(operand, Var):
+            self.mark_local(func_name, operand.name)
+
+    def mark_field(self, struct, field_name):
+        key = (struct, field_name)
+        if key not in self.info.sensitive_fields:
+            self.info.sensitive_fields.add(key)
+            self._field_queue.append(key)
+
+    def mark_global(self, name):
+        if name not in self.info.sensitive_globals:
+            self.info.sensitive_globals.add(name)
+            self._global_queue.append(name)
+
+    # -- bind-origin resolution -------------------------------------------
+
+    def resolve_bind(self, func_name, site_index, operand, depth=0):
+        """Resolve one callsite argument to its bind anchor.
+
+        Follows Move chains; a Load anchors at the loaded address (the
+        origin lvalue); a Const anchors as a constant; anything else (BinOp,
+        call result, address materialization, parameter) anchors at the
+        variable's own frame slot.
+        """
+        if isinstance(operand, Imm):
+            return ("const", operand.value)
+        var_name = operand.name
+        self.mark_local(func_name, var_name)
+        if depth > 6:
+            return ("mem", var_name)
+        d = self._last_def_before(func_name, var_name, site_index)
+        if d is None:
+            return ("mem", var_name)  # parameter or loop-carried
+        if isinstance(d, Const):
+            return ("const", d.value)
+        if isinstance(d, Move):
+            if isinstance(d.src, Imm):
+                return ("const", d.src.value)
+            return self.resolve_bind(func_name, site_index, d.src, depth + 1)
+        if isinstance(d, Load) and isinstance(d.addr, Var):
+            self._trace_address(func_name, d.addr.name)
+            self.mark_local(func_name, d.addr.name)
+            return ("mem_at", d.addr.name)
+        return ("mem", var_name)
+
+    # -- seeding from sensitive syscall callsites ------------------------------
+
+    def seed(self):
+        for site, syscall_name in self.sensitive_sites.items():
+            func = self.module.functions[site.caller]
+            instr = func.body[site.index]
+            plan = BindPlan(site, syscall=syscall_name)
+            self.info.plans[site] = plan
+            for pos, arg in enumerate(instr.args[:MAX_BIND_POSITION], start=1):
+                plan.binds.append(
+                    (pos,) + self.resolve_bind(site.caller, site.index, arg)
+                )
+
+    # -- propagation ------------------------------------------------------------
+
+    def run(self):
+        self.seed()
+        while self._local_queue or self._field_queue or self._global_queue:
+            while self._local_queue:
+                self._propagate_local(*self._local_queue.pop())
+            while self._field_queue:
+                self._propagate_field(*self._field_queue.pop())
+            while self._global_queue:
+                self._propagate_global(self._global_queue.pop())
+        return self.info
+
+    def _propagate_local(self, func_name, var_name):
+        func = self.module.functions[func_name]
+
+        # Inter-procedural step: a sensitive parameter pulls in the matching
+        # argument at every direct callsite of this function (Figure 2's
+        # caller-parameter case), and that callsite gets a bind.
+        if var_name in func.params:
+            position = func.params.index(var_name) + 1
+            if position <= MAX_BIND_POSITION:
+                for site in self.callgraph.callers_of(func_name):
+                    self._bind_passthrough(site, position)
+
+        for _idx, instr in self._defs(func_name, var_name):
+            if isinstance(instr, Const):
+                continue
+            if isinstance(instr, Move):
+                self.mark_operand(func_name, instr.src)
+            elif isinstance(instr, BinOp):
+                self.mark_operand(func_name, instr.a)
+                self.mark_operand(func_name, instr.b)
+            elif isinstance(instr, Load):
+                self._trace_address(func_name, instr.addr.name) if isinstance(
+                    instr.addr, Var
+                ) else None
+            elif isinstance(instr, (Gep, Index)):
+                for op in instr.uses():
+                    self.mark_operand(func_name, op)
+            elif isinstance(instr, Call):
+                self._mark_return_values(instr.callee)
+            elif isinstance(instr, AddrGlobal):
+                # A pointer to a global flowing into sensitive data means the
+                # global's contents may be dereferenced as an (extended)
+                # argument — track the whole buffer.
+                self.mark_global(instr.name)
+            elif isinstance(instr, (AddrLocal, Syscall)):
+                pass  # addresses/return codes originate here
+
+    def _bind_passthrough(self, site, position):
+        func = self.module.functions[site.caller]
+        instr = func.body[site.index]
+        plan = self.info.plans.get(site)
+        if plan is None:
+            plan = BindPlan(site)
+            self.info.plans[site] = plan
+        if plan.has_position(position):
+            return
+        if position - 1 >= len(instr.args):
+            return
+        arg = instr.args[position - 1]
+        plan.binds.append(
+            (position,) + self.resolve_bind(site.caller, site.index, arg)
+        )
+
+    def _trace_address(self, func_name, addr_var_name):
+        """A sensitive value lives behind ``addr_var``: find what it names."""
+        self.mark_local(func_name, addr_var_name)
+        for _idx, instr in self._defs(func_name, addr_var_name):
+            if isinstance(instr, Gep):
+                self.mark_field(instr.struct, instr.field_name)
+                self.mark_operand(func_name, instr.base)
+            elif isinstance(instr, AddrGlobal):
+                self.mark_global(instr.name)
+            elif isinstance(instr, AddrLocal):
+                self.mark_local(func_name, instr.var)
+            elif isinstance(instr, Index):
+                self.mark_operand(func_name, instr.index)
+                if isinstance(instr.base, Var):
+                    self._trace_address(func_name, instr.base.name)
+            elif isinstance(instr, BinOp):
+                # pointer arithmetic (e.g. entry+8): trace the base pointer
+                if isinstance(instr.a, Var):
+                    self._trace_address(func_name, instr.a.name)
+                self.mark_operand(func_name, instr.b)
+
+    def _mark_return_values(self, callee_name):
+        callee = self.module.functions.get(callee_name)
+        if callee is None or callee.is_wrapper:
+            return
+        for instr in callee.body:
+            if isinstance(instr, Ret) and instr.value is not None:
+                self.mark_operand(callee_name, instr.value)
+
+    # -- field / global write discovery -------------------------------------
+
+    def _propagate_field(self, struct, field_name):
+        for func in self.module.functions.values():
+            if func.is_wrapper:
+                continue
+            for idx, instr in enumerate(func.body):
+                if not isinstance(instr, Store) or not isinstance(instr.addr, Var):
+                    continue
+                for _didx, def_instr in self._defs(func.name, instr.addr.name):
+                    if (
+                        isinstance(def_instr, Gep)
+                        and def_instr.struct == struct
+                        and def_instr.field_name == field_name
+                    ):
+                        self.info.sensitive_stores.add(CallSite(func.name, idx))
+                        self.mark_operand(func.name, instr.value)
+                        self.mark_operand(func.name, def_instr.base)
+
+    def _propagate_global(self, global_name):
+        for func in self.module.functions.values():
+            if func.is_wrapper:
+                continue
+            for idx, instr in enumerate(func.body):
+                if not isinstance(instr, Store) or not isinstance(instr.addr, Var):
+                    continue
+                if self._addr_names_global(func.name, instr.addr.name, global_name, 0):
+                    self.info.sensitive_stores.add(CallSite(func.name, idx))
+                    self.mark_operand(func.name, instr.value)
+
+    def _addr_names_global(self, func_name, var_name, global_name, depth):
+        if depth > 4:
+            return False
+        for _idx, def_instr in self._defs(func_name, var_name):
+            if isinstance(def_instr, AddrGlobal) and def_instr.name == global_name:
+                return True
+            if isinstance(def_instr, (Index, Gep)):
+                base = def_instr.base
+                if isinstance(base, Var) and self._addr_names_global(
+                    func_name, base.name, global_name, depth + 1
+                ):
+                    return True
+            if isinstance(def_instr, BinOp) and isinstance(def_instr.a, Var):
+                if self._addr_names_global(
+                    func_name, def_instr.a.name, global_name, depth + 1
+                ):
+                    return True
+        return False
+
+
+def analyze_argument_integrity(module, callgraph, sensitive_sites):
+    """Run the §6.3 analysis; returns an :class:`ArgIntInfo`.
+
+    ``sensitive_sites`` maps each sensitive syscall callsite to its syscall
+    name (from :func:`repro.compiler.cfg.find_sensitive_sites`).
+    """
+    return _Analyzer(module, callgraph, sensitive_sites).run()

@@ -1,0 +1,127 @@
+"""Control-flow context analysis (§6.2).
+
+For each *sensitive* syscall callsite, BASTION records all callee→caller
+relations on paths from the callsite back toward ``main``, stopping at
+indirect callsites.  At runtime the monitor unwinds the stack and checks
+each (callee, caller-callsite) pair against this metadata — a scope-reduced
+CFI covering only code that actually reaches sensitive syscalls.
+
+The metadata is deliberately *edge-based* ("pairs of callee and caller
+addresses", §6.2): a stack is valid iff every unwound edge is valid, and a
+partial stack ending at a legitimate indirect callsite is valid iff the
+unwound callee there is address-taken.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ir.callgraph import CallSite
+from repro.ir.instructions import Call, FuncAddr, Syscall, Var
+from repro.syscalls.sensitive import SENSITIVE_SYSCALLS
+
+
+@dataclass
+class ControlFlowInfo:
+    """Result of the control-flow context analysis."""
+
+    #: function name -> set of CallSite (direct callsites allowed to call it)
+    valid_callers: dict = field(default_factory=dict)
+    #: all legitimate indirect callsites in the program
+    indirect_sites: tuple = ()
+    #: address-taken functions (may legitimately sit below an indirect call)
+    address_taken: frozenset = frozenset()
+    #: functions on some path to a sensitive syscall (incl. the wrappers)
+    relevant_functions: frozenset = frozenset()
+    #: sensitive syscall callsites: CallSite -> syscall name
+    sensitive_sites: dict = field(default_factory=dict)
+    #: clone()-start routines: a thread's stack legitimately bottoms here
+    thread_entries: frozenset = frozenset()
+    entry: str = "main"
+
+
+def find_thread_entries(module, calltype_info):
+    """Functions whose address flows into a ``clone`` callsite.
+
+    A thread's stack bottoms out at its start routine rather than ``main``;
+    the compiler records those routines so the runtime monitor accepts them
+    as valid stack bottoms (§7.1's child-protection semantics).
+    """
+    clone_wrappers = {
+        name
+        for name, syscalls in calltype_info.wrappers.items()
+        if "clone" in syscalls
+    }
+    entries = set()
+    for func in module.functions.values():
+        funcaddr_defs = {}
+        for instr in func.body:
+            if isinstance(instr, FuncAddr):
+                funcaddr_defs[instr.dst] = instr.func
+            elif isinstance(instr, (Call, Syscall)):
+                is_clone = (
+                    isinstance(instr, Syscall) and instr.name == "clone"
+                ) or (isinstance(instr, Call) and instr.callee in clone_wrappers)
+                if not is_clone:
+                    continue
+                for arg in instr.args:
+                    if isinstance(arg, Var) and arg.name in funcaddr_defs:
+                        entries.add(funcaddr_defs[arg.name])
+    return frozenset(entries)
+
+
+def find_sensitive_sites(module, callgraph, calltype_info, sensitive_names):
+    """Sensitive callsites: direct calls to sensitive wrappers + inline sites.
+
+    Returns ``{CallSite: syscall_name}``.
+    """
+    sensitive = set(sensitive_names)
+    sites = {}
+    for wrapper_name, syscall_names in calltype_info.wrappers.items():
+        hot = [s for s in syscall_names if s in sensitive]
+        if not hot:
+            continue
+        for site in callgraph.callers_of(wrapper_name):
+            sites[site] = hot[0]
+    for func in module.functions.values():
+        if func.name in calltype_info.wrappers:
+            continue
+        for idx, instr in enumerate(func.body):
+            if isinstance(instr, Syscall) and instr.name in sensitive:
+                sites[CallSite(func.name, idx)] = instr.name
+    return sites
+
+
+def analyze_control_flow(
+    module, callgraph, calltype_info, sensitive_names=SENSITIVE_SYSCALLS
+):
+    """Build the §6.2 callee→valid-callers metadata."""
+    info = ControlFlowInfo(entry=module.entry)
+    info.sensitive_sites = find_sensitive_sites(
+        module, callgraph, calltype_info, sensitive_names
+    )
+    info.indirect_sites = tuple(callgraph.indirect_sites)
+    info.address_taken = frozenset(callgraph.address_taken)
+    info.thread_entries = find_thread_entries(module, calltype_info)
+
+    # Functions from which a sensitive callsite is reachable: walk caller
+    # edges upward from the functions containing sensitive sites, and from
+    # the sensitive wrappers themselves.
+    relevant = set()
+    worklist = [site.caller for site in info.sensitive_sites]
+    sensitive = set(sensitive_names)
+    for wrapper_name, syscall_names in calltype_info.wrappers.items():
+        if any(s in sensitive for s in syscall_names):
+            relevant.add(wrapper_name)
+    while worklist:
+        name = worklist.pop()
+        if name in relevant:
+            continue
+        relevant.add(name)
+        for site in callgraph.callers_of(name):
+            if site.caller not in relevant:
+                worklist.append(site.caller)
+    info.relevant_functions = frozenset(relevant)
+
+    # Edge metadata: every relevant function's legitimate direct callers.
+    for name in relevant:
+        info.valid_callers[name] = set(callgraph.callers_of(name))
+    return info

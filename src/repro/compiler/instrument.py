@@ -1,0 +1,152 @@
+"""Instrumentation pass (§6.3.3).
+
+Rewrites a *clone* of the module:
+
+- before every callsite in a bind plan: ``ctx_bind_const_X(c)`` for constant
+  arguments, ``&var; ctx_bind_mem_X(&var)`` for memory-backed ones;
+- after every definition of a sensitive local: ``&var; ctx_write_mem(&var, 1)``;
+- after every store to a sensitive struct field or global:
+  ``ctx_write_mem(addr, 1)`` reusing the store's address operand.
+
+Argument integrity is the only context requiring instrumentation (§6.3);
+wrapper bodies are never instrumented — the call *into* the wrapper is the
+protected callsite.
+
+Returns the instrumented module, a per-function map from original to new
+instruction indices (so the other analyses' site references can be
+translated into final binary offsets), and instrumentation counts for
+Table 5.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.ir.callgraph import CallSite
+from repro.ir.instructions import (
+    AddrLocal,
+    Imm,
+    Intrinsic,
+    Load,
+    Store,
+    Var,
+    CTX_BIND_CONST,
+    CTX_BIND_MEM,
+    CTX_WRITE_MEM,
+)
+
+
+@dataclass
+class InstrumentationResult:
+    """Output of :func:`instrument_module`."""
+
+    module: object
+    #: (func_name, original_index) -> new_index
+    site_map: dict = field(default_factory=dict)
+    ctx_write_mem_count: int = 0
+    ctx_bind_mem_count: int = 0
+    ctx_bind_const_count: int = 0
+
+    @property
+    def total_sites(self):
+        return (
+            self.ctx_write_mem_count
+            + self.ctx_bind_mem_count
+            + self.ctx_bind_const_count
+        )
+
+
+def instrument_module(module, arg_info):
+    """Apply the §6.3.3 instrumentation plan; the input module is untouched."""
+    new_module = module.clone()
+    result = InstrumentationResult(module=new_module)
+
+    plans_by_site = arg_info.plans
+    sensitive_locals = arg_info.sensitive_locals
+    sensitive_stores = arg_info.sensitive_stores
+
+    for func in new_module.functions.values():
+        if func.is_wrapper:
+            for idx in range(len(func.body)):
+                result.site_map[(func.name, idx)] = idx
+            continue
+
+        new_body = []
+        pending_meta = []  # (bind intrinsic, original callsite index)
+        new_index_of = {}
+        temp_counter = [0]
+
+        def fresh_temp():
+            temp_counter[0] += 1
+            return "__bst%d" % temp_counter[0]
+
+        # Sensitive parameters get their shadow copy refreshed at function
+        # entry — the call that wrote the parameter slot is a legitimate
+        # update (Figure 2, line 11: ``ctx_write_mem(&b2, sizeof(int))``).
+        for param in func.params:
+            if (func.name, param) in sensitive_locals:
+                tmp = fresh_temp()
+                new_body.append(AddrLocal(tmp, param))
+                new_body.append(
+                    Intrinsic(CTX_WRITE_MEM, [Var(tmp), Imm(1)], None, {})
+                )
+                result.ctx_write_mem_count += 1
+
+        for idx, instr in enumerate(func.body):
+            site = CallSite(func.name, idx)
+
+            plan = plans_by_site.get(site)
+            if plan is not None:
+                for position, kind, payload in sorted(plan.binds):
+                    if kind == "const":
+                        bind = Intrinsic(
+                            CTX_BIND_CONST, [Imm(payload)], None, {"pos": position}
+                        )
+                        result.ctx_bind_const_count += 1
+                    elif kind == "mem_at":
+                        # the argument's origin lvalue: bind the address held
+                        # in the (still-live) address variable — Figure 2's
+                        # ``ctx_bind_mem_2(&gshm->size)``
+                        bind = Intrinsic(
+                            CTX_BIND_MEM, [Var(payload)], None, {"pos": position}
+                        )
+                        result.ctx_bind_mem_count += 1
+                    else:  # 'mem': the variable's own frame slot
+                        tmp = fresh_temp()
+                        new_body.append(AddrLocal(tmp, payload))
+                        bind = Intrinsic(
+                            CTX_BIND_MEM, [Var(tmp)], None, {"pos": position}
+                        )
+                        result.ctx_bind_mem_count += 1
+                    pending_meta.append((bind, idx))
+                    new_body.append(bind)
+
+            new_index_of[idx] = len(new_body)
+            result.site_map[(func.name, idx)] = len(new_body)
+            new_body.append(instr)
+
+            # Shadow-copy refresh after legitimate updates (Table 2's
+            # ctx_write_mem): sensitive locals.  Loads are deliberately NOT
+            # refresh points — a load's value is only as trustworthy as its
+            # origin, whose own shadow copy (bound via 'mem_at') is the
+            # ground truth; refreshing here would launder a corrupted read.
+            if not isinstance(instr, Load):
+                for dname in instr.defs():
+                    if (func.name, dname) in sensitive_locals:
+                        tmp = fresh_temp()
+                        new_body.append(AddrLocal(tmp, dname))
+                        new_body.append(
+                            Intrinsic(CTX_WRITE_MEM, [Var(tmp), Imm(1)], None, {})
+                        )
+                        result.ctx_write_mem_count += 1
+            # ... and stores to sensitive fields/globals.
+            if site in sensitive_stores and isinstance(instr, Store):
+                new_body.append(
+                    Intrinsic(CTX_WRITE_MEM, [instr.addr, Imm(1)], None, {})
+                )
+                result.ctx_write_mem_count += 1
+
+        func.body = new_body
+        func.invalidate()
+        for bind, orig_idx in pending_meta:
+            bind.meta["callsite_index"] = new_index_of[orig_idx]
+
+    return result

@@ -1,0 +1,73 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class IRError(ReproError):
+    """Malformed IR: unknown operand, bad label, duplicate function, ..."""
+
+
+class IRValidationError(IRError):
+    """Raised by the IR validator when a module breaks a structural rule."""
+
+
+class LoaderError(ReproError):
+    """Raised when a module cannot be laid out into an executable image."""
+
+
+class VMFault(ReproError):
+    """A hardware-style fault raised by the interpreter CPU.
+
+    Subclasses mirror the processor/OS events the paper's threat model
+    relies on (DEP faults, shadow-stack mismatches, bad fetches).
+    """
+
+    def __init__(self, message, rip=None):
+        super().__init__(message)
+        self.rip = rip
+
+
+class SegmentationFault(VMFault):
+    """Access to unmapped memory or a permission violation."""
+
+
+class ExecutionFault(VMFault):
+    """Instruction fetch from a non-executable address (DEP/NX)."""
+
+
+class ShadowStackFault(VMFault):
+    """CET shadow-stack mismatch on return (control-protection fault)."""
+
+
+class CFIFault(VMFault):
+    """LLVM-CFI equivalence-class violation at an indirect callsite."""
+
+
+class DFIFault(VMFault):
+    """Data-flow-integrity violation (baseline defense)."""
+
+
+class ProcessKilled(ReproError):
+    """The process was terminated (seccomp KILL, monitor verdict, signal)."""
+
+    def __init__(self, message, reason=None):
+        super().__init__(message)
+        self.reason = reason
+
+
+class KernelError(ReproError):
+    """Internal kernel invariant violation (a bug in the simulation)."""
+
+
+class CompilerError(ReproError):
+    """BASTION compiler pass failure (analysis or instrumentation)."""
+
+
+class MonitorError(ReproError):
+    """BASTION monitor misconfiguration (bad metadata, missing tracee)."""
+
+
+class AttackError(ReproError):
+    """An attack script could not even be staged (target symbol missing)."""

@@ -1,0 +1,90 @@
+"""A small typed IR — the simulation's stand-in for C compiled to LLVM IR.
+
+Workload applications (mini-NGINX, mini-SQLite, mini-vsftpd), the libc layer,
+and the attack-target snippets are all written in this IR via
+:class:`repro.ir.builder.ModuleBuilder`.  The BASTION compiler pass
+(:mod:`repro.compiler`) analyzes and instruments IR modules; the interpreter
+CPU (:mod:`repro.vm`) executes them against the simulated kernel.
+
+Design notes:
+
+- Variables are *memory-backed*: the VM allocates one simulated-memory slot
+  per local in the stack frame, so an attacker with arbitrary write can
+  corrupt any variable — exactly the threat model of §4.
+- Control flow uses labels and branches inside a flat instruction list;
+  calls are direct (``Call``), indirect (``CallIndirect``), or syscall
+  instructions (``Syscall``, normally only inside libc wrappers).
+- Struct field access goes through ``Gep`` carrying the struct type name, so
+  the argument-integrity analysis can be field-sensitive (§6.3.3).
+"""
+
+from repro.ir.types import StructType, GlobalVar
+from repro.ir.instructions import (
+    Var,
+    Imm,
+    Operand,
+    Instr,
+    Const,
+    Move,
+    BinOp,
+    Load,
+    Store,
+    AddrLocal,
+    AddrGlobal,
+    Gep,
+    Index,
+    Call,
+    CallIndirect,
+    Syscall,
+    FuncAddr,
+    Label,
+    Jump,
+    Branch,
+    Ret,
+    Intrinsic,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import ModuleBuilder, FunctionBuilder
+from repro.ir.validate import validate_module
+from repro.ir.printer import format_module, format_function
+from repro.ir.parser import parse_module, parse_instr
+from repro.ir.callgraph import CallGraph, build_callgraph
+
+__all__ = [
+    "StructType",
+    "GlobalVar",
+    "Var",
+    "Imm",
+    "Operand",
+    "Instr",
+    "Const",
+    "Move",
+    "BinOp",
+    "Load",
+    "Store",
+    "AddrLocal",
+    "AddrGlobal",
+    "Gep",
+    "Index",
+    "Call",
+    "CallIndirect",
+    "Syscall",
+    "FuncAddr",
+    "Label",
+    "Jump",
+    "Branch",
+    "Ret",
+    "Intrinsic",
+    "Function",
+    "Module",
+    "ModuleBuilder",
+    "FunctionBuilder",
+    "validate_module",
+    "format_module",
+    "format_function",
+    "parse_module",
+    "parse_instr",
+    "CallGraph",
+    "build_callgraph",
+]

@@ -1,0 +1,265 @@
+"""Fluent builders for writing IR programs by hand.
+
+The workload applications are built with these.  Typical shape::
+
+    mb = ModuleBuilder("nginx")
+    mb.struct("ngx_exec_ctx_t", ["path", "argv", "envp"])
+    mb.global_string("g_binary", "/usr/sbin/nginx")
+
+    f = mb.function("ngx_execute_proc", params=["cycle", "data"])
+    path = f.gep(f.p("data"), "ngx_exec_ctx_t", "path")
+    pathv = f.load(path)
+    rc = f.call("execve", [pathv, 0, 0])
+    f.ret(rc)
+
+Every value-producing method returns a :class:`repro.ir.instructions.Var`
+naming a fresh temporary (or the explicit ``dst`` you pass).
+"""
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrLocal,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Const,
+    FuncAddr,
+    Gep,
+    Index,
+    Intrinsic,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Ret,
+    Store,
+    Syscall,
+    Var,
+    as_operand,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import GlobalVar, StructType
+
+
+class FunctionBuilder:
+    """Builds one function; obtained from :meth:`ModuleBuilder.function`."""
+
+    def __init__(self, function):
+        self.func = function
+        self._temp = 0
+        self._label = 0
+
+    # -- naming helpers --------------------------------------------------
+
+    def _fresh(self, dst):
+        if dst is not None:
+            return dst
+        self._temp += 1
+        return "t%d" % self._temp
+
+    def fresh_label(self, hint="L"):
+        """A label name unique within this function."""
+        self._label += 1
+        return "%s%d" % (hint, self._label)
+
+    def p(self, name):
+        """Reference a parameter/local as an operand."""
+        if name not in self.func.params:
+            # allow referencing locals too; validator catches true unknowns
+            pass
+        return Var(name)
+
+    var = p
+
+    # -- straight-line instructions --------------------------------------
+
+    def const(self, value, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(Const(dst, int(value)))
+        return Var(dst)
+
+    def move(self, src, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(Move(dst, as_operand(src)))
+        return Var(dst)
+
+    def binop(self, op, a, b, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(BinOp(dst, op, as_operand(a), as_operand(b)))
+        return Var(dst)
+
+    def add(self, a, b, dst=None):
+        return self.binop("+", a, b, dst)
+
+    def sub(self, a, b, dst=None):
+        return self.binop("-", a, b, dst)
+
+    def mul(self, a, b, dst=None):
+        return self.binop("*", a, b, dst)
+
+    def eq(self, a, b, dst=None):
+        return self.binop("==", a, b, dst)
+
+    def ne(self, a, b, dst=None):
+        return self.binop("!=", a, b, dst)
+
+    def lt(self, a, b, dst=None):
+        return self.binop("<", a, b, dst)
+
+    def load(self, addr, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(Load(dst, as_operand(addr)))
+        return Var(dst)
+
+    def store(self, addr, value):
+        self.func.append(Store(as_operand(addr), as_operand(value)))
+
+    def addr_local(self, var_name, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(AddrLocal(dst, var_name))
+        return Var(dst)
+
+    def addr_global(self, global_name, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(AddrGlobal(dst, global_name))
+        return Var(dst)
+
+    def gep(self, base, struct, field_name, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(Gep(dst, as_operand(base), struct, field_name))
+        return Var(dst)
+
+    def index(self, base, idx, scale=1, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(Index(dst, as_operand(base), as_operand(idx), scale))
+        return Var(dst)
+
+    def call(self, callee, args=(), dst=None, void=False):
+        dst = None if void else self._fresh(dst)
+        self.func.append(Call(dst, callee, [as_operand(a) for a in args]))
+        return Var(dst) if dst is not None else None
+
+    def icall(self, target, args=(), sig=None, dst=None, void=False):
+        dst = None if void else self._fresh(dst)
+        self.func.append(
+            CallIndirect(dst, as_operand(target), [as_operand(a) for a in args], sig)
+        )
+        return Var(dst) if dst is not None else None
+
+    def syscall(self, name, args=(), dst=None):
+        dst = self._fresh(dst)
+        self.func.append(Syscall(dst, name, [as_operand(a) for a in args]))
+        return Var(dst)
+
+    def funcaddr(self, func_name, dst=None):
+        dst = self._fresh(dst)
+        self.func.append(FuncAddr(dst, func_name))
+        return Var(dst)
+
+    def intrinsic(self, name, args=(), dst=None, **meta):
+        self.func.append(
+            Intrinsic(name, [as_operand(a) for a in args], dst, dict(meta))
+        )
+        return Var(dst) if dst is not None else None
+
+    def hook(self, point_name):
+        """An attack/test hook point (no-op unless a hook is registered)."""
+        self.intrinsic("hook", [], point=point_name)
+
+    def burn(self, cycles):
+        """Charge ``cycles`` of elided computation to the cost model."""
+        self.intrinsic("cycle_burn", [as_operand(cycles)])
+
+    # -- control flow -----------------------------------------------------
+
+    def label(self, name):
+        self.func.append(Label(name))
+        return name
+
+    def jump(self, label):
+        self.func.append(Jump(label))
+
+    def branch(self, cond, then_label, else_label):
+        self.func.append(Branch(as_operand(cond), then_label, else_label))
+
+    def ret(self, value=None):
+        self.func.append(Ret(as_operand(value) if value is not None else None))
+
+    # -- structured helpers ------------------------------------------------
+
+    def loop_range(self, count_operand, body):
+        """Emit ``for i in range(count): body(i_var)`` and return nothing.
+
+        ``body`` is a callback receiving the loop-counter :class:`Var`.
+        """
+        i = self.const(0)
+        head = self.fresh_label("loop_head")
+        done = self.fresh_label("loop_done")
+        body_l = self.fresh_label("loop_body")
+        self.label(head)
+        cond = self.binop("<", i, count_operand)
+        self.branch(cond, body_l, done)
+        self.label(body_l)
+        body(i)
+        nxt = self.add(i, 1)
+        self.move(nxt, dst=i.name)
+        self.jump(head)
+        self.label(done)
+
+    def if_then(self, cond, then_body, else_body=None):
+        """Emit an if/else with callback bodies."""
+        then_l = self.fresh_label("if_then")
+        else_l = self.fresh_label("if_else")
+        done = self.fresh_label("if_done")
+        self.branch(cond, then_l, else_l if else_body else done)
+        self.label(then_l)
+        then_body()
+        self.jump(done)
+        if else_body:
+            self.label(else_l)
+            else_body()
+            self.jump(done)
+        self.label(done)
+
+
+class ModuleBuilder:
+    """Builds a whole :class:`repro.ir.module.Module`."""
+
+    def __init__(self, name="a.out", entry="main"):
+        self.module = Module(name, entry)
+
+    def struct(self, name, fields):
+        return self.module.types.define(StructType(name, tuple(fields)))
+
+    def global_var(self, name, size=1, init=None, struct=None):
+        return self.module.add_global(GlobalVar(name, size, init, struct))
+
+    def global_string(self, name, text):
+        return self.module.add_global(GlobalVar(name, init=text))
+
+    def global_words(self, name, words):
+        return self.module.add_global(GlobalVar(name, size=len(words), init=list(words)))
+
+    def function(self, name, params=None, sig=None):
+        func = Function(name, params, sig)
+        self.module.add_function(func)
+        return FunctionBuilder(func)
+
+    def extend(self, other_module):
+        """Merge another module's functions/globals/types (libc linking)."""
+        for struct_type in other_module.types.structs.values():
+            if struct_type.name not in self.module.types:
+                self.module.types.define(struct_type)
+        for gvar in other_module.globals.values():
+            if gvar.name in self.module.globals:
+                raise IRError("global %r defined in both modules" % gvar.name)
+            self.module.add_global(gvar)
+        for func in other_module.functions.values():
+            self.module.add_function(func)
+        return self
+
+    def build(self):
+        return self.module

@@ -1,0 +1,353 @@
+"""IR instruction set.
+
+Every instruction is a small dataclass.  Two generic accessors drive all
+compiler analyses:
+
+- :meth:`Instr.uses` — the operands the instruction reads;
+- :meth:`Instr.defs` — the local variable names it writes.
+
+Operands are :class:`Var` (a named local) or :class:`Imm` (an integer
+immediate).  Labels are plain strings resolved per-function.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Var:
+    """A named local variable (memory-backed in the VM frame)."""
+
+    name: str
+
+    def __repr__(self):
+        return "%%%s" % self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate."""
+
+    value: int
+
+    def __repr__(self):
+        return "$%d" % self.value
+
+
+#: Union alias used in signatures/docs.
+Operand = (Var, Imm)
+
+
+def as_operand(value):
+    """Coerce ``value`` into an operand.
+
+    ints become :class:`Imm`; strings become :class:`Var`; operands pass
+    through unchanged.
+    """
+    if isinstance(value, (Var, Imm)):
+        return value
+    if isinstance(value, bool):
+        return Imm(int(value))
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError("cannot use %r as an IR operand" % (value,))
+
+
+class Instr:
+    """Base class for all IR instructions."""
+
+    #: set on subclasses that transfer control
+    is_terminator = False
+
+    def uses(self):
+        """Operands read by this instruction."""
+        return ()
+
+    def defs(self):
+        """Local variable names written by this instruction."""
+        return ()
+
+
+@dataclass
+class Const(Instr):
+    """``dst = value``"""
+
+    dst: str
+    value: int
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class Move(Instr):
+    """``dst = src``"""
+
+    dst: str
+    src: object
+
+    def uses(self):
+        return (self.src,)
+
+    def defs(self):
+        return (self.dst,)
+
+
+#: Binary operators understood by the interpreter.
+BINOPS = (
+    "+",
+    "-",
+    "*",
+    "//",
+    "%",
+    "&",
+    "|",
+    "^",
+    "<<",
+    ">>",
+    "==",
+    "!=",
+    "<",
+    "<=",
+    ">",
+    ">=",
+)
+
+
+@dataclass
+class BinOp(Instr):
+    """``dst = a <op> b`` — comparisons yield 0/1."""
+
+    dst: str
+    op: str
+    a: object
+    b: object
+
+    def uses(self):
+        return (self.a, self.b)
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class Load(Instr):
+    """``dst = memory[addr]``"""
+
+    dst: str
+    addr: object
+
+    def uses(self):
+        return (self.addr,)
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class Store(Instr):
+    """``memory[addr] = value``"""
+
+    addr: object
+    value: object
+
+    def uses(self):
+        return (self.addr, self.value)
+
+
+@dataclass
+class AddrLocal(Instr):
+    """``dst = &local`` — frame address of a local variable."""
+
+    dst: str
+    var: str
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class AddrGlobal(Instr):
+    """``dst = &global`` — data-segment address of a global."""
+
+    dst: str
+    name: str
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class Gep(Instr):
+    """``dst = base + offsetof(struct, field)`` — field address."""
+
+    dst: str
+    base: object
+    struct: str
+    field_name: str
+
+    def uses(self):
+        return (self.base,)
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class Index(Instr):
+    """``dst = base + index * scale`` — array element address."""
+
+    dst: str
+    base: object
+    index: object
+    scale: int = 1
+
+    def uses(self):
+        return (self.base, self.index)
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class Call(Instr):
+    """Direct call: ``dst = callee(args...)``."""
+
+    dst: str  # may be None for void calls
+    callee: str
+    args: list = field(default_factory=list)
+
+    def uses(self):
+        return tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+
+@dataclass
+class CallIndirect(Instr):
+    """Indirect call through a function pointer: ``dst = (*target)(args)``.
+
+    ``sig`` is the callsite's type signature used by the LLVM-CFI baseline to
+    build equivalence classes (function arity by default, override to model
+    richer C types — or C++ vtable slots for the COOP scenario).
+    """
+
+    dst: str
+    target: object
+    args: list = field(default_factory=list)
+    sig: str = None
+
+    def uses(self):
+        return (self.target,) + tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+
+@dataclass
+class Syscall(Instr):
+    """Invoke system call ``name`` with ``args`` (rdi..r9 order).
+
+    In well-formed programs these appear only inside libc wrapper functions;
+    the BASTION compiler treats both wrappers and raw sites uniformly.
+    """
+
+    dst: str
+    name: str
+    args: list = field(default_factory=list)
+
+    def uses(self):
+        return tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()
+
+
+@dataclass
+class FuncAddr(Instr):
+    """``dst = &function`` — taking a function's address.
+
+    Marks the target as address-taken: it may become the target of an
+    indirect call (and, for syscall wrappers, classifies the syscall as
+    indirectly-callable in §3.1's sense).
+    """
+
+    dst: str
+    func: str
+
+    def defs(self):
+        return (self.dst,)
+
+
+@dataclass
+class Label(Instr):
+    """A branch target."""
+
+    name: str
+
+
+@dataclass
+class Jump(Instr):
+    """Unconditional jump."""
+
+    is_terminator = True
+    label: str
+
+
+@dataclass
+class Branch(Instr):
+    """Conditional jump: nonzero ``cond`` goes to ``then_label``."""
+
+    is_terminator = True
+    cond: object
+    then_label: str
+    else_label: str
+
+    def uses(self):
+        return (self.cond,)
+
+
+@dataclass
+class Ret(Instr):
+    """Return, optionally with a value."""
+
+    is_terminator = True
+    value: object = None
+
+    def uses(self):
+        return (self.value,) if self.value is not None else ()
+
+
+#: Intrinsic names installed by the BASTION instrumenter (Table 2).
+CTX_WRITE_MEM = "ctx_write_mem"
+CTX_BIND_MEM = "ctx_bind_mem"
+CTX_BIND_CONST = "ctx_bind_const"
+
+#: Other intrinsics available to applications and the test harness.
+HARNESS_INTRINSICS = ("trace", "halt", "hook", "cycle_burn")
+
+
+@dataclass
+class Intrinsic(Instr):
+    """A runtime-library or harness hook executed by the VM.
+
+    BASTION instrumentation (``ctx_write_mem``, ``ctx_bind_mem``,
+    ``ctx_bind_const``) and harness hooks (``hook`` — attack trigger points,
+    ``trace`` — debug prints, ``cycle_burn`` — explicit cost modelling of
+    elided computation) are all Intrinsics.  ``meta`` carries static
+    information set by the instrumenter (argument position, target callsite
+    index, slot count).
+    """
+
+    name: str
+    args: list = field(default_factory=list)
+    dst: str = None
+    meta: dict = field(default_factory=dict)
+
+    def uses(self):
+        return tuple(self.args)
+
+    def defs(self):
+        return (self.dst,) if self.dst is not None else ()

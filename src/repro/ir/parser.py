@@ -1,0 +1,289 @@
+"""Textual IR parser — the inverse of :mod:`repro.ir.printer`.
+
+Lets programs be written (or golden-tested) as text::
+
+    module demo (entry=main)
+    struct pair_t { a, b }
+    global g_buf[8]
+    global g_msg = "hello"
+
+    func leaf(x) sig=fn1 {
+      %t1 = %x + $1
+      ret %t1
+    }
+
+    func main() sig=fn0 {
+      %r = call leaf($41)
+      ret %r
+    }
+
+The grammar matches :func:`repro.ir.printer.format_instr` output (modulo
+the printer's line numbers, which the parser ignores), so
+``parse_module(format_module(m))`` round-trips any module.
+"""
+
+import re
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrLocal,
+    BinOp,
+    BINOPS,
+    Branch,
+    Call,
+    CallIndirect,
+    Const,
+    FuncAddr,
+    Gep,
+    Imm,
+    Index,
+    Intrinsic,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Ret,
+    Store,
+    Syscall,
+    Var,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.types import GlobalVar, StructType
+
+_OPERAND = r"(%[A-Za-z_][\w.]*|\$-?\d+)"
+_NAME = r"[A-Za-z_][\w.]*"
+
+
+def _operand(text):
+    text = text.strip()
+    if text.startswith("%"):
+        return Var(text[1:])
+    if text.startswith("$"):
+        return Imm(int(text[1:]))
+    raise IRError("bad operand %r" % text)
+
+
+def _operand_list(text):
+    text = text.strip()
+    if not text:
+        return []
+    return [_operand(part) for part in text.split(",")]
+
+
+_PATTERNS = [
+    (
+        re.compile(r"^%(?P<d>{n}) = const (?P<v>-?\d+)$".format(n=_NAME)),
+        lambda m: Const(m["d"], int(m["v"])),
+    ),
+    (
+        re.compile(r"^%(?P<d>{n}) = load (?P<a>{o})$".format(n=_NAME, o=_OPERAND)),
+        lambda m: Load(m["d"], _operand(m["a"])),
+    ),
+    (
+        re.compile(r"^store (?P<a>{o}) <- (?P<v>{o})$".format(o=_OPERAND)),
+        lambda m: Store(_operand(m["a"]), _operand(m["v"])),
+    ),
+    (
+        re.compile(r"^%(?P<d>{n}) = &local (?P<v>{n})$".format(n=_NAME)),
+        lambda m: AddrLocal(m["d"], m["v"]),
+    ),
+    (
+        re.compile(r"^%(?P<d>{n}) = &global (?P<g>{n})$".format(n=_NAME)),
+        lambda m: AddrGlobal(m["d"], m["g"]),
+    ),
+    (
+        re.compile(r"^%(?P<d>{n}) = &func (?P<f>{n})$".format(n=_NAME)),
+        lambda m: FuncAddr(m["d"], m["f"]),
+    ),
+    (
+        re.compile(
+            r"^%(?P<d>{n}) = gep (?P<b>{o}), (?P<s>{n})\.(?P<f>{n})$".format(
+                n=_NAME, o=_OPERAND
+            )
+        ),
+        lambda m: Gep(m["d"], _operand(m["b"]), m["s"], m["f"]),
+    ),
+    (
+        re.compile(
+            r"^%(?P<d>{n}) = index (?P<b>{o}) \+ (?P<i>{o}) \* (?P<s>\d+)$".format(
+                n=_NAME, o=_OPERAND
+            )
+        ),
+        lambda m: Index(m["d"], _operand(m["b"]), _operand(m["i"]), int(m["s"])),
+    ),
+    (
+        re.compile(
+            r"^(?:%(?P<d>{n}) = )?call (?P<f>{n})\((?P<args>.*)\)$".format(n=_NAME)
+        ),
+        lambda m: Call(m["d"], m["f"], _operand_list(m["args"])),
+    ),
+    (
+        re.compile(
+            r"^(?:%(?P<d>{n}) = )?icall (?P<t>{o})\((?P<args>.*)\) sig=(?P<s>\S+)$".format(
+                n=_NAME, o=_OPERAND
+            )
+        ),
+        lambda m: CallIndirect(
+            m["d"],
+            _operand(m["t"]),
+            _operand_list(m["args"]),
+            None if m["s"] == "None" else m["s"],
+        ),
+    ),
+    (
+        re.compile(
+            r"^(?:%(?P<d>{n}) = )?syscall (?P<f>{n})\((?P<args>.*)\)$".format(n=_NAME)
+        ),
+        lambda m: Syscall(m["d"], m["f"], _operand_list(m["args"])),
+    ),
+    (
+        re.compile(r"^jump (?P<l>{n})$".format(n=_NAME)),
+        lambda m: Jump(m["l"]),
+    ),
+    (
+        re.compile(
+            r"^branch (?P<c>{o}) \? (?P<t>{n}) : (?P<e>{n})$".format(
+                n=_NAME, o=_OPERAND
+            )
+        ),
+        lambda m: Branch(_operand(m["c"]), m["t"], m["e"]),
+    ),
+    (
+        re.compile(r"^ret (?P<v>{o})$".format(o=_OPERAND)),
+        lambda m: Ret(_operand(m["v"])),
+    ),
+    (re.compile(r"^ret$"), lambda m: Ret()),
+    (
+        re.compile(
+            r"^(?:%(?P<d>{n}) = )?@(?P<f>{n})\((?P<args>.*?)\)(?: (?P<meta>\{{.*\}}))?$".format(
+                n=_NAME
+            )
+        ),
+        lambda m: Intrinsic(
+            m["f"],
+            _operand_list(m["args"]),
+            m["d"],
+            eval(m["meta"], {"__builtins__": {}}) if m["meta"] else {},  # noqa: S307
+        ),
+    ),
+    (
+        re.compile(
+            r"^%(?P<d>{n}) = (?P<a>{o}) (?P<op>\S+) (?P<b>{o})$".format(
+                n=_NAME, o=_OPERAND
+            )
+        ),
+        lambda m: BinOp(m["d"], m["op"], _operand(m["a"]), _operand(m["b"])),
+    ),
+    (
+        re.compile(r"^%(?P<d>{n}) = (?P<s>{o})$".format(n=_NAME, o=_OPERAND)),
+        lambda m: Move(m["d"], _operand(m["s"])),
+    ),
+]
+
+_LINE_NO = re.compile(r"^\s*\d+:\s*")
+
+
+def parse_instr(text):
+    """Parse one instruction line (as produced by ``format_instr``)."""
+    text = _LINE_NO.sub("", text.strip())
+    if text.endswith(":") and re.match(r"^%s:$" % _NAME, text):
+        return Label(text[:-1])
+    for pattern, build in _PATTERNS:
+        match = pattern.match(text)
+        if match is not None:
+            instr = build(match)
+            if isinstance(instr, BinOp) and instr.op not in BINOPS:
+                raise IRError("unknown operator in %r" % text)
+            return instr
+    raise IRError("cannot parse instruction %r" % text)
+
+
+def _unescape(text):
+    out = []
+    i = 0
+    escapes = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text) and text[i + 1] in escapes:
+            out.append(escapes[text[i + 1]])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+_MODULE_RE = re.compile(r"^module (?P<name>\S+) \(entry=(?P<entry>\S+)\)$")
+_STRUCT_RE = re.compile(r"^struct (?P<name>\S+) \{ (?P<fields>[^}]*) \}$")
+_GLOBAL_STR_RE = re.compile(r'^global (?P<name>\S+) = "(?P<text>.*)"$')
+_GLOBAL_RE = re.compile(
+    r"^global (?P<name>\S+)\[(?P<size>\d+)\]"
+    r"(?: = (?P<init>-?\d+(?:,-?\d+)*))?(?: struct=(?P<struct>\S+))?$"
+)
+_FUNC_RE = re.compile(
+    r"^func (?P<name>\S+)\((?P<params>[^)]*)\) sig=(?P<sig>\S+)"
+    r"(?P<wrapper> wrapper)? \{$"
+)
+
+
+def parse_module(text):
+    """Parse a whole module from its textual form."""
+    module = None
+    current = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if module is None:
+            match = _MODULE_RE.match(line)
+            if not match:
+                raise IRError("expected module header, got %r" % line)
+            module = Module(match["name"], match["entry"])
+            continue
+        if current is None:
+            match = _STRUCT_RE.match(line)
+            if match:
+                fields = tuple(
+                    f.strip() for f in match["fields"].split(",") if f.strip()
+                )
+                module.types.define(StructType(match["name"], fields))
+                continue
+            match = _GLOBAL_STR_RE.match(line)
+            if match:
+                module.add_global(
+                    GlobalVar(match["name"], init=_unescape(match["text"]))
+                )
+                continue
+            match = _GLOBAL_RE.match(line)
+            if match:
+                init = None
+                if match["init"]:
+                    init = [int(v) for v in match["init"].split(",")]
+                module.add_global(
+                    GlobalVar(
+                        match["name"],
+                        size=int(match["size"]),
+                        init=init,
+                        struct=match["struct"],
+                    )
+                )
+                continue
+            match = _FUNC_RE.match(line)
+            if match:
+                params = [p.strip() for p in match["params"].split(",") if p.strip()]
+                current = Function(match["name"], params, match["sig"])
+                current.is_wrapper = bool(match["wrapper"])
+                continue
+            raise IRError("unexpected line at module scope: %r" % line)
+        if line == "}":
+            module.add_function(current)
+            current = None
+            continue
+        current.append(parse_instr(line))
+    if current is not None:
+        raise IRError("unterminated function %r" % current.name)
+    if module is None:
+        raise IRError("empty module text")
+    return module

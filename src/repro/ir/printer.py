@@ -1,0 +1,130 @@
+"""Human-readable IR dumps (for docs, debugging, and golden tests)."""
+
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrLocal,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Const,
+    FuncAddr,
+    Gep,
+    Index,
+    Intrinsic,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Ret,
+    Store,
+    Syscall,
+)
+
+
+def _ops(args):
+    return ", ".join(repr(a) for a in args)
+
+
+def format_instr(instr):
+    """One-line rendering of a single instruction."""
+    if isinstance(instr, Const):
+        return "%%%s = const %d" % (instr.dst, instr.value)
+    if isinstance(instr, Move):
+        return "%%%s = %r" % (instr.dst, instr.src)
+    if isinstance(instr, BinOp):
+        return "%%%s = %r %s %r" % (instr.dst, instr.a, instr.op, instr.b)
+    if isinstance(instr, Load):
+        return "%%%s = load %r" % (instr.dst, instr.addr)
+    if isinstance(instr, Store):
+        return "store %r <- %r" % (instr.addr, instr.value)
+    if isinstance(instr, AddrLocal):
+        return "%%%s = &local %s" % (instr.dst, instr.var)
+    if isinstance(instr, AddrGlobal):
+        return "%%%s = &global %s" % (instr.dst, instr.name)
+    if isinstance(instr, Gep):
+        return "%%%s = gep %r, %s.%s" % (
+            instr.dst,
+            instr.base,
+            instr.struct,
+            instr.field_name,
+        )
+    if isinstance(instr, Index):
+        return "%%%s = index %r + %r * %d" % (
+            instr.dst,
+            instr.base,
+            instr.index,
+            instr.scale,
+        )
+    if isinstance(instr, Call):
+        lhs = "%%%s = " % instr.dst if instr.dst else ""
+        return "%scall %s(%s)" % (lhs, instr.callee, _ops(instr.args))
+    if isinstance(instr, CallIndirect):
+        lhs = "%%%s = " % instr.dst if instr.dst else ""
+        return "%sicall %r(%s) sig=%s" % (lhs, instr.target, _ops(instr.args), instr.sig)
+    if isinstance(instr, Syscall):
+        lhs = "%%%s = " % instr.dst if instr.dst else ""
+        return "%ssyscall %s(%s)" % (lhs, instr.name, _ops(instr.args))
+    if isinstance(instr, FuncAddr):
+        return "%%%s = &func %s" % (instr.dst, instr.func)
+    if isinstance(instr, Label):
+        return "%s:" % instr.name
+    if isinstance(instr, Jump):
+        return "jump %s" % instr.label
+    if isinstance(instr, Branch):
+        return "branch %r ? %s : %s" % (instr.cond, instr.then_label, instr.else_label)
+    if isinstance(instr, Ret):
+        return "ret %r" % (instr.value,) if instr.value is not None else "ret"
+    if isinstance(instr, Intrinsic):
+        lhs = "%%%s = " % instr.dst if instr.dst else ""
+        meta = (" " + repr(instr.meta)) if instr.meta else ""
+        return "%s@%s(%s)%s" % (lhs, instr.name, _ops(instr.args), meta)
+    return repr(instr)
+
+
+def format_function(func):
+    """Multi-line rendering of one function (parseable by the IR parser)."""
+    wrapper = " wrapper" if func.is_wrapper else ""
+    lines = [
+        "func %s(%s) sig=%s%s {"
+        % (func.name, ", ".join(func.params), func.sig, wrapper)
+    ]
+    for idx, instr in enumerate(func.body):
+        prefix = "" if isinstance(instr, Label) else "  "
+        lines.append("%s%3d: %s" % (prefix, idx, format_instr(instr)))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _escape(text):
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+
+
+def _format_global(gvar):
+    if isinstance(gvar.init, str):
+        return 'global %s = "%s"' % (gvar.name, _escape(gvar.init))
+    text = "global %s[%d]" % (gvar.name, gvar.size)
+    if gvar.init:
+        text += " = %s" % ",".join(str(v) for v in gvar.init)
+    if gvar.struct:
+        text += " struct=%s" % gvar.struct
+    return text
+
+
+def format_module(module):
+    """Multi-line rendering of a whole module (parseable back)."""
+    lines = ["module %s (entry=%s)" % (module.name, module.entry)]
+    for struct in module.types.structs.values():
+        lines.append("struct %s { %s }" % (struct.name, ", ".join(struct.fields)))
+    for gvar in module.globals.values():
+        lines.append(_format_global(gvar))
+    for func in module.functions.values():
+        lines.append("")
+        lines.append(format_function(func))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Process credentials: the privilege-escalation surface of Table 1."""
+
+from dataclasses import dataclass
+
+from repro.kernel import errno
+
+
+@dataclass
+class Credentials:
+    """uid/gid state with (simplified) Linux permission rules."""
+
+    uid: int = 0
+    gid: int = 0
+    euid: int = 0
+    egid: int = 0
+
+    def is_root(self):
+        return self.euid == 0
+
+    def setuid(self, uid):
+        """root may become anyone; others only themselves."""
+        if self.is_root():
+            self.uid = self.euid = uid
+            return 0
+        if uid in (self.uid, self.euid):
+            self.euid = uid
+            return 0
+        return -errno.EPERM
+
+    def setgid(self, gid):
+        if self.is_root():
+            self.gid = self.egid = gid
+            return 0
+        if gid in (self.gid, self.egid):
+            self.egid = gid
+            return 0
+        return -errno.EPERM
+
+    def setreuid(self, ruid, euid):
+        if not self.is_root() and not all(
+            target in (self.uid, self.euid, -1) for target in (ruid, euid)
+        ):
+            return -errno.EPERM
+        if ruid != -1:
+            self.uid = ruid
+        if euid != -1:
+            self.euid = euid
+        return 0
+
+    def clone(self):
+        return Credentials(self.uid, self.gid, self.euid, self.egid)

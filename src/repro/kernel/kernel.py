@@ -1,0 +1,844 @@
+"""The syscall dispatcher and handler table.
+
+``dispatch`` is the single entry point the CPU calls at a ``syscall``
+instruction.  Order of operations matches Linux:
+
+1. every attached seccomp filter runs (cycle cost scales with BPF length);
+2. the strictest action wins: KILL terminates, ERRNO short-circuits,
+   TRACE stops the process into its tracer (two context switches) and the
+   monitor may kill it;
+3. otherwise the handler executes.
+
+Handlers implement real (simulated) semantics — files change, sockets move
+bytes, regions change protection, credentials change — so both the
+legitimate workloads and the attack payloads behave faithfully.  Security-
+relevant actions are recorded in ``kernel.events``; the attack catalog uses
+that log as its success oracle.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProcessKilled
+from repro.kernel import errno
+from repro.kernel.mm import (
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+    standard_layout,
+)
+from repro.kernel.net import NetStack, Socket
+from repro.kernel.process import Process
+from repro.kernel.seccomp import (
+    SECCOMP_RET_ACTION_FULL,
+    SECCOMP_RET_DATA,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_KILL_THREAD,
+    SECCOMP_RET_TRACE,
+    SECCOMP_RET_TRAP,
+    evaluate_filters,
+)
+from repro.kernel.vfs import FileSystem, O_APPEND, O_CREAT, O_TRUNC, OpenFile, S_IFDIR, S_IFREG
+from repro.syscalls.table import nr_of
+from repro.vm.costs import DEFAULT_COSTS
+from repro.vm.memory import WORD
+
+#: Data-plane elision bound: at most this many bytes of file/socket payload
+#: are materialized into simulated memory per transfer; cycle costs are
+#: charged for the full size (DESIGN.md §2).
+ELIDE_BYTES = 512
+
+#: sockaddr layout in simulated memory: slot0=family, slot1=port, slot2=host.
+SOCKADDR_SLOTS = 3
+
+
+class _Pipe:
+    """The byte queue shared by a pipe's two ends."""
+
+    def __init__(self):
+        self.buffer = b""
+        self.write_closed = False
+
+
+class _PipeEnd:
+    """One fd of a pipe(2) pair."""
+
+    def __init__(self, pipe, readable):
+        self.pipe = pipe
+        self.readable = readable
+
+    def read(self, count):
+        if not self.readable:
+            return None
+        chunk = self.pipe.buffer[:count]
+        self.pipe.buffer = self.pipe.buffer[count:]
+        return chunk
+
+    def write(self, data):
+        if self.readable:
+            return -errno.EBADF
+        self.pipe.buffer += data
+        return len(data)
+
+
+@dataclass
+class KernelEvent:
+    """One security-relevant action (the attack-success oracle reads these)."""
+
+    kind: str
+    pid: int
+    details: dict = field(default_factory=dict)
+
+
+class Kernel:
+    """The simulated kernel: processes, VFS, network, dispatcher."""
+
+    def __init__(self, costs=DEFAULT_COSTS):
+        self.costs = costs
+        self.vfs = FileSystem()
+        self.net = NetStack()
+        self.processes = {}
+        self._next_pid = 1000
+        self.events = []
+        #: every path passed to open/openat/creat (information-disclosure
+        #: oracle for the AOCR-style attacks)
+        self.open_log = []
+        self._rng_state = 0x2545F4914F6CDD1D
+
+        self._handlers = {
+            "read": self._sys_read,
+            "write": self._sys_write,
+            "open": self._sys_open,
+            "openat": self._sys_openat,
+            "creat": self._sys_creat,
+            "close": self._sys_close,
+            "stat": self._sys_stat,
+            "fstat": self._sys_fstat,
+            "lseek": self._sys_lseek,
+            "sendfile": self._sys_sendfile,
+            "pread64": self._sys_pread,
+            "pwrite64": self._sys_pwrite,
+            "readv": self._sys_readv,
+            "writev": self._sys_writev,
+            "getdents": self._sys_getdents,
+            "pipe": self._sys_pipe,
+            "dup2": self._sys_dup2,
+            "mmap": self._sys_mmap,
+            "mprotect": self._sys_mprotect,
+            "munmap": self._sys_munmap,
+            "mremap": self._sys_mremap,
+            "remap_file_pages": self._sys_remap_file_pages,
+            "brk": self._sys_brk,
+            "socket": self._sys_socket,
+            "bind": self._sys_bind,
+            "listen": self._sys_listen,
+            "accept": self._sys_accept,
+            "accept4": self._sys_accept4,
+            "connect": self._sys_connect,
+            "sendto": self._sys_sendto,
+            "recvfrom": self._sys_recvfrom,
+            "setsockopt": self._sys_setsockopt,
+            "shutdown": self._sys_shutdown,
+            "clone": self._sys_clone,
+            "fork": self._sys_fork,
+            "vfork": self._sys_fork,
+            "execve": self._sys_execve,
+            "execveat": self._sys_execveat,
+            "exit": self._sys_exit,
+            "exit_group": self._sys_exit,
+            "wait4": self._sys_wait4,
+            "getpid": lambda proc, args: proc.pid,
+            "gettid": lambda proc, args: proc.pid,
+            "getuid": lambda proc, args: proc.creds.uid,
+            "geteuid": lambda proc, args: proc.creds.euid,
+            "getgid": lambda proc, args: proc.creds.gid,
+            "getegid": lambda proc, args: proc.creds.egid,
+            "setuid": self._sys_setuid,
+            "setgid": self._sys_setgid,
+            "setreuid": self._sys_setreuid,
+            "chmod": self._sys_chmod,
+            "dup": self._sys_dup,
+            "unlink": self._sys_unlink,
+            "rename": self._sys_rename,
+            "mkdir": self._sys_mkdir,
+            "nanosleep": self._sys_nanosleep,
+            "getrandom": self._sys_getrandom,
+            "ptrace": lambda proc, args: -errno.EPERM,
+            "seccomp": lambda proc, args: -errno.EINVAL,
+            "prctl": lambda proc, args: 0,
+            "uname": lambda proc, args: 0,
+            "time": lambda proc, args: 1_688_000_000,
+            "gettimeofday": lambda proc, args: 0,
+            "clock_gettime": lambda proc, args: 0,
+            "futex": lambda proc, args: 0,
+            "rt_sigaction": lambda proc, args: 0,
+            "rt_sigprocmask": lambda proc, args: 0,
+            "fcntl": lambda proc, args: 0,
+            "fsync": lambda proc, args: 0,
+            "ioctl": lambda proc, args: 0,
+            "umask": lambda proc, args: 0o022,
+            "setsid": lambda proc, args: proc.pid,
+            "getcwd": lambda proc, args: 0,
+            "chdir": lambda proc, args: 0,
+            "access": self._sys_access,
+            "madvise": lambda proc, args: 0,
+        }
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+
+    def create_process(self, name, image=None, costs=None):
+        """Create a PCB; if ``image`` is given, map segments and globals."""
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = Process(pid=pid, name=name)
+        proc.ledger_costs = costs or self.costs
+        if image is not None:
+            proc.mm = standard_layout(image)
+            image.write_globals(proc.memory)
+        self.processes[pid] = proc
+        return proc
+
+    def install_seccomp(self, proc, seccomp_filter):
+        """Attach a filter (as the monitor does before releasing the app)."""
+        proc.seccomp_filters.append(seccomp_filter)
+
+    def run_child(self, child, image, entry, args=(), cpu_options=None):
+        """Run a clone()d child at its start routine, to completion.
+
+        Scheduling is cooperative and sequential (the parent is stopped
+        while the child runs — DESIGN.md §6).  The child shares the
+        parent's memory and address space, and critically carries the
+        parent's seccomp filters and tracer, so a BASTION monitor protects
+        it identically (§7.1).  The child gets a disjoint stack region.
+        """
+        from repro.vm.cpu import CPU, CPUOptions
+        from repro.vm.loader import STACK_TOP
+
+        stack_base = STACK_TOP - (1 << 26) * ((child.pid % 64) + 1)
+        cpu = CPU(
+            image,
+            child,
+            self,
+            cpu_options or CPUOptions(),
+            entry=entry,
+            entry_args=args,
+            stack_base=stack_base,
+        )
+        return cpu.run()
+
+    def record(self, kind, proc, **details):
+        self.events.append(KernelEvent(kind, proc.pid, details))
+
+    def events_of(self, kind):
+        return [event for event in self.events if event.kind == kind]
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+
+    def dispatch(self, proc, name, args):
+        """Run seccomp, maybe stop into the tracer, then the handler."""
+        proc.count_syscall(name)
+        if proc.seccomp_filters:
+            action, insns = evaluate_filters(
+                proc.seccomp_filters,
+                nr_of(name),
+                ip=proc.regs.rip,
+                args=tuple(args) + (0,) * (6 - len(args)),
+            )
+            proc.ledger.charge(
+                insns * self.costs.seccomp_per_bpf_instr_millicycles // 1000,
+                "seccomp",
+            )
+            base = action & SECCOMP_RET_ACTION_FULL
+            if base in (SECCOMP_RET_KILL_PROCESS, SECCOMP_RET_KILL_THREAD):
+                proc.kill("seccomp: %s not callable" % name)
+                self.record("seccomp_kill", proc, syscall=name)
+                raise ProcessKilled(
+                    "seccomp killed pid %d on %s" % (proc.pid, name),
+                    reason="seccomp",
+                )
+            if base == SECCOMP_RET_ERRNO:
+                return -(action & SECCOMP_RET_DATA)
+            if base in (SECCOMP_RET_TRACE, SECCOMP_RET_TRAP):
+                # A trace stop costs two context switches — unless the
+                # tracer is in hook-only accounting mode (Table 7 row 1
+                # measures the seccomp hook without the stop) or runs
+                # inside the kernel (§11.2: in-kernel execution "completely
+                # resolves overhead incurred from context switching").
+                if getattr(proc.tracer, "stops_at_trace", True) and not getattr(
+                    proc.tracer, "in_kernel", False
+                ):
+                    proc.ledger.charge(2 * self.costs.context_switch, "trap")
+                if proc.tracer is not None:
+                    proc.tracer.on_syscall_stop(proc, name)
+                    if not proc.alive:
+                        raise ProcessKilled(
+                            "monitor killed pid %d on %s: %s"
+                            % (proc.pid, name, proc.kill_reason),
+                            reason=proc.kill_reason,
+                        )
+        handler = self._handlers.get(name)
+        if handler is None:
+            return -errno.ENOSYS
+        return handler(proc, args)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _charge_io(self, proc, nbytes):
+        proc.ledger.charge(
+            nbytes * self.costs.io_per_byte_millicycles // 1000, "kernel"
+        )
+
+    def _charge_net(self, proc, nbytes):
+        proc.ledger.charge(
+            nbytes * self.costs.net_per_byte_millicycles // 1000, "kernel"
+        )
+
+    @staticmethod
+    def _arg(args, i, default=0):
+        return args[i] if i < len(args) else default
+
+    def _copy_bytes_to_user(self, proc, addr, data):
+        """Write up to ELIDE_BYTES of payload into memory, one byte per slot."""
+        for i, byte in enumerate(data[:ELIDE_BYTES]):
+            proc.memory.write(addr + i * WORD, byte)
+
+    def _read_bytes_from_user(self, proc, addr, count):
+        """Read up to ELIDE_BYTES of payload; caller pads to full count."""
+        take = min(count, ELIDE_BYTES)
+        return bytes(
+            proc.memory.read(addr + i * WORD) & 0xFF for i in range(take)
+        )
+
+    def _refresh_shadow(self, proc, addr, nslots):
+        """Kernel-written user memory is a legitimate update: keep the
+        BASTION shadow copies coherent (generalizing the §9.2 sockaddr
+        handling to all kernel out-parameters)."""
+        runtime = proc.bastion_runtime
+        if runtime is not None and addr:
+            runtime.ctx_write_mem(addr, nslots)
+
+    def mm_is_executable(self, proc, addr):
+        return proc.mm is not None and proc.mm.is_executable(addr)
+
+    def record_arbitrary_code_execution(self, proc, addr):
+        self.record("arbitrary_code_execution", proc, addr=addr)
+
+    # ------------------------------------------------------------------
+    # file I/O
+    # ------------------------------------------------------------------
+
+    def _sys_read(self, proc, args):
+        fd, buf, count = (self._arg(args, i) for i in range(3))
+        desc = proc.fdtable.get(fd)
+        if desc is None:
+            return -errno.EBADF
+        if isinstance(desc, Socket):
+            if desc.connection is None:
+                return -errno.ENOTSOCK
+            chunk = desc.connection.take(count)
+            self._copy_bytes_to_user(proc, buf, chunk)
+            self.net.account_recv(len(chunk))
+            self._charge_net(proc, len(chunk))
+            return len(chunk)
+        if isinstance(desc, _PipeEnd):
+            chunk = desc.read(count)
+            if chunk is None:
+                return -errno.EBADF
+            self._copy_bytes_to_user(proc, buf, chunk)
+            self._charge_io(proc, len(chunk))
+            return len(chunk)
+        chunk = desc.read(count)
+        if chunk is None:
+            return -errno.EISDIR
+        self._copy_bytes_to_user(proc, buf, chunk)
+        self._charge_io(proc, len(chunk))
+        return len(chunk)
+
+    def _sys_write(self, proc, args):
+        fd, buf, count = (self._arg(args, i) for i in range(3))
+        desc = proc.fdtable.get(fd)
+        if desc is None:
+            # stdout/stderr: swallow but succeed
+            if fd in (1, 2):
+                self._charge_io(proc, count)
+                return count
+            return -errno.EBADF
+        prefix = self._read_bytes_from_user(proc, buf, count)
+        if isinstance(desc, Socket):
+            if desc.connection is None:
+                return -errno.ENOTSOCK
+            self.net.account_send(count)
+            self._charge_net(proc, count)
+            desc.connection.server_write(count, prefix)
+            return count
+        data = prefix + b"\x00" * (count - len(prefix))
+        rc = desc.write(data)
+        if rc < 0:
+            return rc
+        self._charge_io(proc, count)
+        return count
+
+    def _sys_open(self, proc, args):
+        path_ptr, flags, mode = (self._arg(args, i) for i in range(3))
+        path = proc.memory.read_cstr(path_ptr)
+        return self._open_common(proc, path, flags, mode)
+
+    def _sys_openat(self, proc, args):
+        _dirfd, path_ptr, flags, mode = (self._arg(args, i) for i in range(4))
+        path = proc.memory.read_cstr(path_ptr)
+        return self._open_common(proc, path, flags, mode)
+
+    def _sys_creat(self, proc, args):
+        path_ptr, mode = (self._arg(args, i) for i in range(2))
+        path = proc.memory.read_cstr(path_ptr)
+        return self._open_common(proc, path, O_CREAT | O_TRUNC, mode)
+
+    def _open_common(self, proc, path, flags, mode):
+        self.open_log.append((proc.pid, path))
+        if flags & O_CREAT:
+            node = self.vfs.create(path, mode or 0o644)
+            if node is None:
+                return -errno.ENOENT
+        else:
+            node = self.vfs.lookup(path)
+            if node is None:
+                return -errno.ENOENT
+        if flags & O_TRUNC and node.kind == "file":
+            node.data = b""
+        desc = OpenFile(node=node, flags=flags, path=path)
+        if flags & O_APPEND:
+            desc.pos = len(node.data)
+        return proc.fdtable.install(desc)
+
+    def _sys_close(self, proc, args):
+        return proc.fdtable.close(self._arg(args, 0))
+
+    def _write_stat(self, proc, statbuf, node):
+        kind_bits = S_IFREG if node.kind == "file" else S_IFDIR
+        proc.memory.write(statbuf, kind_bits | node.mode)
+        proc.memory.write(statbuf + WORD, node.size)
+        proc.memory.write(statbuf + 2 * WORD, node.uid)
+        proc.memory.write(statbuf + 3 * WORD, node.gid)
+        self._refresh_shadow(proc, statbuf, 4)
+        return 0
+
+    def _sys_stat(self, proc, args):
+        path_ptr, statbuf = (self._arg(args, i) for i in range(2))
+        node = self.vfs.lookup(proc.memory.read_cstr(path_ptr))
+        if node is None:
+            return -errno.ENOENT
+        return self._write_stat(proc, statbuf, node)
+
+    def _sys_fstat(self, proc, args):
+        fd, statbuf = (self._arg(args, i) for i in range(2))
+        desc = proc.fdtable.get(fd)
+        if desc is None:
+            return -errno.EBADF
+        if isinstance(desc, Socket):
+            proc.memory.write(statbuf, 0o140000)
+            proc.memory.write(statbuf + WORD, 0)
+            return 0
+        return self._write_stat(proc, statbuf, desc.node)
+
+    def _sys_lseek(self, proc, args):
+        fd, offset, whence = (self._arg(args, i) for i in range(3))
+        desc = proc.fdtable.get(fd)
+        if desc is None or isinstance(desc, Socket):
+            return -errno.EBADF
+        return desc.seek(offset, whence)
+
+    def _sys_pread(self, proc, args):
+        fd, buf, count, offset = (self._arg(args, i) for i in range(4))
+        desc = proc.fdtable.get(fd)
+        if desc is None or isinstance(desc, Socket):
+            return -errno.EBADF
+        saved = desc.pos
+        desc.pos = offset
+        chunk = desc.read(count)
+        desc.pos = saved
+        if chunk is None:
+            return -errno.EISDIR
+        self._copy_bytes_to_user(proc, buf, chunk)
+        self._charge_io(proc, len(chunk))
+        return len(chunk)
+
+    def _sys_pwrite(self, proc, args):
+        fd, buf, count, offset = (self._arg(args, i) for i in range(4))
+        desc = proc.fdtable.get(fd)
+        if desc is None or isinstance(desc, Socket):
+            return -errno.EBADF
+        prefix = self._read_bytes_from_user(proc, buf, count)
+        saved = desc.pos
+        desc.pos = offset
+        rc = desc.write(prefix + b"\x00" * (count - len(prefix)))
+        desc.pos = saved
+        if rc < 0:
+            return rc
+        self._charge_io(proc, count)
+        return count
+
+    def _read_iovec(self, proc, iov_ptr, iovcnt):
+        """Decode a ``struct iovec`` array: (base, len) pairs, one slot each."""
+        vectors = []
+        for i in range(min(iovcnt, 64)):
+            base = proc.memory.read(iov_ptr + 2 * i * WORD)
+            length = proc.memory.read(iov_ptr + (2 * i + 1) * WORD)
+            vectors.append((base, max(length, 0)))
+        return vectors
+
+    def _sys_readv(self, proc, args):
+        fd, iov_ptr, iovcnt = (self._arg(args, i) for i in range(3))
+        total = 0
+        for base, length in self._read_iovec(proc, iov_ptr, iovcnt):
+            if length == 0:
+                continue
+            n = self._sys_read(proc, [fd, base, length])
+            if n < 0:
+                return n if total == 0 else total
+            total += n
+            if n < length:
+                break
+        return total
+
+    def _sys_writev(self, proc, args):
+        fd, iov_ptr, iovcnt = (self._arg(args, i) for i in range(3))
+        total = 0
+        for base, length in self._read_iovec(proc, iov_ptr, iovcnt):
+            if length == 0:
+                continue
+            n = self._sys_write(proc, [fd, base, length])
+            if n < 0:
+                return n if total == 0 else total
+            total += n
+        return total
+
+    def _sys_pipe(self, proc, args):
+        """pipe(fds): an in-memory byte queue behind two fds."""
+        fds_ptr = self._arg(args, 0)
+        pipe = _Pipe()
+        read_fd = proc.fdtable.install(_PipeEnd(pipe, readable=True))
+        write_fd = proc.fdtable.install(_PipeEnd(pipe, readable=False))
+        proc.memory.write(fds_ptr, read_fd)
+        proc.memory.write(fds_ptr + WORD, write_fd)
+        return 0
+
+    def _sys_dup2(self, proc, args):
+        old_fd, new_fd = self._arg(args, 0), self._arg(args, 1)
+        obj = proc.fdtable.get(old_fd)
+        if obj is None:
+            return -errno.EBADF
+        proc.fdtable.close(new_fd)
+        proc.fdtable._table[new_fd] = obj
+        return new_fd
+
+    def _sys_sendfile(self, proc, args):
+        out_fd, in_fd, _off_ptr, count = (self._arg(args, i) for i in range(4))
+        src = proc.fdtable.get(in_fd)
+        dst = proc.fdtable.get(out_fd)
+        if src is None or dst is None:
+            return -errno.EBADF
+        if isinstance(src, Socket) or src.node.kind != "file":
+            return -errno.EINVAL
+        chunk = src.read(count)
+        nbytes = len(chunk)
+        self._charge_io(proc, nbytes)
+        if isinstance(dst, Socket):
+            if dst.connection is None:
+                return -errno.ENOTSOCK
+            self.net.account_send(nbytes)
+            self._charge_net(proc, nbytes)
+            dst.connection.server_write(nbytes, chunk[:ELIDE_BYTES])
+        else:
+            dst.write(chunk)
+            self._charge_io(proc, nbytes)
+        return nbytes
+
+    def _sys_getdents(self, proc, args):
+        """getdents(fd, dirp, count): simplified directory entries.
+
+        Entries are written as consecutive NUL-terminated names (one char
+        per slot); ``count`` bounds the slots written.  The description's
+        offset tracks how many entries have been consumed, so repeated
+        calls page through the directory and finally return 0.
+        """
+        fd, dirp, count = (self._arg(args, i) for i in range(3))
+        desc = proc.fdtable.get(fd)
+        if desc is None or isinstance(desc, (Socket, _PipeEnd)):
+            return -errno.EBADF
+        if desc.node.kind != "dir":
+            return -errno.ENOTDIR
+        names = sorted(desc.node.children)
+        written = 0
+        index = desc.pos
+        while index < len(names):
+            name = names[index]
+            needed = len(name) + 1
+            if written + needed > count:
+                break
+            proc.memory.write_cstr(dirp + written * WORD, name)
+            written += needed
+            index += 1
+        desc.pos = index
+        self._charge_io(proc, written)
+        return written
+
+    def _sys_access(self, proc, args):
+        path_ptr = self._arg(args, 0)
+        node = self.vfs.lookup(proc.memory.read_cstr(path_ptr))
+        return 0 if node is not None else -errno.ENOENT
+
+    def _sys_dup(self, proc, args):
+        return proc.fdtable.dup(self._arg(args, 0))
+
+    def _sys_unlink(self, proc, args):
+        return self.vfs.unlink(proc.memory.read_cstr(self._arg(args, 0)))
+
+    def _sys_rename(self, proc, args):
+        old = proc.memory.read_cstr(self._arg(args, 0))
+        new = proc.memory.read_cstr(self._arg(args, 1))
+        return self.vfs.rename(old, new)
+
+    def _sys_mkdir(self, proc, args):
+        path = proc.memory.read_cstr(self._arg(args, 0))
+        return self.vfs.mkdir(path, self._arg(args, 1, 0o755))
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+
+    def _sys_mmap(self, proc, args):
+        addr, length, prot, flags, fd, offset = (
+            self._arg(args, i) for i in range(6)
+        )
+        result = proc.mm.do_mmap(addr, length, prot, flags)
+        if result > 0 and prot & PROT_EXEC:
+            self.record("mmap_exec", proc, addr=result, length=length, prot=prot)
+        return result
+
+    def _sys_mprotect(self, proc, args):
+        addr, length, prot = (self._arg(args, i) for i in range(3))
+        rc = proc.mm.do_mprotect(addr, length, prot)
+        if rc == 0 and prot & PROT_EXEC:
+            self.record(
+                "mprotect_exec",
+                proc,
+                addr=addr,
+                length=length,
+                prot=prot,
+                writable=bool(prot & PROT_WRITE),
+            )
+        return rc
+
+    def _sys_munmap(self, proc, args):
+        return proc.mm.do_munmap(self._arg(args, 0), self._arg(args, 1))
+
+    def _sys_mremap(self, proc, args):
+        old_addr, old_len, new_len = (self._arg(args, i) for i in range(3))
+        region = proc.mm.region_at(old_addr)
+        prot = region.prot if region else PROT_READ | PROT_WRITE
+        proc.mm.do_munmap(old_addr, old_len)
+        self.record("mremap", proc, old=old_addr, new_len=new_len)
+        return proc.mm.do_mmap(0, new_len, prot, 0, tag="mremap")
+
+    def _sys_remap_file_pages(self, proc, args):
+        self.record("remap_file_pages", proc, addr=self._arg(args, 0))
+        return 0
+
+    def _sys_brk(self, proc, args):
+        return proc.mm.do_brk(self._arg(args, 0))
+
+    # ------------------------------------------------------------------
+    # networking
+    # ------------------------------------------------------------------
+
+    def _sys_socket(self, proc, args):
+        domain, type_, protocol = (self._arg(args, i) for i in range(3))
+        return proc.fdtable.install(Socket(domain, type_, protocol))
+
+    def _read_sockaddr(self, proc, addr_ptr):
+        family = proc.memory.read(addr_ptr)
+        port = proc.memory.read(addr_ptr + WORD)
+        host = proc.memory.read(addr_ptr + 2 * WORD)
+        return family, port, host
+
+    def _sys_bind(self, proc, args):
+        fd, addr_ptr = self._arg(args, 0), self._arg(args, 1)
+        sock = proc.fdtable.get(fd)
+        if not isinstance(sock, Socket):
+            return -errno.ENOTSOCK
+        _family, port, _host = self._read_sockaddr(proc, addr_ptr)
+        if not self.net.bind(sock, port):
+            return -errno.EADDRINUSE
+        return 0
+
+    def _sys_listen(self, proc, args):
+        fd, backlog = self._arg(args, 0), self._arg(args, 1)
+        sock = proc.fdtable.get(fd)
+        if not isinstance(sock, Socket):
+            return -errno.ENOTSOCK
+        self.net.listen(sock, backlog)
+        return 0
+
+    def _sys_accept(self, proc, args):
+        return self._accept_common(proc, args, flags=0)
+
+    def _sys_accept4(self, proc, args):
+        return self._accept_common(proc, args, flags=self._arg(args, 3))
+
+    def _accept_common(self, proc, args, flags):
+        fd, addr_ptr, _len_ptr = (self._arg(args, i) for i in range(3))
+        sock = proc.fdtable.get(fd)
+        if not isinstance(sock, Socket):
+            return -errno.ENOTSOCK
+        if not sock.listening:
+            return -errno.EINVAL
+        conn = self.net.next_connection(sock)
+        if conn is None:
+            return -errno.EAGAIN
+        conn_sock = Socket(sock.domain, sock.type, sock.protocol, connection=conn)
+        new_fd = proc.fdtable.install(conn_sock)
+        if addr_ptr:
+            # kernel-written out-parameter (§9.2's struct sockaddr)
+            proc.memory.write(addr_ptr, 2)  # AF_INET
+            proc.memory.write(addr_ptr + WORD, conn.peer_port)
+            proc.memory.write(addr_ptr + 2 * WORD, conn.peer_host)
+            self._refresh_shadow(proc, addr_ptr, SOCKADDR_SLOTS)
+        return new_fd
+
+    def _sys_connect(self, proc, args):
+        fd, addr_ptr = self._arg(args, 0), self._arg(args, 1)
+        sock = proc.fdtable.get(fd)
+        if not isinstance(sock, Socket):
+            return -errno.ENOTSOCK
+        _family, port, _host = self._read_sockaddr(proc, addr_ptr)
+        sock.connected_port = port
+        self.record("connect", proc, port=port)
+        return 0
+
+    def _sys_sendto(self, proc, args):
+        return self._sys_write(proc, args[:3])
+
+    def _sys_recvfrom(self, proc, args):
+        return self._sys_read(proc, args[:3])
+
+    def _sys_setsockopt(self, proc, args):
+        return 0
+
+    def _sys_shutdown(self, proc, args):
+        sock = proc.fdtable.get(self._arg(args, 0))
+        if not isinstance(sock, Socket):
+            return -errno.ENOTSOCK
+        if sock.connection is not None:
+            sock.connection.closed = True
+        return 0
+
+    # ------------------------------------------------------------------
+    # processes, exec, credentials
+    # ------------------------------------------------------------------
+
+    def _spawn_child(self, proc, kind):
+        child = Process(pid=self._next_pid, name="%s-child" % proc.name)
+        self._next_pid += 1
+        child.parent = proc
+        child.creds = proc.creds.clone()
+        child.mm = proc.mm
+        child.memory = proc.memory
+        # seccomp filters, the tracer, and the (shared-shadow-region)
+        # BASTION runtime are inherited (§7.1)
+        child.seccomp_filters = list(proc.seccomp_filters)
+        child.tracer = proc.tracer
+        child.bastion_runtime = proc.bastion_runtime
+        child.ledger_costs = proc.ledger_costs
+        proc.children.append(child)
+        self.processes[child.pid] = child
+        self.record(kind, proc, child_pid=child.pid)
+        return child.pid
+
+    def _sys_clone(self, proc, args):
+        return self._spawn_child(proc, "clone")
+
+    def _sys_fork(self, proc, args):
+        return self._spawn_child(proc, "fork")
+
+    def _sys_execve(self, proc, args):
+        path_ptr, argv_ptr, _envp_ptr = (self._arg(args, i) for i in range(3))
+        path = proc.memory.read_cstr(path_ptr)
+        argv = []
+        if argv_ptr:
+            for ptr in proc.memory.read_vector(argv_ptr):
+                argv.append(proc.memory.read_cstr(ptr))
+        node = self.vfs.lookup(path)
+        self.record("execve", proc, path=path, argv=argv, found=node is not None)
+        if node is None:
+            return -errno.ENOENT
+        # The simulation records the exec and lets the caller continue —
+        # real execve does not return on success (documented deviation).
+        return 0
+
+    def _sys_execveat(self, proc, args):
+        _dirfd, path_ptr, argv_ptr, envp_ptr, _flags = (
+            self._arg(args, i) for i in range(5)
+        )
+        return self._sys_execve(proc, [path_ptr, argv_ptr, envp_ptr])
+
+    def _sys_exit(self, proc, args):
+        proc.exit(self._arg(args, 0))
+        return 0
+
+    def _sys_wait4(self, proc, args):
+        if proc.children:
+            return proc.children[-1].pid
+        return -errno.ESRCH
+
+    def _sys_setuid(self, proc, args):
+        uid = self._arg(args, 0)
+        rc = proc.creds.setuid(uid)
+        self.record("setuid", proc, uid=uid, rc=rc)
+        return rc
+
+    def _sys_setgid(self, proc, args):
+        gid = self._arg(args, 0)
+        rc = proc.creds.setgid(gid)
+        self.record("setgid", proc, gid=gid, rc=rc)
+        return rc
+
+    def _sys_setreuid(self, proc, args):
+        ruid, euid = self._arg(args, 0), self._arg(args, 1)
+        rc = proc.creds.setreuid(ruid, euid)
+        self.record("setreuid", proc, ruid=ruid, euid=euid, rc=rc)
+        return rc
+
+    def _sys_chmod(self, proc, args):
+        path_ptr, mode = self._arg(args, 0), self._arg(args, 1)
+        path = proc.memory.read_cstr(path_ptr)
+        rc = self.vfs.chmod(path, mode)
+        self.record("chmod", proc, path=path, mode=mode, rc=rc)
+        return rc
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def _sys_nanosleep(self, proc, args):
+        proc.ledger.charge(100, "kernel")
+        return 0
+
+    def _sys_getrandom(self, proc, args):
+        buf, count = self._arg(args, 0), self._arg(args, 1)
+        take = min(count, ELIDE_BYTES)
+        out = []
+        state = self._rng_state
+        for _ in range(take):
+            state = (state * 6364136223846793005 + 1442695040888963407) & (
+                (1 << 64) - 1
+            )
+            out.append((state >> 33) & 0xFF)
+        self._rng_state = state
+        self._copy_bytes_to_user(proc, buf, bytes(out))
+        return count

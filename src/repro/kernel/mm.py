@@ -1,0 +1,162 @@
+"""Per-process virtual memory regions: mmap / mprotect / munmap / brk.
+
+This is where the *memory-permission* attack goals of Table 1 become
+observable: an attack that weaponizes ``mprotect`` to make a writable region
+executable flips a region to W+X here, and the kernel records the event —
+both the legitimate-use statistics (Table 4) and the attack-success oracle
+read this log.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.kernel import errno
+from repro.vm.loader import HEAP_BASE, MMAP_BASE, STACK_TOP
+from repro.vm.memory import WORD
+
+PROT_NONE = 0
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_EXEC = 4
+
+MAP_PRIVATE = 2
+MAP_ANONYMOUS = 0x20
+MAP_SHARED = 1
+MAP_FIXED = 0x10
+
+PAGE = 4096
+
+
+def _page_align(n):
+    return (n + PAGE - 1) // PAGE * PAGE
+
+
+@dataclass
+class Region:
+    """One contiguous mapping ``[start, end)`` with protection bits."""
+
+    start: int
+    end: int
+    prot: int
+    tag: str = ""
+
+    def contains(self, addr):
+        return self.start <= addr < self.end
+
+    def __repr__(self):
+        flags = "".join(
+            bit if self.prot & mask else "-"
+            for bit, mask in (("r", PROT_READ), ("w", PROT_WRITE), ("x", PROT_EXEC))
+        )
+        return "<Region %#x-%#x %s %s>" % (self.start, self.end, flags, self.tag)
+
+
+@dataclass
+class AddressSpace:
+    """A process's region list plus heap/mmap bump allocators."""
+
+    regions: list = field(default_factory=list)
+    brk: int = HEAP_BASE
+    mmap_next: int = MMAP_BASE
+
+    def map_fixed(self, start, length, prot, tag=""):
+        """Install a region at a fixed address (loader segments, stack)."""
+        region = Region(start, start + _page_align(length), prot, tag)
+        self.regions.append(region)
+        return region
+
+    def do_mmap(self, addr, length, prot, flags, tag="mmap"):
+        """``mmap``: allocate (or place) a region; returns its address."""
+        if length <= 0:
+            return -errno.EINVAL
+        length = _page_align(length)
+        if flags & MAP_FIXED and addr:
+            start = addr
+        else:
+            start = self.mmap_next
+            self.mmap_next += length + PAGE  # guard gap
+        self.regions.append(Region(start, start + length, prot, tag))
+        return start
+
+    def do_munmap(self, addr, length):
+        length = _page_align(max(length, 1))
+        end = addr + length
+        kept = []
+        found = False
+        for region in self.regions:
+            if region.end <= addr or region.start >= end:
+                kept.append(region)
+                continue
+            found = True
+            if region.start < addr:
+                kept.append(Region(region.start, addr, region.prot, region.tag))
+            if region.end > end:
+                kept.append(Region(end, region.end, region.prot, region.tag))
+        self.regions = kept
+        return 0 if found else -errno.EINVAL
+
+    def do_mprotect(self, addr, length, prot):
+        """``mprotect``: split overlapping regions and update protections."""
+        if addr % PAGE:
+            return -errno.EINVAL
+        length = _page_align(max(length, 1))
+        end = addr + length
+        touched = False
+        out = []
+        for region in self.regions:
+            if region.end <= addr or region.start >= end:
+                out.append(region)
+                continue
+            touched = True
+            if region.start < addr:
+                out.append(Region(region.start, addr, region.prot, region.tag))
+            mid_start = max(region.start, addr)
+            mid_end = min(region.end, end)
+            out.append(Region(mid_start, mid_end, prot, region.tag))
+            if region.end > end:
+                out.append(Region(end, region.end, region.prot, region.tag))
+        self.regions = out
+        return 0 if touched else -errno.ENOMEM
+
+    def do_brk(self, new_brk):
+        if new_brk > self.brk:
+            self.brk = new_brk
+        return self.brk
+
+    def region_at(self, addr):
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def prot_at(self, addr):
+        region = self.region_at(addr)
+        return region.prot if region is not None else PROT_NONE
+
+    def is_executable(self, addr):
+        return bool(self.prot_at(addr) & PROT_EXEC)
+
+    def has_wx_region(self):
+        """Any region both writable and executable (DEP defeated)?"""
+        wx = PROT_WRITE | PROT_EXEC
+        return any(region.prot & wx == wx for region in self.regions)
+
+
+def standard_layout(image):
+    """Address space for a freshly loaded image: text r-x, data rw-, stack rw-."""
+    space = AddressSpace()
+    from repro.vm.loader import DATA_BASE, TEXT_BASE
+
+    space.map_fixed(
+        TEXT_BASE, image.text_end - TEXT_BASE, PROT_READ | PROT_EXEC, "text"
+    )
+    space.map_fixed(
+        DATA_BASE,
+        max(image.data_end - DATA_BASE, PAGE),
+        PROT_READ | PROT_WRITE,
+        "data",
+    )
+    stack_len = 1 << 23  # 8 MiB of address space (words are sparse anyway)
+    space.map_fixed(
+        STACK_TOP - stack_len * WORD, stack_len * WORD, PROT_READ | PROT_WRITE, "stack"
+    )
+    return space

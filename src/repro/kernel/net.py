@@ -1,0 +1,107 @@
+"""A simulated socket layer.
+
+Connections are injected by workload generators (the wrk / dkftpbench
+stand-ins) through a *backlog provider* attached to the network stack: when
+the application calls ``accept``/``accept4``, the kernel asks the provider
+for the next pending connection on that listening socket.  Byte counters on
+the stack are the ground truth for the throughput numbers in Table 3.
+"""
+
+from dataclasses import dataclass
+
+AF_INET = 2
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+
+
+@dataclass
+class Connection:
+    """One accepted connection: an inbox the app reads, byte counters out.
+
+    The workload generator owns the inbox (client->server bytes).  Data the
+    server sends back is *counted*, and a bounded prefix is retained for
+    protocol-level assertions in tests.
+    """
+
+    peer_port: int = 0
+    peer_host: int = 0x7F000001
+    inbox: bytes = b""
+    bytes_out: int = 0
+    out_prefix: bytes = b""
+    closed: bool = False
+    #: optional callback fired on every server write (request pacing)
+    on_server_write: object = None
+
+    _OUT_KEEP = 4096
+
+    def deliver(self, data):
+        """Client -> server bytes."""
+        self.inbox += bytes(data)
+
+    def take(self, count):
+        """Server reads up to ``count`` client bytes."""
+        chunk = self.inbox[:count]
+        self.inbox = self.inbox[count:]
+        return chunk
+
+    def server_write(self, data_len, prefix=b""):
+        """Server -> client accounting; fires the workload pacing callback."""
+        self.bytes_out += data_len
+        if len(self.out_prefix) < self._OUT_KEEP:
+            self.out_prefix += bytes(prefix[: self._OUT_KEEP - len(self.out_prefix)])
+        if self.on_server_write is not None:
+            self.on_server_write(self, data_len, bytes(prefix))
+
+
+@dataclass
+class Socket:
+    """A socket object behind an fd."""
+
+    domain: int = AF_INET
+    type: int = SOCK_STREAM
+    protocol: int = 0
+    bound_port: int = 0
+    listening: bool = False
+    backlog: int = 0
+    connection: Connection = None  # set on accepted-connection sockets
+    connected_port: int = 0  # set by connect()
+
+
+class NetStack:
+    """Global network state: listeners, counters, the backlog provider."""
+
+    def __init__(self):
+        self.listeners = {}  # port -> Socket
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.accepted = 0
+        #: callable(listening_socket) -> Connection | None
+        self.backlog_provider = None
+
+    def bind(self, sock, port):
+        if port in self.listeners and self.listeners[port] is not sock:
+            return False
+        sock.bound_port = port
+        return True
+
+    def listen(self, sock, backlog):
+        sock.listening = True
+        sock.backlog = backlog
+        if sock.bound_port:
+            self.listeners[sock.bound_port] = sock
+        return True
+
+    def next_connection(self, sock):
+        """Ask the workload for the next pending connection (or None)."""
+        if self.backlog_provider is None:
+            return None
+        conn = self.backlog_provider(sock)
+        if conn is not None:
+            self.accepted += 1
+        return conn
+
+    def account_send(self, nbytes):
+        self.bytes_sent += nbytes
+
+    def account_recv(self, nbytes):
+        self.bytes_received += nbytes

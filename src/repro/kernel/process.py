@@ -1,0 +1,147 @@
+"""Process control blocks and register files."""
+
+from dataclasses import dataclass, field
+
+from repro.kernel import errno
+from repro.kernel.cred import Credentials
+from repro.syscalls.table import nr_of
+from repro.vm.costs import DEFAULT_COSTS, CycleLedger
+from repro.vm.memory import Memory
+
+
+@dataclass
+class RegisterFile:
+    """The registers the monitor sees through PTRACE_GETREGS at a stop.
+
+    On x86-64, syscall arguments arrive in rdi, rsi, rdx, r10, r8, r9 with
+    the syscall number in rax; rip points at the syscall instruction, rbp
+    is the frame pointer the monitor's unwinder walks.
+    """
+
+    rax: int = 0
+    rdi: int = 0
+    rsi: int = 0
+    rdx: int = 0
+    r10: int = 0
+    r8: int = 0
+    r9: int = 0
+    rip: int = 0
+    rbp: int = 0
+    rsp: int = 0
+
+    ARG_ORDER = ("rdi", "rsi", "rdx", "r10", "r8", "r9")
+
+    def syscall_args(self):
+        return tuple(getattr(self, reg) for reg in self.ARG_ORDER)
+
+    def arg(self, position):
+        """1-based syscall argument."""
+        return getattr(self, self.ARG_ORDER[position - 1])
+
+    def copy(self):
+        return RegisterFile(
+            self.rax,
+            self.rdi,
+            self.rsi,
+            self.rdx,
+            self.r10,
+            self.r8,
+            self.r9,
+            self.rip,
+            self.rbp,
+            self.rsp,
+        )
+
+
+class FDTable:
+    """Per-process file descriptor table."""
+
+    MAX_FDS = 1024
+
+    def __init__(self):
+        self._table = {}
+        self._next = 3  # 0/1/2 reserved for std streams
+
+    def install(self, obj):
+        if len(self._table) >= self.MAX_FDS:
+            return -errno.EMFILE
+        fd = self._next
+        while fd in self._table:
+            fd += 1
+        self._table[fd] = obj
+        self._next = fd + 1
+        return fd
+
+    def get(self, fd):
+        return self._table.get(fd)
+
+    def close(self, fd):
+        if fd in self._table:
+            del self._table[fd]
+            return 0
+        return -errno.EBADF
+
+    def dup(self, fd):
+        obj = self._table.get(fd)
+        if obj is None:
+            return -errno.EBADF
+        return self.install(obj)
+
+    def __len__(self):
+        return len(self._table)
+
+
+@dataclass
+class Process:
+    """A simulated process: memory, registers, fds, creds, seccomp, tracer."""
+
+    pid: int
+    name: str = "app"
+    memory: Memory = field(default_factory=Memory)
+    regs: RegisterFile = field(default_factory=RegisterFile)
+    fdtable: FDTable = field(default_factory=FDTable)
+    creds: Credentials = field(default_factory=Credentials)
+    mm: object = None  # AddressSpace, set at load time
+    seccomp_filters: list = field(default_factory=list)
+    tracer: object = None  # BastionMonitor (or any on_syscall_stop object)
+    parent: object = None
+    children: list = field(default_factory=list)
+
+    alive: bool = True
+    exited: bool = False
+    exit_code: int = 0
+    kill_reason: str = None
+
+    #: cycle accounting for this run (CPU + kernel + monitor all charge here)
+    ledger: CycleLedger = field(default_factory=CycleLedger)
+    ledger_costs: object = DEFAULT_COSTS
+
+    #: per-syscall dispatch counts (Table 4's ground truth)
+    syscall_counts: dict = field(default_factory=dict)
+    trace_log: list = field(default_factory=list)
+
+    #: BASTION pieces attached by the monitor at launch
+    bastion_runtime: object = None
+    cpu: object = None
+
+    def set_registers(self, syscall_name, args, rip, rbp, rsp):
+        """Materialize the register file at a syscall instruction."""
+        regs = self.regs
+        regs.rax = nr_of(syscall_name)
+        padded = list(args) + [0] * (6 - len(args))
+        regs.rdi, regs.rsi, regs.rdx, regs.r10, regs.r8, regs.r9 = padded[:6]
+        regs.rip = rip
+        regs.rbp = rbp
+        regs.rsp = rsp
+
+    def kill(self, reason):
+        self.alive = False
+        self.kill_reason = reason
+
+    def exit(self, code):
+        self.alive = False
+        self.exited = True
+        self.exit_code = code
+
+    def count_syscall(self, name):
+        self.syscall_counts[name] = self.syscall_counts.get(name, 0) + 1

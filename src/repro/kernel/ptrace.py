@@ -1,0 +1,92 @@
+"""The monitor's view into a traced process.
+
+The BASTION monitor runs in a separate process and can only learn about the
+protected application through this interface (§7.1): PTRACE_GETREGS for the
+register file, PTRACE_PEEKDATA / ``process_vm_readv`` for memory (stack
+frames, argument pointees, the shadow region).  Every call charges realistic
+cycle costs to the run's ledger — the dominant overhead the paper measures
+in Table 7.
+
+For the §11.2 ablation ("run the monitor inside the kernel"), construct the
+handle with ``transport="inkernel"``: the same API, but each access costs a
+direct memory read instead of a cross-process round trip.
+"""
+
+from repro.errors import MonitorError
+from repro.vm.memory import WORD
+
+
+class PtraceHandle:
+    """Tracer-side accessor for one traced process."""
+
+    def __init__(self, proc, costs, transport="ptrace"):
+        if transport not in ("ptrace", "inkernel"):
+            raise MonitorError("unknown ptrace transport %r" % transport)
+        self.proc = proc
+        self.costs = costs
+        self.transport = transport
+        self.getregs_calls = 0
+        self.peek_calls = 0
+        self.readv_calls = 0
+        self.words_read = 0
+
+    # -- cost helpers -------------------------------------------------------
+
+    def _charge(self, ptrace_cost, nwords=0):
+        ledger = self.proc.ledger
+        if self.transport == "inkernel":
+            ledger.charge(
+                self.costs.inkernel_state_access + nwords, "monitor"
+            )
+        else:
+            ledger.charge(ptrace_cost + self.costs.readv_per_word * nwords, "ptrace")
+
+    # -- the ptrace surface ---------------------------------------------------
+
+    def getregs(self):
+        """PTRACE_GETREGS: a copy of the stopped process's registers."""
+        self.getregs_calls += 1
+        self._charge(self.costs.ptrace_getregs)
+        return self.proc.regs.copy()
+
+    def peekdata(self, addr):
+        """PTRACE_PEEKDATA: one word of tracee memory."""
+        self.peek_calls += 1
+        self.words_read += 1
+        self._charge(self.costs.ptrace_peek, 1)
+        return self.proc.memory.read(addr)
+
+    def readv(self, addr, nwords):
+        """process_vm_readv: a block of tracee memory in one round trip."""
+        self.readv_calls += 1
+        self.words_read += nwords
+        self._charge(self.costs.readv_base, nwords)
+        return self.proc.memory.read_block(addr, nwords)
+
+    def read_cstr(self, addr, max_slots=256):
+        """Read a NUL-terminated string via chunked readv."""
+        chars = []
+        chunk = 32
+        offset = 0
+        while offset < max_slots:
+            words = self.readv(addr + offset * WORD, chunk)
+            for word in words:
+                if word == 0:
+                    return "".join(chars)
+                chars.append(chr(word & 0x10FFFF))
+            offset += chunk
+        return "".join(chars)
+
+    def read_vector(self, addr, max_entries=32):
+        """Read a NULL-terminated pointer vector via readv."""
+        words = self.readv(addr, max_entries)
+        out = []
+        for word in words:
+            if word == 0:
+                break
+            out.append(word)
+        return out
+
+    def kill_tracee(self, reason):
+        """Terminate the tracee (the monitor's verdict on a violation)."""
+        self.proc.kill(reason)

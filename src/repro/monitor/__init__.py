@@ -1,0 +1,25 @@
+"""The BASTION runtime monitor (§7).
+
+A separate "process" that can only observe the protected application through
+ptrace / ``process_vm_readv``:
+
+- :mod:`repro.monitor.policy` — which contexts are enforced (the Figure 3
+  configurations) and the Table 7 decomposition modes;
+- :mod:`repro.monitor.unwind` — frame-pointer stack unwinding over ptrace;
+- :mod:`repro.monitor.verify` — the three context verifiers (CT, CF, AI);
+- :mod:`repro.monitor.monitor` — initialization (metadata load, symbol
+  resolution, seccomp filter install, shadow-region setup) and the
+  syscall-stop handler.
+"""
+
+from repro.monitor.policy import ContextPolicy
+from repro.monitor.monitor import BastionMonitor, SyscallIntegrityViolation
+from repro.monitor.unwind import Frame, unwind_stack
+
+__all__ = [
+    "ContextPolicy",
+    "BastionMonitor",
+    "SyscallIntegrityViolation",
+    "Frame",
+    "unwind_stack",
+]

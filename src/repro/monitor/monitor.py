@@ -1,0 +1,236 @@
+"""The BASTION monitor process (§7).
+
+Lifecycle (§7.1):
+
+1. **Load metadata** and resolve its symbolic program points against the
+   binary image (the ELF/DWARF step of the paper).
+2. **Launch** the protected application: create the process, seed the
+   shadow-memory region in *its* address space (initial shadow copies of
+   statically-identified sensitive globals), build and install the seccomp
+   filter (ALLOW non-sensitive, KILL not-callable, TRACE sensitive), and
+   attach as tracer.
+3. **Handle syscall stops**: on each ``SECCOMP_RET_TRACE`` stop, fetch
+   registers, unwind the stack, and verify Call-Type, then Control-Flow,
+   then Argument-Integrity; kill the application on the first violation.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.kernel.ptrace import PtraceHandle
+from repro.kernel.seccomp import (
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_TRACE,
+    build_action_filter,
+)
+from repro.monitor.policy import ContextPolicy
+from repro.monitor.unwind import unwind_stack
+from repro.monitor.verify import ContextVerifier, Violation
+from repro.runtime.bastion_rt import BastionRuntime
+from repro.syscalls.table import SYSCALLS
+from repro.vm.costs import DEFAULT_COSTS
+from repro.vm.cpu import CPU, CPUOptions
+
+
+#: Backwards-friendly alias: a violation *is* the integrity failure record.
+SyscallIntegrityViolation = Violation
+
+
+@dataclass
+class _ResolvedMetadata:
+    """Metadata with program points resolved to code addresses."""
+
+    valid_callers: dict = field(default_factory=dict)  # func -> set(addr)
+    indirect_sites: set = field(default_factory=set)
+    callsites: dict = field(default_factory=dict)  # addr -> CallsiteMeta
+    address_taken: set = field(default_factory=set)
+    global_field_slots: tuple = ()  # absolute addresses of sensitive fields
+
+
+class BastionMonitor:
+    """Runtime enforcement monitor for one protected application."""
+
+    def __init__(self, artifact, policy=None, costs=DEFAULT_COSTS):
+        self.artifact = artifact
+        self.metadata = artifact.metadata
+        self.policy = policy or ContextPolicy.full()
+        self.costs = costs
+        self.image = artifact.image()
+        self.resolved = self._resolve_metadata()
+        self.verifier = ContextVerifier(
+            self.metadata, self.image, self.resolved, costs
+        )
+        self.verifier.charge_checks = self.policy.enforcing
+
+        #: kernel consults these: hook-only mode skips the trace-stop cost,
+        #: an in-kernel monitor never context-switches (§11.2 ablation)
+        self.stops_at_trace = self.policy.mode != "hook_only"
+        self.in_kernel = self.policy.transport == "inkernel"
+
+        self.hook_count = 0
+        self.hook_counts = {}
+        self.violations = []
+        self.max_unwind_depth = 0
+        self.unwind_depth_total = 0
+        self.unwind_samples = 0
+
+    # ------------------------------------------------------------------
+    # initialization (§7.1)
+    # ------------------------------------------------------------------
+
+    def _resolve_metadata(self):
+        """Turn SiteKeys into code addresses using the program image."""
+        image = self.image
+        resolved = _ResolvedMetadata()
+
+        def addr(site_key):
+            return image.addr_of(site_key.func, site_key.index)
+
+        for callee, sites in self.metadata.valid_callers.items():
+            resolved.valid_callers[callee] = {addr(s) for s in sites}
+        resolved.indirect_sites = {addr(s) for s in self.metadata.indirect_sites}
+        resolved.callsites = {
+            addr(meta.site): meta for meta in self.metadata.callsites.values()
+        }
+        resolved.address_taken = set(self.metadata.address_taken)
+        resolved.global_field_slots = tuple(
+            image.global_addr[name] + 8 * offset
+            for name, offset in self.metadata.global_field_slots
+            if name in image.global_addr
+        )
+        return resolved
+
+    def build_filter(self):
+        """The seccomp-BPF program of §7.1.
+
+        - not-callable syscalls (never used by the program): KILL;
+        - used sensitive syscalls: TRACE (stop into this monitor);
+        - everything else: ALLOW.
+        """
+        actions = {}
+        used = self.metadata.call_types
+        sensitive = set(self.metadata.sensitive_set)
+        for entry in SYSCALLS:
+            if entry.name not in used:
+                # KILLing not-callable syscalls is the coarse half of the
+                # call-type context; without CT the filter only TRACEs the
+                # sensitive set so the other contexts still get their stops.
+                if self.policy.call_type:
+                    actions[entry.nr] = SECCOMP_RET_KILL_PROCESS
+                elif entry.name in sensitive:
+                    actions[entry.nr] = SECCOMP_RET_TRACE
+            elif entry.name in sensitive:
+                actions[entry.nr] = SECCOMP_RET_TRACE
+        return build_action_filter(actions, label="bastion:%s" % self.metadata.program)
+
+    def launch(self, kernel, cpu_options=None):
+        """Fork + set up the protected application; returns ``(proc, cpu)``.
+
+        The caller drives ``cpu.run()``; the monitor fields syscall stops.
+        """
+        proc = kernel.create_process(self.metadata.program, self.image)
+        runtime = BastionRuntime(proc)
+        runtime.initialize_globals(self.image, self.metadata.sensitive_globals)
+        proc.bastion_runtime = runtime
+        kernel.install_seccomp(proc, self.build_filter())
+        proc.tracer = self
+        options = cpu_options or CPUOptions(cet=True)
+        cpu = CPU(self.image, proc, kernel, options)
+        return proc, cpu
+
+    # ------------------------------------------------------------------
+    # syscall stops (§7.2–§7.4)
+    # ------------------------------------------------------------------
+
+    def on_syscall_stop(self, proc, syscall_name):
+        """Called by the kernel at each SECCOMP_RET_TRACE stop."""
+        self.hook_count += 1
+        self.hook_counts[syscall_name] = self.hook_counts.get(syscall_name, 0) + 1
+        policy = self.policy
+        if policy.mode == "hook_only":
+            return
+
+        pt = PtraceHandle(proc, self.costs, transport=policy.transport)
+        regs = pt.getregs()
+
+        func_name = self.image.func_containing(regs.rip)
+        if func_name is None:
+            self._verdict(
+                pt,
+                Violation("call-type", syscall_name, "syscall outside text", regs.rip),
+            )
+            return
+        known = self.metadata.syscall_functions.get(func_name, ())
+        if syscall_name not in known:
+            self._verdict(
+                pt,
+                Violation(
+                    "call-type",
+                    syscall_name,
+                    "syscall from unexpected function %s" % func_name,
+                    regs.rip,
+                ),
+            )
+            return
+        func = self.image.module.functions[func_name]
+        inline = not func.is_wrapper
+
+        # Call-type alone only needs the invoking callsite (one frame); the
+        # control-flow and argument-integrity contexts walk the whole stack.
+        if policy.control_flow or policy.arg_integrity:
+            max_frames = 64
+        else:
+            max_frames = 1
+        frames = unwind_stack(pt, regs, self.image, max_frames=max_frames)
+        depth = len(frames)
+        self.max_unwind_depth = max(self.max_unwind_depth, depth)
+        self.unwind_depth_total += depth
+        self.unwind_samples += 1
+
+        enforce = policy.enforcing
+
+        if policy.call_type:
+            verdict = self.verifier.verify_call_type(
+                pt, regs, syscall_name, frames, inline
+            )
+            if verdict is not None and enforce:
+                self._verdict(pt, verdict)
+                return
+        if policy.control_flow:
+            verdict = self.verifier.verify_control_flow(
+                pt, regs, syscall_name, frames
+            )
+            if verdict is not None and enforce:
+                self._verdict(pt, verdict)
+                return
+        if policy.arg_integrity:
+            verdict = self.verifier.verify_arg_integrity(
+                pt, regs, syscall_name, frames, inline, enforce
+            )
+            if verdict is not None and enforce:
+                self._verdict(pt, verdict)
+                return
+
+    def _verdict(self, pt, violation):
+        """Record the violation and kill the protected application (§7.2)."""
+        self.violations.append(violation)
+        pt.kill_tracee(str(violation))
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def average_unwind_depth(self):
+        if not self.unwind_samples:
+            return 0.0
+        return self.unwind_depth_total / self.unwind_samples
+
+    def summary(self):
+        lines = [
+            "BASTION monitor [%s] for %s"
+            % (self.policy.label(), self.metadata.program),
+            "  hooks: %d  violations: %d" % (self.hook_count, len(self.violations)),
+        ]
+        for name, count in sorted(self.hook_counts.items(), key=lambda kv: -kv[1]):
+            lines.append("  %-18s %d" % (name, count))
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Monitor enforcement policy: which contexts run, and how state is fetched.
+
+The Figure 3 ladder (CET -> CET+CT -> CET+CT+CF -> CET+CT+CF+AI) is a
+sequence of policies; the Table 7 decomposition (hook only / fetch state /
+full checking) is the ``mode`` axis; the §11.2 in-kernel ablation is the
+``transport`` axis.
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ContextPolicy:
+    """What the monitor enforces at each sensitive-syscall stop."""
+
+    call_type: bool = True
+    control_flow: bool = True
+    arg_integrity: bool = True
+    #: 'full' enforces; 'fetch_state' performs every ptrace/shadow read but
+    #: suppresses verdicts; 'hook_only' returns immediately at the stop.
+    mode: str = "full"
+    #: 'ptrace' (separate monitor process) or 'inkernel' (§11.2 ablation).
+    transport: str = "ptrace"
+
+    def __post_init__(self):
+        if self.mode not in ("full", "fetch_state", "hook_only"):
+            raise ValueError("bad monitor mode %r" % self.mode)
+        if self.transport not in ("ptrace", "inkernel"):
+            raise ValueError("bad monitor transport %r" % self.transport)
+
+    # -- Figure 3 ladder -----------------------------------------------------
+
+    @staticmethod
+    def ct_only():
+        return ContextPolicy(call_type=True, control_flow=False, arg_integrity=False)
+
+    @staticmethod
+    def ct_cf():
+        return ContextPolicy(call_type=True, control_flow=True, arg_integrity=False)
+
+    @staticmethod
+    def full():
+        return ContextPolicy()
+
+    @staticmethod
+    def cf_only():
+        return ContextPolicy(call_type=False, control_flow=True, arg_integrity=False)
+
+    @staticmethod
+    def ai_only():
+        return ContextPolicy(call_type=False, control_flow=False, arg_integrity=True)
+
+    # -- Table 7 decomposition -------------------------------------------------
+
+    def as_hook_only(self):
+        return replace(self, mode="hook_only")
+
+    def as_fetch_state(self):
+        return replace(self, mode="fetch_state")
+
+    # -- §11.2 ablation -----------------------------------------------------------
+
+    def as_inkernel(self):
+        return replace(self, transport="inkernel")
+
+    @property
+    def enforcing(self):
+        return self.mode == "full"
+
+    def label(self):
+        if not (self.call_type or self.control_flow or self.arg_integrity):
+            return "monitor-only"
+        parts = []
+        if self.call_type:
+            parts.append("CT")
+        if self.control_flow:
+            parts.append("CF")
+        if self.arg_integrity:
+            parts.append("AI")
+        return "+".join(parts)

@@ -1,0 +1,70 @@
+"""Frame-pointer stack unwinding over the ptrace transport (§7.3).
+
+The monitor walks the tracee's rbp chain: each frame holds
+``[saved_fp, return_address]`` at ``[fp, fp+8]``.  Every hop is one real
+``process_vm_readv`` with its cycle cost — the paper's dominant runtime
+expense when the protected set grows (Table 7).
+
+The walk also *decodes the call instruction* at ``return_address - 4`` in
+the program image, classifying each hop as a direct call, an indirect call,
+or not-a-callsite (the smoking gun of a ROP return).
+"""
+
+from dataclasses import dataclass
+
+from repro.vm.loader import INSTR_STRIDE
+from repro.vm.memory import WORD
+
+
+@dataclass
+class Frame:
+    """One unwound stack frame.
+
+    Attributes:
+        func: name of the function this frame belongs to (None if the frame
+            pointer was hijacked to garbage).
+        fp: the frame pointer value.
+        return_addr: saved return address (0 at the main sentinel).
+        callsite_addr: ``return_addr - 4`` (None at the bottom).
+        kind: 'direct' | 'indirect' | None (not a call instruction) |
+            'bottom' (main sentinel reached).
+    """
+
+    func: str
+    fp: int
+    return_addr: int
+    callsite_addr: int = None
+    kind: str = None
+
+
+def unwind_stack(pt, regs, image, max_frames=64):
+    """Unwind the tracee stack from a syscall stop; returns ``[Frame, ...]``.
+
+    The first frame is the one containing the trapped syscall instruction
+    (its ``callsite_addr`` is the call that *invoked* that function).  The
+    walk stops at the main sentinel (return address 0), at a hijacked chain
+    (unresolvable return address), or after ``max_frames``.
+    """
+    frames = []
+    fp = regs.rbp
+    func = image.func_containing(regs.rip)
+    while len(frames) < max_frames:
+        saved_fp, return_addr = pt.readv(fp, 2)
+        if return_addr == 0:
+            frames.append(Frame(func, fp, 0, None, "bottom"))
+            break
+        callsite_addr = return_addr - INSTR_STRIDE
+        kind = image.call_kind_at(callsite_addr)
+        frames.append(Frame(func, fp, return_addr, callsite_addr, kind))
+        if kind is None:
+            break  # corrupted chain: nothing above can be trusted
+        func = image.func_containing(callsite_addr)
+        fp = saved_fp
+        if func is None:
+            break
+    return frames
+
+
+def callee_param_slot(frame, position):
+    """Address of the callee's ``position``-th (1-based) parameter slot."""
+    return frame.fp - WORD * position

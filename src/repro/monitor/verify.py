@@ -1,0 +1,394 @@
+"""The three context verifiers (§7.2–§7.4).
+
+Each verifier receives only what a real out-of-process monitor has: the
+register file from PTRACE_GETREGS, the unwound frames, the program image
+(for decoding call kinds at return addresses), the compiler metadata, and
+ptrace-mediated reads of the tracee's memory and shadow region.
+
+Verdicts are :class:`Violation` records naming the violated context; the
+monitor turns a verdict into a kill (§7.2: "assumes this is an attack
+attempt and immediately kills the protected application").
+"""
+
+from dataclasses import dataclass
+
+from repro.monitor.unwind import callee_param_slot
+from repro.runtime.shadow_table import (
+    BIND_MEM,
+    BINDINGS_LAYOUT,
+    COPIES_LAYOUT,
+    ShadowTableReader,
+)
+from repro.syscalls.argspec import ArgKind, argspec_for
+from repro.vm.memory import WORD
+
+
+@dataclass
+class Violation:
+    """One detected context violation."""
+
+    context: str  # 'call-type' | 'control-flow' | 'arg-integrity'
+    syscall: str
+    detail: str
+    rip: int = 0
+
+    def __str__(self):
+        return "[%s] %s: %s (rip=%#x)" % (
+            self.context,
+            self.syscall,
+            self.detail,
+            self.rip,
+        )
+
+
+#: pointee verification bound for extended arguments (slots)
+MAX_EXTENDED_SLOTS = 64
+
+
+class ContextVerifier:
+    """Stateless-per-stop verification engine shared by the monitor."""
+
+    def __init__(self, metadata, image, resolved, costs):
+        """``resolved`` is the monitor's address-resolved metadata view.
+
+        Required attributes: ``valid_callers`` (func -> set of callsite
+        addresses), ``indirect_sites`` (set of addresses), ``callsites``
+        (address -> CallsiteMeta), ``address_taken`` (set of names).
+        """
+        self.metadata = metadata
+        self.image = image
+        self.resolved = resolved
+        self.costs = costs
+        #: fetch-state mode performs the reads but not the comparisons;
+        #: only enforcing runs charge the comparison cost (Table 7 rows 2/3)
+        self.charge_checks = True
+
+    def _charge_check(self, pt):
+        if self.charge_checks:
+            pt.proc.ledger.charge(self.costs.monitor_check, "monitor")
+
+    # ------------------------------------------------------------------
+    # §7.2 call-type context
+    # ------------------------------------------------------------------
+
+    def verify_call_type(self, pt, regs, syscall_name, frames, inline):
+        """Check which call kind reached the syscall against the metadata."""
+        self._charge_check(pt)
+        allowed = self.metadata.call_types.get(syscall_name)
+        if not allowed:
+            return Violation(
+                "call-type", syscall_name, "not-callable syscall invoked", regs.rip
+            )
+        if inline:
+            # An inline syscall instruction is by definition a direct use.
+            if not allowed.get("direct"):
+                return Violation(
+                    "call-type",
+                    syscall_name,
+                    "inline syscall but only indirect use is permitted",
+                    regs.rip,
+                )
+            return None
+
+        frame0 = frames[0]
+        kind = frame0.kind
+        if kind in ("bottom", None):
+            # The wrapper was entered without a decodeable call (ROP's
+            # return-into-wrapper).  The call-type context only reasons
+            # about *how a call invokes* a syscall; a missing call is a
+            # control-flow property and is caught there (Table 6 classifies
+            # ROP as bypassing CT but caught by CF/AI).
+            return None
+        if kind == "direct":
+            if not allowed.get("direct"):
+                return Violation(
+                    "call-type",
+                    syscall_name,
+                    "direct invocation of an indirect-only syscall",
+                    regs.rip,
+                )
+            return None
+        # indirect
+        if not allowed.get("indirect"):
+            return Violation(
+                "call-type",
+                syscall_name,
+                "indirect invocation of a direct-only syscall",
+                regs.rip,
+            )
+        self._charge_check(pt)
+        if frame0.callsite_addr not in self.resolved.indirect_sites:
+            return Violation(
+                "call-type",
+                syscall_name,
+                "indirect call from an unknown callsite %#x" % frame0.callsite_addr,
+                regs.rip,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # §7.3 control-flow context
+    # ------------------------------------------------------------------
+
+    def verify_control_flow(self, pt, regs, syscall_name, frames):
+        """Edge-check every callee→caller hop until main or an indirect call."""
+        for frame in frames:
+            self._charge_check(pt)
+            if frame.kind == "bottom":
+                # main's sentinel — or a thread's: clone()-start routines
+                # are legitimate stack bottoms (§7.1)
+                if (
+                    frame.func != self.metadata.entry
+                    and frame.func not in self.metadata.thread_entries
+                ):
+                    return Violation(
+                        "control-flow",
+                        syscall_name,
+                        "stack bottoms out in %r, not %s or a thread entry"
+                        % (frame.func, self.metadata.entry),
+                        regs.rip,
+                    )
+                return None
+            if frame.kind is None:
+                return Violation(
+                    "control-flow",
+                    syscall_name,
+                    "return address %#x does not follow a call" % frame.return_addr,
+                    regs.rip,
+                )
+            if frame.kind == "indirect":
+                # Partial-trace termination (§7.3): the callsite must be a
+                # legitimate indirect callsite and the callee address-taken.
+                if frame.callsite_addr not in self.resolved.indirect_sites:
+                    return Violation(
+                        "control-flow",
+                        syscall_name,
+                        "indirect callsite %#x not in the binary"
+                        % frame.callsite_addr,
+                        regs.rip,
+                    )
+                if frame.func not in self.metadata.address_taken:
+                    return Violation(
+                        "control-flow",
+                        syscall_name,
+                        "function %r reached indirectly but never address-taken"
+                        % frame.func,
+                        regs.rip,
+                    )
+                return None
+            # direct edge: caller callsite must be in the callee's list
+            valid = self.resolved.valid_callers.get(frame.func)
+            if not valid or frame.callsite_addr not in valid:
+                return Violation(
+                    "control-flow",
+                    syscall_name,
+                    "%s called from illegitimate callsite %s"
+                    % (frame.func, self.image.describe(frame.callsite_addr)),
+                    regs.rip,
+                )
+        return Violation(
+            "control-flow", syscall_name, "stack unwind exhausted", regs.rip
+        )
+
+    # ------------------------------------------------------------------
+    # §7.4 argument-integrity context
+    # ------------------------------------------------------------------
+
+    def verify_arg_integrity(self, pt, regs, syscall_name, frames, inline, enforce):
+        """Verify bound arguments at the syscall callsite and up the stack."""
+        copies = ShadowTableReader(pt.readv, COPIES_LAYOUT)
+        bindings = ShadowTableReader(pt.readv, BINDINGS_LAYOUT)
+
+        syscall_site = regs.rip if inline else frames[0].callsite_addr
+        meta = self.resolved.callsites.get(syscall_site)
+        if meta is None or meta.syscall is None:
+            if enforce:
+                return Violation(
+                    "arg-integrity",
+                    syscall_name,
+                    "no binding metadata for syscall callsite %s"
+                    % self.image.describe(syscall_site or 0),
+                    regs.rip,
+                )
+            return None
+
+        verdict = self._verify_syscall_site(
+            pt, regs, syscall_name, syscall_site, meta, copies, bindings, enforce
+        )
+        if verdict is not None:
+            return verdict
+
+        # Sensitive struct fields living in globals are verified in place
+        # ("verifies integrity of all sensitive variables", §7.4): this is
+        # what catches data-only corruption of e.g. ngx_exec_ctx_t.path
+        # performed entirely through legitimate control flow.
+        for slot_addr in self.resolved.global_field_slots:
+            self._charge_check(pt)
+            shadow = self._shadow_value(copies, slot_addr)
+            if shadow is None:
+                continue  # field not initialized yet on this path
+            actual = pt.peekdata(slot_addr)
+            if enforce and actual != shadow:
+                return Violation(
+                    "arg-integrity",
+                    syscall_name,
+                    "sensitive global field at %#x corrupted (%d != shadow %d)"
+                    % (slot_addr, actual, shadow),
+                    regs.rip,
+                )
+
+        # Walk the remaining frames: pass-through callsites carrying
+        # sensitive variables (Figure 2's foo -> bar flags binding).
+        for frame in frames[1:]:
+            if frame.kind in ("bottom", None):
+                break
+            frame_meta = self.resolved.callsites.get(frame.callsite_addr)
+            if frame_meta is None:
+                continue
+            verdict = self._verify_passthrough_site(
+                pt, regs, syscall_name, frame, frame_meta, copies, enforce
+            )
+            if verdict is not None:
+                return verdict
+        return None
+
+    def _shadow_value(self, copies, addr):
+        entry = copies.get(addr)
+        return None if entry is None else entry[0]
+
+    def _verify_syscall_site(
+        self, pt, regs, syscall_name, site_addr, meta, copies, bindings, enforce
+    ):
+        spec = argspec_for(syscall_name)
+        record = bindings.get(site_addr)  # [argmask, (kind, payload) x 6]
+        for binding in meta.binds:
+            self._charge_check(pt)
+            actual = regs.arg(binding.position)
+            if binding.kind == "const":
+                if enforce and actual != binding.value:
+                    return Violation(
+                        "arg-integrity",
+                        syscall_name,
+                        "arg%d: constant %d corrupted to %d"
+                        % (binding.position, binding.value, actual),
+                        regs.rip,
+                    )
+            else:
+                if record is None:
+                    if enforce:
+                        return Violation(
+                            "arg-integrity",
+                            syscall_name,
+                            "no runtime binding record for callsite",
+                            regs.rip,
+                        )
+                    continue
+                kind = record[1 + (binding.position - 1) * 2]
+                payload = record[2 + (binding.position - 1) * 2]
+                if kind != BIND_MEM:
+                    if enforce:
+                        return Violation(
+                            "arg-integrity",
+                            syscall_name,
+                            "arg%d: binding record missing/clobbered"
+                            % binding.position,
+                            regs.rip,
+                        )
+                    continue
+                expected = self._shadow_value(copies, payload)
+                if enforce and expected is None:
+                    return Violation(
+                        "arg-integrity",
+                        syscall_name,
+                        "arg%d: bound variable has no shadow copy"
+                        % binding.position,
+                        regs.rip,
+                    )
+                if enforce and expected != actual:
+                    return Violation(
+                        "arg-integrity",
+                        syscall_name,
+                        "arg%d: value %d, shadow copy %d"
+                        % (binding.position, actual, expected),
+                        regs.rip,
+                    )
+            # Extended arguments: also verify pointee memory (§6.3.2).
+            arg_kind = spec.kind(binding.position)
+            if arg_kind == ArgKind.EXTENDED and actual > 0:
+                verdict = self._verify_pointee(
+                    pt, regs, syscall_name, binding.position, actual, copies, enforce
+                )
+                if verdict is not None:
+                    return verdict
+            elif arg_kind == ArgKind.VECTOR and actual > 0:
+                pointers = pt.read_vector(actual, 16)
+                for ptr in pointers:
+                    verdict = self._verify_pointee(
+                        pt, regs, syscall_name, binding.position, ptr, copies, enforce
+                    )
+                    if verdict is not None:
+                        return verdict
+            # OUT_SOCKADDR (§9.2 fast path): kernel-written output — the
+            # pointer itself was verified above; the pointee is exempt.
+        return None
+
+    def _verify_pointee(
+        self, pt, regs, syscall_name, position, pointer, copies, enforce
+    ):
+        """Compare pointee slots against their shadow copies.
+
+        Slots without a shadow entry are not tracked (e.g. kernel-written or
+        dynamically allocated data) and are skipped — statically identified
+        buffers (sensitive globals, struct fields) are always tracked.
+        """
+        for i in range(MAX_EXTENDED_SLOTS):
+            slot_addr = pointer + i * WORD
+            actual = pt.peekdata(slot_addr)
+            shadow = self._shadow_value(copies, slot_addr)
+            if shadow is not None and enforce and shadow != actual:
+                return Violation(
+                    "arg-integrity",
+                    syscall_name,
+                    "arg%d: pointee slot %d corrupted (%d != shadow %d)"
+                    % (position, i, actual, shadow),
+                    regs.rip,
+                )
+            if actual == 0:
+                break  # NUL terminator / end of tracked buffer
+        return None
+
+    def _verify_passthrough_site(
+        self, pt, regs, syscall_name, frame, meta, copies, enforce
+    ):
+        """Verify callee parameter slots against bound caller variables."""
+        bindings = ShadowTableReader(pt.readv, BINDINGS_LAYOUT)
+        record = bindings.get(frame.callsite_addr)
+        for binding in meta.binds:
+            self._charge_check(pt)
+            actual = pt.peekdata(callee_param_slot(frame, binding.position))
+            if binding.kind == "const":
+                if enforce and actual != binding.value:
+                    return Violation(
+                        "arg-integrity",
+                        syscall_name,
+                        "frame %s arg%d: constant %d corrupted to %d"
+                        % (frame.func, binding.position, binding.value, actual),
+                        regs.rip,
+                    )
+                continue
+            if record is None:
+                continue  # callsite never executed a bind on this path
+            kind = record[1 + (binding.position - 1) * 2]
+            payload = record[2 + (binding.position - 1) * 2]
+            if kind != BIND_MEM:
+                continue
+            expected = self._shadow_value(copies, payload)
+            if enforce and expected is not None and expected != actual:
+                return Violation(
+                    "arg-integrity",
+                    syscall_name,
+                    "frame %s arg%d: value %d, shadow copy %d"
+                    % (frame.func, binding.position, actual, expected),
+                    regs.rip,
+                )
+        return None

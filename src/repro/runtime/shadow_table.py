@@ -1,0 +1,130 @@
+"""Open-addressing shadow-memory tables laid out in simulated memory.
+
+§7.1: "It is an open-addressing hash table maintaining a shadow copy (i.e.,
+legitimate value) of a sensitive variable and argument binding information
+... The key to access this hash table data is an address."
+
+Two tables share the shadow region:
+
+- the **copies** table: ``variable address -> shadow copy`` (2-word entries);
+- the **bindings** table: ``callsite address -> 6 x (kind, payload)``
+  argument-binding records (14-word entries).
+
+Both the application-side writer (:class:`ShadowTable`) and the monitor-side
+reader (:class:`ShadowTableReader`) derive slot addresses from the same
+:class:`ShadowTableLayout`, so the monitor can find entries using nothing
+but ``process_vm_readv`` — no shared Python state.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.vm.loader import SHADOW_BASE
+from repro.vm.memory import WORD
+
+#: binding kinds stored in entry slots
+BIND_EMPTY = 0
+BIND_MEM = 1
+BIND_CONST = 2
+
+_HASH_MULT = 2654435761  # Knuth multiplicative hashing
+
+
+@dataclass(frozen=True)
+class ShadowTableLayout:
+    """Geometry of one table inside the shadow region."""
+
+    base: int
+    capacity: int  # number of entries; power of two
+    entry_words: int  # words per entry, including the key word
+
+    def __post_init__(self):
+        if self.capacity & (self.capacity - 1):
+            raise ReproError("shadow table capacity must be a power of two")
+
+    def entry_addr(self, slot):
+        return self.base + slot * self.entry_words * WORD
+
+    def probe_sequence(self, key):
+        """Linear-probe slot order for ``key`` (addresses are word-aligned)."""
+        start = ((key >> 3) * _HASH_MULT) & (self.capacity - 1)
+        for i in range(self.capacity):
+            yield (start + i) & (self.capacity - 1)
+
+
+#: shadow copies: 32Ki entries x (key, value)
+COPIES_LAYOUT = ShadowTableLayout(SHADOW_BASE, 1 << 15, 2)
+#: argument bindings: 4Ki entries x (key, argmask, 6 x (kind, payload))
+BINDINGS_LAYOUT = ShadowTableLayout(SHADOW_BASE + (1 << 21), 1 << 12, 2 + 12)
+
+
+class ShadowTable:
+    """Application-side writer over a layout (used by the runtime library)."""
+
+    def __init__(self, memory, layout):
+        self.memory = memory
+        self.layout = layout
+
+    def _find_slot(self, key, create):
+        for slot in self.layout.probe_sequence(key):
+            addr = self.layout.entry_addr(slot)
+            existing = self.memory.read(addr)
+            if existing == key:
+                return addr
+            if existing == 0:
+                if create:
+                    self.memory.write(addr, key)
+                    return addr
+                return None
+        raise ReproError("shadow table full (capacity %d)" % self.layout.capacity)
+
+    def put(self, key, values):
+        """Write entry payload words for ``key`` (creating the entry)."""
+        if key == 0:
+            raise ReproError("shadow table key must be nonzero")
+        addr = self._find_slot(key, create=True)
+        for i, value in enumerate(values, start=1):
+            self.memory.write(addr + i * WORD, value)
+        return addr
+
+    def get(self, key):
+        """Payload words for ``key``, or None."""
+        addr = self._find_slot(key, create=False)
+        if addr is None:
+            return None
+        return self.memory.read_block(addr + WORD, self.layout.entry_words - 1)
+
+    def update_word(self, key, offset, value):
+        """Write one payload word at ``offset`` (1-based past the key)."""
+        addr = self._find_slot(key, create=True)
+        self.memory.write(addr + offset * WORD, value)
+        return addr
+
+
+class ShadowTableReader:
+    """Monitor-side reader: same probing, but through a read callback.
+
+    ``read_block(addr, nwords)`` is typically ``PtraceHandle.readv`` — every
+    probe is a real cross-process read with its cycle cost.
+    """
+
+    MAX_PROBES = 64
+
+    def __init__(self, read_block, layout):
+        self.read_block = read_block
+        self.layout = layout
+
+    def get(self, key):
+        """Payload words for ``key``, or None if absent."""
+        probes = 0
+        for slot in self.layout.probe_sequence(key):
+            probes += 1
+            if probes > self.MAX_PROBES:
+                return None
+            addr = self.layout.entry_addr(slot)
+            words = self.read_block(addr, self.layout.entry_words)
+            if words[0] == key:
+                return words[1:]
+            if words[0] == 0:
+                return None
+        return None

@@ -1,0 +1,49 @@
+"""System call numbering, classification, and argument specifications.
+
+This subpackage is the single source of truth for:
+
+- :mod:`repro.syscalls.table` — the (subset of the) x86-64 Linux syscall
+  table used by the simulated kernel and the apps;
+- :mod:`repro.syscalls.sensitive` — the paper's Table 1: the 20 sensitive
+  system calls grouped by the attack vector that commonly abuses them, plus
+  the filesystem extension set of §11.2 / Table 7;
+- :mod:`repro.syscalls.argspec` — per-syscall argument typing (direct vs
+  extended, §3.3/§6.3.2) used by the monitor's argument-integrity check.
+"""
+
+from repro.syscalls.table import (
+    SYSCALLS,
+    SYSCALL_BY_NAME,
+    SYSCALL_BY_NR,
+    nr_of,
+    name_of,
+    SyscallDef,
+)
+from repro.syscalls.sensitive import (
+    SENSITIVE_SYSCALLS,
+    SENSITIVE_BY_CATEGORY,
+    FILESYSTEM_EXTENSION,
+    AttackVector,
+    is_sensitive,
+    sensitive_numbers,
+)
+from repro.syscalls.argspec import ArgKind, ArgSpec, argspec_for, ARG_SPECS
+
+__all__ = [
+    "SYSCALLS",
+    "SYSCALL_BY_NAME",
+    "SYSCALL_BY_NR",
+    "nr_of",
+    "name_of",
+    "SyscallDef",
+    "SENSITIVE_SYSCALLS",
+    "SENSITIVE_BY_CATEGORY",
+    "FILESYSTEM_EXTENSION",
+    "AttackVector",
+    "is_sensitive",
+    "sensitive_numbers",
+    "ArgKind",
+    "ArgSpec",
+    "argspec_for",
+    "ARG_SPECS",
+]

@@ -1,0 +1,110 @@
+"""Per-syscall argument typing for the argument-integrity context (§3.3).
+
+The paper distinguishes *direct* arguments (the register value itself is the
+argument, e.g. the ``prot`` flag of ``mmap``) from *extended* arguments (one
+or more levels of indirection must be checked too, e.g. the ``pathname`` of
+``execve``).  §6.3.2 notes this distinction is syscall- and position-specific
+and is resolved by the monitor rather than instrumented, because the list of
+sensitive syscalls is short.  This module encodes those specialized rules.
+
+It also records the §9.2 fast path: ``accept``/``accept4`` take a
+``struct sockaddr`` out-parameter that the monitor verifies in a specialized
+way (the pointer is checked, the pointee is kernel-written output and is
+exempt from pointee verification).
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.syscalls.sensitive import SENSITIVE_SYSCALLS, FILESYSTEM_EXTENSION
+
+
+class ArgKind(enum.Enum):
+    """How the monitor must verify one argument position."""
+
+    DIRECT = "direct"  # compare the register value itself
+    EXTENDED = "extended"  # compare pointer AND pointee memory (string/struct)
+    OUT_SOCKADDR = "out_sockaddr"  # §9.2: kernel-written sockaddr fast path
+    VECTOR = "vector"  # argv/envp-style NULL-terminated pointer vector
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """Verification rules for every argument position of one syscall."""
+
+    name: str
+    kinds: tuple  # tuple[ArgKind, ...], one per used argument position
+
+    def kind(self, position):
+        """Kind for 1-based argument ``position`` (DIRECT past the spec)."""
+        if 1 <= position <= len(self.kinds):
+            return self.kinds[position - 1]
+        return ArgKind.DIRECT
+
+
+_D = ArgKind.DIRECT
+_E = ArgKind.EXTENDED
+_S = ArgKind.OUT_SOCKADDR
+_V = ArgKind.VECTOR
+
+#: Specialized rules for the sensitive set (plus the filesystem extension).
+ARG_SPECS = {
+    spec.name: spec
+    for spec in (
+        # --- arbitrary code execution ---
+        ArgSpec("execve", (_E, _V, _V)),
+        ArgSpec("execveat", (_D, _E, _V, _V, _D)),
+        ArgSpec("fork", ()),
+        ArgSpec("vfork", ()),
+        ArgSpec("clone", (_D, _D, _D, _D, _D)),
+        ArgSpec("ptrace", (_D, _D, _D, _D)),
+        # --- memory permissions ---
+        ArgSpec("mprotect", (_D, _D, _D)),
+        ArgSpec("mmap", (_D, _D, _D, _D, _D, _D)),
+        ArgSpec("mremap", (_D, _D, _D, _D, _D)),
+        ArgSpec("remap_file_pages", (_D, _D, _D, _D, _D)),
+        # --- privilege escalation ---
+        ArgSpec("chmod", (_E, _D)),
+        ArgSpec("setuid", (_D,)),
+        ArgSpec("setgid", (_D,)),
+        ArgSpec("setreuid", (_D, _D)),
+        # --- networking ---
+        ArgSpec("socket", (_D, _D, _D)),
+        ArgSpec("bind", (_D, _E, _D)),
+        ArgSpec("connect", (_D, _E, _D)),
+        ArgSpec("listen", (_D, _D)),
+        ArgSpec("accept", (_D, _S, _S)),
+        ArgSpec("accept4", (_D, _S, _S, _D)),
+        # --- §11.2 filesystem extension ---
+        ArgSpec("open", (_E, _D, _D)),
+        ArgSpec("openat", (_D, _E, _D, _D)),
+        ArgSpec("creat", (_E, _D)),
+        ArgSpec("read", (_D, _D, _D)),
+        ArgSpec("pread64", (_D, _D, _D, _D)),
+        ArgSpec("readv", (_D, _D, _D)),
+        ArgSpec("write", (_D, _D, _D)),
+        ArgSpec("pwrite64", (_D, _D, _D, _D)),
+        ArgSpec("writev", (_D, _D, _D)),
+        ArgSpec("sendto", (_D, _D, _D, _D, _E, _D)),
+        ArgSpec("recvfrom", (_D, _D, _D, _D, _S, _S)),
+        ArgSpec("sendfile", (_D, _D, _D, _D)),
+        ArgSpec("close", (_D,)),
+        ArgSpec("fstat", (_D, _D)),
+        ArgSpec("stat", (_E, _D)),
+        ArgSpec("lseek", (_D, _D, _D)),
+        ArgSpec("unlink", (_E,)),
+        ArgSpec("rename", (_E, _E)),
+    )
+}
+
+_missing = [n for n in SENSITIVE_SYSCALLS + FILESYSTEM_EXTENSION if n not in ARG_SPECS]
+if _missing:
+    raise AssertionError("missing ArgSpec for: %s" % ", ".join(_missing))
+
+
+def argspec_for(name):
+    """Return the :class:`ArgSpec` for ``name`` (all-DIRECT if unlisted)."""
+    spec = ARG_SPECS.get(name)
+    if spec is None:
+        spec = ArgSpec(name, ())
+    return spec

@@ -1,0 +1,111 @@
+"""Sensitive system call classification (the paper's Table 1).
+
+BASTION deeply protects 20 sensitive syscalls, grouped by the attack vector
+that commonly abuses them.  §11.2 additionally explores extending protection
+to filesystem-related syscalls (Table 7); that extension set lives here too.
+"""
+
+import enum
+
+from repro.syscalls.table import nr_of
+
+
+class AttackVector(enum.Enum):
+    """The four abuse categories of Table 1."""
+
+    ARBITRARY_CODE_EXECUTION = "Arbitrary Code Execution"
+    MEMORY_PERMISSIONS = "Memory Permissions"
+    PRIVILEGE_ESCALATION = "Privilege Escalation"
+    NETWORKING = "Networking"
+
+
+#: Table 1 verbatim: attack vector -> syscall names.
+SENSITIVE_BY_CATEGORY = {
+    AttackVector.ARBITRARY_CODE_EXECUTION: (
+        "execve",
+        "execveat",
+        "fork",
+        "vfork",
+        "clone",
+        "ptrace",
+    ),
+    AttackVector.MEMORY_PERMISSIONS: (
+        "mprotect",
+        "mmap",
+        "mremap",
+        "remap_file_pages",
+    ),
+    AttackVector.PRIVILEGE_ESCALATION: (
+        "chmod",
+        "setuid",
+        "setgid",
+        "setreuid",
+    ),
+    AttackVector.NETWORKING: (
+        "socket",
+        "bind",
+        "connect",
+        "listen",
+        "accept",
+        "accept4",
+    ),
+}
+
+#: Flat, ordered tuple of the 20 sensitive syscall names.
+SENSITIVE_SYSCALLS = tuple(
+    name for names in SENSITIVE_BY_CATEGORY.values() for name in names
+)
+
+if len(SENSITIVE_SYSCALLS) != 20:
+    raise AssertionError("Table 1 must contain exactly 20 sensitive syscalls")
+
+#: §11.2 / Table 7: filesystem-related syscalls and variants added when the
+#: protection scope is extended to information-disclosure defenses.
+FILESYSTEM_EXTENSION = (
+    "open",
+    "openat",
+    "creat",
+    "read",
+    "pread64",
+    "readv",
+    "write",
+    "pwrite64",
+    "writev",
+    "sendto",
+    "recvfrom",
+    "sendfile",
+    "close",
+    "fstat",
+    "stat",
+    "lseek",
+    "unlink",
+    "rename",
+)
+
+_SENSITIVE_SET = frozenset(SENSITIVE_SYSCALLS)
+
+
+def is_sensitive(name, extended=False):
+    """Return whether syscall ``name`` is in the protected set.
+
+    Args:
+        name: syscall name.
+        extended: include the §11.2 filesystem extension set.
+    """
+    if name in _SENSITIVE_SET:
+        return True
+    return extended and name in FILESYSTEM_EXTENSION
+
+
+def sensitive_numbers(extended=False):
+    """Syscall numbers of the protected set, as a sorted tuple."""
+    names = SENSITIVE_SYSCALLS + (FILESYSTEM_EXTENSION if extended else ())
+    return tuple(sorted(nr_of(n) for n in names))
+
+
+def category_of(name):
+    """Return the :class:`AttackVector` for a sensitive syscall, else None."""
+    for vector, names in SENSITIVE_BY_CATEGORY.items():
+        if name in names:
+            return vector
+    return None

@@ -1,0 +1,154 @@
+"""The x86-64 Linux system call table (the subset this simulation implements).
+
+Numbers follow ``arch/x86/entry/syscalls/syscall_64.tbl`` so that metadata,
+seccomp-BPF filters, and traces all speak real syscall numbers.  The real
+table has 400+ entries; the simulated kernel implements the ones the three
+workload applications and the attack catalog exercise, plus enough others
+that "not-callable" classification (§3.1) is meaningful.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SyscallDef:
+    """One syscall table entry.
+
+    Attributes:
+        nr: the x86-64 syscall number.
+        name: the canonical kernel name (``execve``, ``mmap``, ...).
+        nargs: how many of the six argument registers are meaningful.
+    """
+
+    nr: int
+    name: str
+    nargs: int
+
+
+_TABLE = [
+    # nr, name, nargs — ordering loosely follows syscall_64.tbl
+    (0, "read", 3),
+    (1, "write", 3),
+    (2, "open", 3),
+    (3, "close", 1),
+    (4, "stat", 2),
+    (5, "fstat", 2),
+    (8, "lseek", 3),
+    (9, "mmap", 6),
+    (10, "mprotect", 3),
+    (11, "munmap", 2),
+    (12, "brk", 1),
+    (13, "rt_sigaction", 4),
+    (14, "rt_sigprocmask", 4),
+    (16, "ioctl", 3),
+    (17, "pread64", 4),
+    (18, "pwrite64", 4),
+    (19, "readv", 3),
+    (20, "writev", 3),
+    (21, "access", 2),
+    (22, "pipe", 1),
+    (23, "select", 5),
+    (25, "mremap", 5),
+    (28, "madvise", 3),
+    (32, "dup", 1),
+    (33, "dup2", 2),
+    (35, "nanosleep", 2),
+    (39, "getpid", 0),
+    (40, "sendfile", 4),
+    (41, "socket", 3),
+    (42, "connect", 3),
+    (43, "accept", 3),
+    (44, "sendto", 6),
+    (45, "recvfrom", 6),
+    (48, "shutdown", 2),
+    (49, "bind", 3),
+    (50, "listen", 2),
+    (51, "getsockname", 3),
+    (54, "setsockopt", 5),
+    (56, "clone", 5),
+    (57, "fork", 0),
+    (58, "vfork", 0),
+    (59, "execve", 3),
+    (60, "exit", 1),
+    (61, "wait4", 4),
+    (62, "kill", 2),
+    (63, "uname", 1),
+    (72, "fcntl", 3),
+    (74, "fsync", 1),
+    (76, "truncate", 2),
+    (77, "ftruncate", 2),
+    (78, "getdents", 3),
+    (79, "getcwd", 2),
+    (80, "chdir", 1),
+    (82, "rename", 2),
+    (83, "mkdir", 2),
+    (84, "rmdir", 1),
+    (85, "creat", 2),
+    (87, "unlink", 1),
+    (89, "readlink", 3),
+    (90, "chmod", 2),
+    (92, "chown", 3),
+    (95, "umask", 1),
+    (96, "gettimeofday", 2),
+    (102, "getuid", 0),
+    (104, "getgid", 0),
+    (105, "setuid", 1),
+    (106, "setgid", 1),
+    (107, "geteuid", 0),
+    (108, "getegid", 0),
+    (112, "setsid", 0),
+    (113, "setreuid", 2),
+    (114, "setregid", 2),
+    (137, "statfs", 2),
+    (157, "prctl", 5),
+    (158, "arch_prctl", 2),
+    (186, "gettid", 0),
+    (201, "time", 1),
+    (202, "futex", 6),
+    (216, "remap_file_pages", 5),
+    (218, "set_tid_address", 1),
+    (228, "clock_gettime", 2),
+    (231, "exit_group", 1),
+    (232, "epoll_wait", 4),
+    (233, "epoll_ctl", 4),
+    (257, "openat", 4),
+    (262, "newfstatat", 4),
+    (263, "unlinkat", 3),
+    (281, "epoll_pwait", 6),
+    (288, "accept4", 4),
+    (290, "eventfd2", 2),
+    (291, "epoll_create1", 1),
+    (302, "prlimit64", 4),
+    (310, "process_vm_readv", 6),
+    (311, "process_vm_writev", 6),
+    (317, "seccomp", 3),
+    (318, "getrandom", 3),
+    (322, "execveat", 5),
+    (101, "ptrace", 4),
+]
+
+SYSCALLS = tuple(SyscallDef(nr, name, nargs) for nr, name, nargs in _TABLE)
+SYSCALL_BY_NAME = {s.name: s for s in SYSCALLS}
+SYSCALL_BY_NR = {s.nr: s for s in SYSCALLS}
+
+if len(SYSCALL_BY_NAME) != len(SYSCALLS) or len(SYSCALL_BY_NR) != len(SYSCALLS):
+    raise AssertionError("duplicate entries in the syscall table")
+
+
+def nr_of(name):
+    """Return the syscall number for ``name``.
+
+    Raises:
+        KeyError: if the syscall is not in the simulated table.
+    """
+    return SYSCALL_BY_NAME[name].nr
+
+
+def name_of(nr):
+    """Return the canonical name for syscall number ``nr``.
+
+    Unknown numbers map to ``"sys_<nr>"`` so traces stay printable even for
+    syscalls outside the simulated subset.
+    """
+    entry = SYSCALL_BY_NR.get(nr)
+    return entry.name if entry is not None else "sys_%d" % nr

@@ -1,0 +1,33 @@
+"""The interpreter CPU and its supporting pieces.
+
+- :mod:`repro.vm.memory` — sparse word-granular simulated memory;
+- :mod:`repro.vm.costs` — the deterministic cycle cost model every
+  performance experiment is built on;
+- :mod:`repro.vm.loader` — lays a module out into a text/data image with
+  real-looking addresses;
+- :mod:`repro.vm.shadowstack` — CET-style hardware shadow stack;
+- :mod:`repro.vm.cpu` — the CPU itself: frames live in simulated memory
+  (saved frame pointer + return address words an attacker can overwrite),
+  syscall arguments travel through registers, seccomp/ptrace hooks fire at
+  syscall entry.
+"""
+
+from repro.vm.memory import Memory, WORD
+from repro.vm.costs import CostModel, CycleLedger, DEFAULT_COSTS
+from repro.vm.loader import Image, load_module
+from repro.vm.shadowstack import ShadowStack
+from repro.vm.cpu import CPU, CPUOptions, ExitStatus
+
+__all__ = [
+    "Memory",
+    "WORD",
+    "CostModel",
+    "CycleLedger",
+    "DEFAULT_COSTS",
+    "Image",
+    "load_module",
+    "ShadowStack",
+    "CPU",
+    "CPUOptions",
+    "ExitStatus",
+]

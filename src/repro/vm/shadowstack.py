@@ -1,0 +1,40 @@
+"""CET-style hardware shadow stack (§8, -fcf-protection=full).
+
+A secondary stack the application cannot address: pushes on every call, pops
+and compares on every return, raising a control-protection fault on
+mismatch.  Its storage is a Python list — deliberately *outside* the
+simulated memory, mirroring the hardware property that no memory write in
+the protected program can reach it.
+"""
+
+from repro.errors import ShadowStackFault
+
+
+class ShadowStack:
+    """The secondary return-address stack maintained by the 'CPU'."""
+
+    def __init__(self):
+        self._stack = []
+        self.violations = 0
+
+    def push(self, return_address):
+        self._stack.append(return_address)
+
+    def check_pop(self, return_address):
+        """Pop and compare; raise :class:`ShadowStackFault` on mismatch."""
+        if not self._stack:
+            self.violations += 1
+            raise ShadowStackFault(
+                "return with empty shadow stack (ret to %#x)" % return_address
+            )
+        expected = self._stack.pop()
+        if expected != return_address:
+            self.violations += 1
+            raise ShadowStackFault(
+                "shadow stack mismatch: ret to %#x, expected %#x"
+                % (return_address, expected)
+            )
+
+    @property
+    def depth(self):
+        return len(self._stack)

@@ -1,0 +1,196 @@
+"""Tests for the three workload applications and their load generators."""
+
+import pytest
+
+from repro.apps.nginx import NginxConfig, PAGE_BYTES, build_nginx
+from repro.apps.sqlite import SqliteConfig, build_sqlite
+from repro.apps.vsftpd import VsftpdConfig, build_vsftpd
+from repro.apps.workloads import Dbt2Workload, DkftpbenchWorkload, WrkWorkload
+from repro.bench.harness import run_app
+from repro.ir.validate import validate_module
+
+
+class TestModulesBuild:
+    def test_nginx_validates(self):
+        validate_module(build_nginx())
+
+    def test_sqlite_validates(self):
+        validate_module(build_sqlite())
+
+    def test_vsftpd_validates(self):
+        validate_module(build_vsftpd())
+
+    def test_nginx_has_paper_listings(self):
+        module = build_nginx()
+        for func in (
+            "ngx_execute_proc",
+            "ngx_output_chain",
+            "ngx_http_get_indexed_variable",
+            "ngx_spawn_process",
+        ):
+            assert module.has_function(func), func
+
+    def test_configs_change_shape(self):
+        small = build_nginx(NginxConfig(workers=1, pools=2, guards=1))
+        big = build_nginx(NginxConfig(workers=8, pools=32, guards=20))
+        # worker/pool counts are loop bounds, not unrolled code; the
+        # modules build independently and validate
+        validate_module(small)
+        validate_module(big)
+
+
+class TestNginxServing:
+    def test_serves_requests_and_counts_bytes(self):
+        workload = WrkWorkload(connections=3, requests_per_connection=5)
+        result = run_app("nginx", "vanilla", workload=workload)
+        assert result.ok
+        assert workload.stats.responses == 15
+        assert result.bytes_sent >= 15 * PAGE_BYTES
+        assert result.work_units == 15
+
+    def test_syscall_profile_shape(self):
+        """Table 4's character: accept4 per connection, init-heavy mmap."""
+        workload = WrkWorkload(connections=6, requests_per_connection=4)
+        result = run_app("nginx", "vanilla", workload=workload)
+        counts = result.syscall_counts
+        assert counts["accept4"] == 7  # 6 connections + final EAGAIN
+        assert counts["mmap"] >= NginxConfig().pools
+        assert counts["mprotect"] >= 1
+        assert counts["clone"] == NginxConfig().workers
+        assert counts["setuid"] == NginxConfig().workers
+        assert counts.get("execve", 0) == 0  # upgrade path never taken
+        assert counts["sendfile"] == 24
+
+    def test_steady_state_marker_set(self):
+        workload = WrkWorkload(connections=2, requests_per_connection=2)
+        result = run_app("nginx", "vanilla", workload=workload)
+        assert 0 < result.init_cycles < result.total_cycles
+        assert result.steady_cycles == result.total_cycles - result.init_cycles
+
+    def test_throughput_metric(self):
+        result = run_app("nginx", "vanilla", scale=0.1)
+        assert result.throughput_mbps() > 0
+
+
+class TestSqlite:
+    def test_transactions_complete(self):
+        workload = Dbt2Workload(terminals=3, transactions_per_terminal=8)
+        result = run_app("sqlite", "vanilla", workload=workload)
+        assert result.ok
+        assert workload.stats.transactions == 24
+        assert result.work_units == 24
+
+    def test_pager_touches_files(self):
+        workload = Dbt2Workload(terminals=2, transactions_per_terminal=4)
+        result = run_app("sqlite", "vanilla", workload=workload)
+        counts = result.syscall_counts
+        assert counts["pread64"] == 8 * SqliteConfig().items_per_order
+        assert counts["pwrite64"] >= 8 * 2
+        assert counts["fsync"] >= 8
+        assert counts["clone"] == SqliteConfig().threads * 3
+        assert counts["mmap"] >= SqliteConfig().init_mmaps
+
+    def test_runtime_mprotect_cadence(self):
+        config = SqliteConfig()
+        txns = config.runtime_mprotect_every * 2
+        workload = Dbt2Workload(terminals=1, transactions_per_terminal=txns)
+        result = run_app("sqlite", "vanilla", workload=workload)
+        runtime_mprotects = result.syscall_counts["mprotect"] - config.init_mprotects
+        assert runtime_mprotects == 2
+
+    def test_notpm_metric(self):
+        result = run_app("sqlite", "vanilla", scale=0.1)
+        assert result.notpm() > 0
+
+
+class TestVsftpd:
+    def test_sessions_and_transfers(self):
+        workload = DkftpbenchWorkload(sessions=3, files_per_session=2)
+        result = run_app("vsftpd", "vanilla", workload=workload)
+        assert result.ok
+        assert workload.stats.sessions == 3
+        assert workload.stats.transfers == 6
+        assert workload.stats.data_connections == 6
+
+    def test_bytes_match_file_size(self):
+        from repro.bench.harness import FTP_FILE_BYTES
+
+        workload = DkftpbenchWorkload(sessions=1, files_per_session=1)
+        result = run_app("vsftpd", "vanilla", workload=workload)
+        assert result.bytes_sent >= FTP_FILE_BYTES
+
+    def test_networking_profile(self):
+        """Table 4's vsftpd row: per-transfer PASV socket dance + priv drop."""
+        sessions, files = 2, 3
+        workload = DkftpbenchWorkload(sessions=sessions, files_per_session=files)
+        result = run_app("vsftpd", "vanilla", workload=workload)
+        counts = result.syscall_counts
+        transfers = sessions * files
+        assert counts["socket"] == 1 + transfers
+        assert counts["bind"] == 1 + transfers
+        assert counts["listen"] == 1 + transfers
+        assert counts["accept"] == 1 + sessions + transfers  # + final EAGAIN
+        assert counts["setuid"] == sessions
+        assert counts["setgid"] == sessions
+
+    def test_transfer_seconds_metric(self):
+        result = run_app("vsftpd", "vanilla", scale=0.2)
+        assert result.transfer_seconds() > 0
+
+
+class TestAttackTargets:
+    def test_httpd_serves(self):
+        from repro.apps.httpd import HTTPD_PORT, build_httpd
+        from repro.apps.workloads import SimpleServerWorkload
+        from repro.attacks.runner import _httpd_env
+        from tests.conftest import run_module
+        from repro.kernel.kernel import Kernel
+
+        kernel = Kernel()
+        _httpd_env(kernel)
+        workload = SimpleServerWorkload(
+            HTTPD_PORT, connections=2, requests=3, response_threshold=100
+        )
+        module = build_httpd()
+
+        def setup(k, proc, cpu):
+            workload.attach(k, proc)
+
+        status, proc, _cpu = run_module(module, kernel=kernel, setup=setup)
+        assert status.kind == "returned"
+        assert workload.responses == 6
+        assert proc.syscall_counts.get("execve", 0) == 0
+
+    def test_browser_event_loop(self):
+        from repro.apps.browser import BrowserConfig, build_browser
+        from repro.attacks.runner import _browser_env
+        from tests.conftest import run_module
+        from repro.kernel.kernel import Kernel
+
+        kernel = Kernel()
+        _browser_env(kernel)
+        status, proc, _cpu = run_module(
+            build_browser(BrowserConfig(events=5)), kernel=kernel
+        )
+        assert status.kind == "returned"
+        # the legitimate renderer spawn happened exactly once
+        assert [e.details["path"] for e in kernel.events_of("execve")] == [
+            "/opt/browser/renderer"
+        ]
+
+    def test_mediasrv_decodes_frames(self):
+        from repro.apps.mediasrv import MediaConfig, build_mediasrv
+        from repro.attacks.runner import _mediasrv_env
+        from tests.conftest import run_module
+        from repro.kernel.kernel import Kernel
+        from repro.vm.loader import Image
+
+        kernel = Kernel()
+        _mediasrv_env(kernel)
+        module = build_mediasrv(MediaConfig(frames=3))
+        status, proc, _cpu = run_module(module, kernel=kernel)
+        assert status.kind == "returned"
+        image = Image(module)
+        done = proc.memory.read(image.global_addr["g_frames_done"])
+        assert done == 3
+        assert proc.syscall_counts["setuid"] == 1

@@ -1,0 +1,186 @@
+"""Tests for the IR libc: wrappers, string/memory helpers, allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.libc import LIBC_WRAPPERS, build_libc
+from repro.ir.builder import ModuleBuilder
+from repro.vm.loader import Image
+from repro.vm.memory import WORD
+from tests.conftest import run_module
+
+
+def _libc_program(body_fn, strings=()):
+    mb = ModuleBuilder("t")
+    mb.extend(build_libc())
+    for name, text in strings:
+        mb.global_string(name, text)
+    f = mb.function("main")
+    body_fn(f)
+    return mb.build()
+
+
+def _run(body_fn, strings=()):
+    return run_module(_libc_program(body_fn, strings))
+
+
+class TestWrappers:
+    def test_all_wrappers_present_and_flagged(self):
+        libc = build_libc()
+        for name in LIBC_WRAPPERS:
+            assert libc.has_function(name)
+            assert libc.function(name).is_wrapper
+
+    def test_wrapper_passes_arguments_through(self):
+        def body(f):
+            pid = f.call("getpid", [])
+            f.intrinsic("trace", [pid])
+            f.ret(0)
+
+        _s, proc, _c = _run(body)
+        assert proc.trace_log == [[proc.pid]]
+
+    def test_system_not_a_wrapper(self):
+        libc = build_libc()
+        assert not libc.function("system").is_wrapper
+
+
+class TestStringHelpers:
+    def test_strlen(self):
+        def body(f):
+            s = f.addr_global("g_s")
+            n = f.call("strlen", [s])
+            f.intrinsic("trace", [n])
+            f.ret(0)
+
+        _s, proc, _c = _run(body, strings=[("g_s", "hello")])
+        assert proc.trace_log == [[5]]
+
+    def test_strcpy(self):
+        def body(f):
+            src = f.addr_global("g_src")
+            dst = f.const(0x7F00_0000_0000)
+            f.call("strcpy", [dst, src])
+            f.ret(0)
+
+        _s, proc, _c = _run(body, strings=[("g_src", "copy me")])
+        assert proc.memory.read_cstr(0x7F00_0000_0000) == "copy me"
+
+    def test_strcmp_cases(self):
+        def make(a, b):
+            def body(f):
+                pa = f.addr_global("g_a")
+                pb = f.addr_global("g_b")
+                d = f.call("strcmp", [pa, pb])
+                f.intrinsic("trace", [d])
+                f.ret(0)
+
+            _s, proc, _c = _run(body, strings=[("g_a", a), ("g_b", b)])
+            return proc.trace_log[0][0]
+
+        assert make("abc", "abc") == 0
+        assert make("abd", "abc") > 0
+        assert make("abb", "abc") < 0
+        assert make("ab", "abc") < 0
+
+    def test_starts_with(self):
+        def make(s, prefix):
+            def body(f):
+                ps = f.addr_global("g_s")
+                pp = f.addr_global("g_p")
+                r = f.call("starts_with", [ps, pp])
+                f.intrinsic("trace", [r])
+                f.ret(0)
+
+            _s, proc, _c = _run(body, strings=[("g_s", s), ("g_p", prefix)])
+            return proc.trace_log[0][0]
+
+        assert make("GET /index", "GET ") == 1
+        assert make("POST /", "GET ") == 0
+        assert make("G", "GET ") == 0
+        assert make("anything", "") == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.text(alphabet="abcdef", max_size=8),
+        b=st.text(alphabet="abcdef", max_size=8),
+    )
+    def test_strcmp_matches_python(self, a, b):
+        def body(f):
+            pa = f.addr_global("g_a")
+            pb = f.addr_global("g_b")
+            d = f.call("strcmp", [pa, pb])
+            f.intrinsic("trace", [d])
+            f.ret(0)
+
+        _s, proc, _c = _run(body, strings=[("g_a", a), ("g_b", b)])
+        result = proc.trace_log[0][0]
+        expected = (a > b) - (a < b)
+        assert (result > 0) - (result < 0) == expected
+
+
+class TestMemoryHelpers:
+    def test_memcpy_w(self):
+        def body(f):
+            src = f.const(0x7F00_0000_0000)
+            for i, v in enumerate((7, 8, 9)):
+                p = f.add(src, i * WORD)
+                f.store(p, v)
+            dst = f.const(0x7F00_0001_0000)
+            f.call("memcpy_w", [dst, src, 3])
+            f.ret(0)
+
+        _s, proc, _c = _run(body)
+        assert proc.memory.read_block(0x7F00_0001_0000, 3) == [7, 8, 9]
+
+    def test_memset_w(self):
+        def body(f):
+            dst = f.const(0x7F00_0000_0000)
+            f.call("memset_w", [dst, 5, 4])
+            f.ret(0)
+
+        _s, proc, _c = _run(body)
+        assert proc.memory.read_block(0x7F00_0000_0000, 4) == [5] * 4
+
+
+class TestAllocator:
+    def test_malloc_returns_distinct_regions(self):
+        def body(f):
+            a = f.call("malloc", [4])
+            b = f.call("malloc", [4])
+            f.intrinsic("trace", [a, b])
+            f.ret(0)
+
+        _s, proc, _c = _run(body)
+        a, b = proc.trace_log[0]
+        assert b >= a + 4 * WORD
+        assert a % WORD == 0
+
+    def test_free_is_noop(self):
+        def body(f):
+            a = f.call("malloc", [2])
+            f.call("free", [a])
+            f.ret(0)
+
+        status, _p, _c = _run(body)
+        assert status.kind == "returned"
+
+
+class TestSystem:
+    def test_system_forks_and_execs(self):
+        from repro.kernel.kernel import Kernel
+
+        kernel = Kernel()
+        kernel.vfs.makedirs("/bin")
+        kernel.vfs.write_file("/bin/sh", b"elf")
+
+        def body(f):
+            cmd = f.addr_global("g_cmd")
+            f.call("system", [cmd])
+            f.ret(0)
+
+        module = _libc_program(body, strings=[("g_cmd", "/bin/sh")])
+        _s, proc, _c = run_module(module, kernel=kernel)
+        assert kernel.events_of("fork")
+        # the child is not scheduled, so execve does not fire in the parent
+        assert proc.syscall_counts.get("fork") == 1

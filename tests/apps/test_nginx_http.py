@@ -1,0 +1,85 @@
+"""Tests for mini-NGINX's real request-line parsing (incl. the 404 path)."""
+
+import pytest
+
+from repro.apps.nginx import PAGE_BYTES, build_nginx
+from repro.apps.workloads import WrkWorkload
+from repro.bench.harness import _setup_nginx_env
+from repro.kernel.kernel import Kernel
+from repro.kernel.net import Connection
+from repro.vm.cpu import CPU, CPUOptions
+from repro.vm.loader import Image
+
+
+class _OneShot(WrkWorkload):
+    """Deliver arbitrary raw requests, one connection each."""
+
+    def __init__(self, requests):
+        super().__init__(connections=len(requests), requests_per_connection=1)
+        self._raw = list(requests)
+        self.conns = []
+
+    def next_connection(self, sock):
+        if sock.bound_port != self.port or not self._raw:
+            return None
+        conn = Connection(peer_port=40000 + len(self._raw))
+        conn.deliver(self._raw.pop(0))
+        self.conns.append(conn)
+        # one request per connection: close after any write
+        conn.on_server_write = lambda c, n, prefix: setattr(c, "closed", True)
+        return conn
+
+
+def _serve(requests):
+    module = build_nginx()
+    kernel = Kernel()
+    _setup_nginx_env(kernel)
+    image = Image(module)
+    proc = kernel.create_process("nginx", image)
+    cpu = CPU(image, proc, kernel, CPUOptions())
+    workload = _OneShot(requests)
+    workload.attach(kernel, proc)
+    status = cpu.run()
+    assert status.kind == "returned"
+    return workload.conns, proc, image
+
+
+def test_get_index_serves_page():
+    conns, _proc, _image = _serve([b"GET /index.html HTTP/1.1\r\n\r\n"])
+    assert conns[0].bytes_out > PAGE_BYTES
+    assert b"200 OK" in conns[0].out_prefix
+
+
+def test_get_root_serves_page():
+    conns, _p, _i = _serve([b"GET / HTTP/1.1\r\n\r\n"])
+    assert conns[0].bytes_out > PAGE_BYTES
+
+
+def test_unknown_uri_gets_404():
+    conns, _p, _i = _serve([b"GET /secret.txt HTTP/1.1\r\n\r\n"])
+    assert b"404" in conns[0].out_prefix
+    assert conns[0].bytes_out < 200  # no page body
+
+
+def test_non_get_method_gets_404():
+    conns, _p, _i = _serve([b"POST / HTTP/1.1\r\n\r\n"])
+    assert b"404" in conns[0].out_prefix
+
+
+def test_uri_extracted_into_buffer():
+    _conns, proc, image = _serve([b"GET /secret.txt HTTP/1.1\r\n\r\n"])
+    uri = proc.memory.read_cstr(image.global_addr["g_uri_buf"])
+    assert uri == "/secret.txt"
+
+
+def test_mixed_traffic():
+    conns, _p, _i = _serve(
+        [
+            b"GET / HTTP/1.1\r\n\r\n",
+            b"GET /nope HTTP/1.1\r\n\r\n",
+            b"GET /index.html HTTP/1.1\r\n\r\n",
+        ]
+    )
+    assert conns[0].bytes_out > PAGE_BYTES
+    assert b"404" in conns[1].out_prefix
+    assert conns[2].bytes_out > PAGE_BYTES

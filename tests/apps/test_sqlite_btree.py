@@ -1,0 +1,101 @@
+"""Tests for mini-SQLite's in-IR btree (insert/search over heap nodes)."""
+
+import pytest
+
+from repro.apps.sqlite import SqliteConfig, build_sqlite
+from repro.kernel.kernel import Kernel
+from repro.vm.cpu import CPU, CPUOptions
+from repro.vm.loader import Image
+from repro.vm.memory import WORD
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    module = build_sqlite(SqliteConfig(btree_seed_keys=16))
+    kernel = Kernel()
+    kernel.vfs.makedirs("/data")
+    kernel.vfs.write_file("/data/test.db", b"\x00" * 4096)
+    kernel.vfs.write_file("/data/test.db-journal", b"")
+    image = Image(module)
+    return module, kernel, image
+
+
+def _call(loaded, func, args):
+    """Run one exported function directly and return its value."""
+    module, kernel, image = loaded
+    proc = kernel.create_process("sqlite", image)
+    cpu = CPU(image, proc, kernel, CPUOptions(), entry=func, entry_args=args)
+    status = cpu.run()
+    assert status.kind == "returned", status
+    return status.code, proc, image
+
+
+def test_insert_then_search_hits(loaded):
+    module, kernel, image = loaded
+    proc = kernel.create_process("sqlite", image)
+
+    def run(func, args):
+        cpu = CPU(image, proc, kernel, CPUOptions(), entry=func, entry_args=args)
+        return cpu.run()
+
+    inserted = run("sqlite_btree_insert", [42])
+    assert inserted.kind == "returned" and inserted.code != 0
+    found = run("sqlite_btree_search", [42])
+    assert found.code == inserted.code  # same node
+    missing = run("sqlite_btree_search", [43])
+    assert missing.code == 0
+
+
+def test_tree_orders_keys(loaded):
+    module, kernel, image = loaded
+    proc = kernel.create_process("sqlite", image)
+
+    def run(func, args):
+        cpu = CPU(image, proc, kernel, CPUOptions(), entry=func, entry_args=args)
+        status = cpu.run()
+        assert status.kind == "returned"
+        return status.code
+
+    root = run("sqlite_btree_insert", [100])
+    left = run("sqlite_btree_insert", [50])
+    right = run("sqlite_btree_insert", [150])
+    # node layout: {key, left, right}
+    assert proc.memory.read(root) == 100
+    assert proc.memory.read(root + WORD) == left
+    assert proc.memory.read(root + 2 * WORD) == right
+    assert proc.memory.read(left) == 50
+    assert proc.memory.read(right) == 150
+
+
+def test_duplicate_insert_returns_existing(loaded):
+    module, kernel, image = loaded
+    proc = kernel.create_process("sqlite", image)
+
+    def run(func, args):
+        cpu = CPU(image, proc, kernel, CPUOptions(), entry=func, entry_args=args)
+        return cpu.run().code
+
+    first = run("sqlite_btree_insert", [7])
+    second = run("sqlite_btree_insert", [7])
+    assert first == second
+
+
+def test_seed_populates_index(loaded):
+    module, kernel, image = loaded
+    proc = kernel.create_process("sqlite", image)
+    cpu = CPU(image, proc, kernel, CPUOptions(), entry="sqlite_btree_seed")
+    assert cpu.run().kind == "returned"
+    root = proc.memory.read(image.global_addr["g_btree_root"])
+    assert root != 0
+    # count nodes by walking the heap allocations via search of seeded keys:
+    # at minimum the root's children exist for 16 random keys
+    assert proc.memory.read(root + WORD) != 0 or proc.memory.read(root + 2 * WORD) != 0
+
+
+def test_comparator_goes_through_icall(loaded):
+    """Every comparison dispatches indirectly (the CFI-relevant property)."""
+    module, kernel, image = loaded
+    proc = kernel.create_process("sqlite", image)
+    cpu = CPU(image, proc, kernel, CPUOptions(), entry="sqlite_btree_seed")
+    cpu.run()
+    assert cpu.stats.indirect_calls >= 16  # at least one per insert

@@ -1,0 +1,97 @@
+"""Tests for vsftpd's LIST command and the getdents syscall behind it."""
+
+import pytest
+
+from repro.apps.vsftpd import build_vsftpd
+from repro.apps.workloads import DkftpbenchWorkload
+from repro.bench.harness import _setup_vsftpd_env
+from repro.ir.builder import ModuleBuilder
+from repro.kernel import errno
+from repro.kernel.kernel import Kernel
+from repro.vm.cpu import CPU, CPUOptions
+from repro.vm.loader import Image
+from repro.vm.memory import WORD
+
+
+class TestGetdents:
+    @pytest.fixture
+    def setup(self):
+        kernel = Kernel()
+        kernel.vfs.makedirs("/d")
+        for name in ("alpha", "beta", "gamma"):
+            kernel.vfs.write_file("/d/%s" % name, b"x")
+        mb = ModuleBuilder("t")
+        mb.function("main").ret(0)
+        proc = kernel.create_process("t", Image(mb.build()))
+        return kernel, proc
+
+    BUF = 0x7F20_0000_0000
+    STR = 0x7F20_0010_0000
+
+    def _open_dir(self, kernel, proc, path="/d"):
+        proc.memory.write_cstr(self.STR, path)
+        return kernel.dispatch(proc, "open", [self.STR, 0, 0])
+
+    def test_lists_entries_sorted(self, setup):
+        kernel, proc = setup
+        fd = self._open_dir(kernel, proc)
+        n = kernel.dispatch(proc, "getdents", [fd, self.BUF, 100])
+        assert n == len("alpha") + 1 + len("beta") + 1 + len("gamma") + 1
+        assert proc.memory.read_cstr(self.BUF) == "alpha"
+        offset = (len("alpha") + 1) * WORD
+        assert proc.memory.read_cstr(self.BUF + offset) == "beta"
+
+    def test_paging_and_exhaustion(self, setup):
+        kernel, proc = setup
+        fd = self._open_dir(kernel, proc)
+        first = kernel.dispatch(proc, "getdents", [fd, self.BUF, 7])
+        assert first == 6  # "alpha\0" fits, "beta\0" does not
+        second = kernel.dispatch(proc, "getdents", [fd, self.BUF, 100])
+        assert proc.memory.read_cstr(self.BUF) == "beta"
+        assert second == 11  # beta\0 gamma\0
+        assert kernel.dispatch(proc, "getdents", [fd, self.BUF, 100]) == 0
+
+    def test_not_a_directory(self, setup):
+        kernel, proc = setup
+        fd = self._open_dir(kernel, proc, "/d/alpha")
+        assert (
+            kernel.dispatch(proc, "getdents", [fd, self.BUF, 100])
+            == -errno.ENOTDIR
+        )
+
+    def test_bad_fd(self, setup):
+        kernel, proc = setup
+        assert kernel.dispatch(proc, "getdents", [9, self.BUF, 10]) == -errno.EBADF
+
+
+class TestVsftpdList:
+    def _run(self, lists=1, files=1):
+        module = build_vsftpd()
+        kernel = Kernel()
+        _setup_vsftpd_env(kernel)
+        image = Image(module)
+        proc = kernel.create_process("vsftpd", image)
+        cpu = CPU(image, proc, kernel, CPUOptions())
+        workload = DkftpbenchWorkload(
+            sessions=1, files_per_session=files, lists_per_session=lists
+        )
+        workload.attach(kernel, proc)
+        status = cpu.run()
+        assert status.kind == "returned"
+        return kernel, proc, workload
+
+    def test_list_served_before_downloads(self):
+        kernel, proc, workload = self._run(lists=1, files=1)
+        assert proc.syscall_counts["getdents"] >= 2  # entries + exhaustion
+        # one LIST + one RETR: two PASV data channels
+        assert workload.stats.data_connections == 2
+        assert workload.stats.transfers == 2  # both 226s
+
+    def test_listing_contains_the_file(self):
+        kernel, proc, workload = self._run(lists=1, files=0)
+        # the data channel carried "file.bin" (bounded prefix retained)
+        assert kernel.net.bytes_sent >= len("file.bin") + 1
+
+    def test_no_list_requested_no_getdents(self):
+        kernel, proc, _workload = self._run(lists=0, files=1)
+        assert proc.syscall_counts.get("getdents", 0) == 0

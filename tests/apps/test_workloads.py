@@ -1,0 +1,120 @@
+"""Unit tests for workload pacing state machines (no VM involved)."""
+
+from repro.apps.nginx import PAGE_BYTES
+from repro.apps.workloads import (
+    Dbt2Workload,
+    DkftpbenchWorkload,
+    SimpleServerWorkload,
+    WrkWorkload,
+)
+from repro.kernel.net import Socket
+
+
+def _listener(port):
+    sock = Socket()
+    sock.bound_port = port
+    sock.listening = True
+    return sock
+
+
+class TestWrkPacing:
+    def test_connection_budget(self):
+        wl = WrkWorkload(connections=2, requests_per_connection=3)
+        sock = _listener(wl.port)
+        assert wl.next_connection(sock) is not None
+        assert wl.next_connection(sock) is not None
+        assert wl.next_connection(sock) is None
+        assert wl.stats.connections == 2
+
+    def test_wrong_port_refused(self):
+        wl = WrkWorkload(connections=2)
+        assert wl.next_connection(_listener(9999)) is None
+
+    def test_body_write_advances_header_does_not(self):
+        wl = WrkWorkload(connections=1, requests_per_connection=2)
+        conn = wl.next_connection(_listener(wl.port))
+        inbox_before = conn.take(10_000)  # server consumes request 1
+        conn.server_write(33, b"HTTP/1.1 200")  # headers: no new request
+        assert conn.inbox == b""
+        conn.server_write(PAGE_BYTES, b"body")  # body: next request goes out
+        assert conn.inbox  # second request delivered
+        conn.take(10_000)
+        conn.server_write(PAGE_BYTES, b"body")
+        assert conn.closed
+        assert wl.stats.responses == 2
+        assert inbox_before  # the first request was preloaded
+
+
+class TestDbt2Pacing:
+    def test_transactions_counted_per_write(self):
+        wl = Dbt2Workload(terminals=1, transactions_per_terminal=3)
+        conn = wl.next_connection(_listener(wl.port))
+        for _ in range(3):
+            conn.take(1000)
+            conn.server_write(44, b"NEWORDER OK")
+        assert wl.stats.transactions == 3
+        assert conn.closed
+
+
+class TestFtpPacing:
+    def test_reply_code_state_machine(self):
+        wl = DkftpbenchWorkload(sessions=1, files_per_session=2)
+        conn = wl.next_connection(_listener(wl.port))
+        assert b"USER" in conn.inbox  # login preloaded
+        conn.take(1000)
+        conn.server_write(11, b"220 vsftpd")  # banner: ignored
+        assert conn.inbox == b""
+        conn.server_write(7, b"230 ok")  # login ok -> first RETR
+        assert b"RETR" in conn.inbox
+        conn.take(1000)
+        conn.server_write(10, b"227 pasv")  # PASV reply: ignored
+        assert conn.inbox == b""
+        conn.server_write(7, b"226 ok")  # transfer done -> second RETR
+        assert b"RETR" in conn.inbox
+        conn.take(1000)
+        conn.server_write(7, b"226 ok")  # done -> QUIT
+        assert b"QUIT" in conn.inbox
+        conn.server_write(8, b"221 bye")
+        assert conn.closed
+        assert wl.stats.transfers == 2
+
+    def test_lists_sent_before_retr(self):
+        wl = DkftpbenchWorkload(sessions=1, files_per_session=1, lists_per_session=1)
+        conn = wl.next_connection(_listener(wl.port))
+        conn.take(1000)
+        conn.server_write(7, b"230 ok")
+        assert b"LIST" in conn.inbox
+        conn.take(1000)
+        conn.server_write(7, b"226 ok")
+        assert b"RETR" in conn.inbox
+
+    def test_data_port_always_served(self):
+        wl = DkftpbenchWorkload(sessions=0)
+        data_sock = _listener(20001)
+        assert wl.next_connection(data_sock) is not None
+        assert wl.stats.data_connections == 1
+
+    def test_steady_marker_on_first_provide(self):
+        class FakeProc:
+            class ledger:
+                cycles = 1234
+
+        wl = DkftpbenchWorkload(sessions=1)
+        wl.proc = FakeProc()
+        wl._provide(_listener(wl.port))
+        assert wl.steady_start_cycles == 1234
+
+
+class TestSimpleServer:
+    def test_threshold_pacing(self):
+        wl = SimpleServerWorkload(8080, connections=1, requests=2, response_threshold=50)
+        conn = wl.next_connection(_listener(8080))
+        conn.take(1000)
+        conn.server_write(10, b"small")  # below threshold: nothing
+        assert conn.inbox == b""
+        conn.server_write(100, b"big enough")
+        assert conn.inbox
+        conn.take(1000)
+        conn.server_write(100, b"again")
+        assert conn.closed
+        assert wl.responses == 2

@@ -1,0 +1,69 @@
+"""Tests for the §11.1 adaptive-attacker study and extension scenarios."""
+
+import pytest
+
+from repro.attacks.adaptive import blind_forger, constant_violator, oracle_forger
+from repro.attacks.catalog import CATALOG, attack_by_name
+from repro.attacks.runner import evaluate_attack, table6_matrix
+
+
+class TestAdaptiveStudy:
+    def test_oracle_forger_bypasses(self):
+        """§11.1: 'in theory, a powerful adversary ... can circumvent all
+        three contexts' — given full shadow-layout knowledge."""
+        outcome = oracle_forger()
+        assert outcome.succeeded
+        assert outcome.blocked_by is None
+        # ...at a real cost: many consistent forgeries beyond the hijack
+        assert outcome.attacker_writes > 25
+
+    def test_blind_forger_blocked(self):
+        """Without the shadow region's location, the forgeries miss and
+        the origin-shadow check fires."""
+        outcome = blind_forger()
+        assert not outcome.succeeded
+        assert outcome.blocked_by == "arg-integrity"
+
+    def test_constant_violator_blocked(self):
+        """Static constraints live in the monitor's address space: no
+        number of application-memory writes can change them (§11.1)."""
+        outcome = constant_violator()
+        assert not outcome.succeeded
+        assert outcome.blocked_by == "arg-integrity"
+        assert outcome.attacker_writes >= 1
+
+
+class TestExtensionScenarios:
+    def test_extras_excluded_from_paper_matrix(self):
+        names = {e.spec.name for e in table6_matrix()}
+        assert "ret2system" not in names
+        assert "rop_mmap_rwx" not in names
+
+    def test_extras_included_on_request(self):
+        specs = [s for s in CATALOG if s.extra]
+        assert len(specs) >= 3
+
+    @pytest.mark.parametrize(
+        "name", ("rop_mmap_rwx", "rop_chmod_unused_syscall", "ret2system")
+    )
+    def test_extra_scenarios_behave_as_documented(self, name):
+        evaluation = evaluate_attack(attack_by_name(name))
+        assert evaluation.valid, name
+        for context, expected in evaluation.spec.expected.items():
+            assert evaluation.blocks(context) == expected, (name, context)
+        assert evaluation.blocked_by_full, name
+
+    def test_ret2system_documents_ai_laundering(self):
+        """The honest negative result: entering system() at its entry runs
+        its own instrumentation, so AI alone misses ret2system — the CF
+        context is what stops it (see DESIGN.md deviations)."""
+        evaluation = evaluate_attack(attack_by_name("ret2system"))
+        assert not evaluation.blocks("AI")
+        assert evaluation.blocks("CF")
+
+    def test_rop_into_unused_syscall_blocked_by_ct(self):
+        """Unlike the paper's ROP rows (which target used syscalls), ROP
+        into a never-used syscall dies at the seccomp filter — call-type's
+        coarse half covers even ROP."""
+        evaluation = evaluate_attack(attack_by_name("rop_chmod_unused_syscall"))
+        assert evaluation.blocks("CT")

@@ -1,0 +1,139 @@
+"""Tests for attacker primitives and ROP chain construction."""
+
+import pytest
+
+from repro.attacks.primitives import AttackEnv
+from repro.attacks.rop import build_ret2libc_chain, launch_ret2libc
+from repro.errors import AttackError
+from repro.ir.builder import ModuleBuilder
+from repro.kernel.kernel import Kernel
+from repro.vm.cpu import CPU, CPUOptions
+from repro.vm.loader import Image
+from repro.vm.memory import WORD
+from tests.conftest import make_wrapper
+
+
+def _env(module=None):
+    if module is None:
+        mb = ModuleBuilder("t")
+        mb.global_string("g_s", "seed")
+        make_wrapper(mb, "setuid", 1)
+        make_wrapper(mb, "execve", 3)
+        f = mb.function("victim")
+        f.hook("vuln")
+        f.ret(0)
+        m = mb.function("main")
+        m.call("victim", [])
+        m.ret(0)
+        module = mb.build()
+    kernel = Kernel()
+    kernel.vfs.makedirs("/bin")
+    kernel.vfs.write_file("/bin/sh", b"elf")
+    image = Image(module)
+    proc = kernel.create_process("t", image)
+    cpu = CPU(image, proc, kernel, CPUOptions())
+    return AttackEnv(kernel=kernel, proc=proc, cpu=cpu, image=image), cpu
+
+
+class TestSymbolsAndStaging:
+    def test_symbol_lookup(self):
+        env, _cpu = _env()
+        assert env.func_addr("setuid") == env.image.func_base["setuid"]
+        assert env.global_addr("g_s") == env.image.global_addr["g_s"]
+        with pytest.raises(AttackError):
+            env.func_addr("nope")
+        with pytest.raises(AttackError):
+            env.global_addr("nope")
+
+    def test_plant_string_and_words(self):
+        env, _cpu = _env()
+        s = env.plant_string("/bin/sh")
+        assert env.proc.memory.read_cstr(s) == "/bin/sh"
+        w = env.plant_words([1, 2, 3])
+        assert env.proc.memory.read_block(w, 3) == [1, 2, 3]
+        assert w > s  # staging advances
+
+    def test_fake_frame_layout(self):
+        env, _cpu = _env()
+        fp = env.fake_frame([11, 22], saved_fp=0x100, return_addr=0x200)
+        mem = env.proc.memory
+        assert mem.read(fp - WORD) == 11
+        assert mem.read(fp - 2 * WORD) == 22
+        assert mem.read(fp) == 0x100
+        assert mem.read(fp + WORD) == 0x200
+
+    def test_read_write(self):
+        env, _cpu = _env()
+        env.write(0x7F00_0000_0000, 5)
+        assert env.read(0x7F00_0000_0000) == 5
+
+
+class TestHooks:
+    def test_on_hook_once(self):
+        env, cpu = _env()
+        fired = []
+        env.on_hook("vuln", lambda e: fired.append(1))
+        cpu.run()
+        assert fired == [1]
+
+    def test_on_hook_repeating(self):
+        mb = ModuleBuilder("t")
+        f = mb.function("main")
+
+        def body(i):
+            f.hook("tick")
+
+        f.loop_range(f.const(3), body)
+        f.ret(0)
+        env, cpu = _env(mb.build())
+        fired = []
+        env.on_hook("tick", lambda e: fired.append(1), once=False)
+        cpu.run()
+        assert fired == [1, 1, 1]
+
+
+class TestRopChains:
+    def test_chain_frames_linked(self):
+        env, _cpu = _env()
+        target, frame = build_ret2libc_chain(
+            env, [("setuid", (0,)), ("execve", (0x111, 0, 0))]
+        )
+        mem = env.proc.memory
+        assert target == env.func_addr("setuid")
+        # first frame: retaddr -> execve entry, saved fp -> second frame
+        assert mem.read(frame + WORD) == env.func_addr("execve")
+        second = mem.read(frame)
+        assert mem.read(second + WORD) == 0  # chain terminator
+        assert mem.read(frame - WORD) == 0  # setuid's uid arg
+        assert mem.read(second - WORD) == 0x111  # execve's path arg
+
+    def test_empty_chain_rejected(self):
+        env, _cpu = _env()
+        with pytest.raises(ValueError):
+            build_ret2libc_chain(env, [])
+
+    def test_launch_executes_chain(self):
+        env, cpu = _env()
+        sh = env.plant_string("/bin/sh")
+
+        def fire(e):
+            launch_ret2libc(e, [("setuid", (0,)), ("execve", (sh, 0, 0))])
+
+        env.on_hook("vuln", fire)
+        status = cpu.run()
+        assert status.kind == "returned"  # stealthy exit via retaddr 0
+        assert env.setuid_attempted(0)
+        assert env.executed("/bin/sh")
+
+
+class TestOracles:
+    def test_oracles_empty_on_clean_run(self):
+        env, cpu = _env()
+        cpu.run()
+        assert not env.executed("/bin/sh")
+        assert not env.made_memory_executable()
+        assert not env.opened("/etc/shadow")
+        assert not env.setuid_attempted(0)
+        assert not env.chmod_attempted("/etc/passwd")
+        assert not env.connected_to(4444)
+        assert not env.mremap_attempted()

@@ -1,0 +1,77 @@
+"""Tests for the two CLIs: repro.bench and repro.compiler."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.compiler.__main__ import load_target, main as compiler_main, render_stats
+from repro.compiler.pipeline import protect
+from repro.apps.vsftpd import build_vsftpd
+
+
+class TestBenchCli:
+    def test_table5(self, capsys):
+        assert bench_main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "nginx" in out
+
+    def test_table6(self, capsys):
+        assert bench_main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "17/17 rows match" in out
+
+    def test_adaptive(self, capsys):
+        assert bench_main(["adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle_forger" in out
+
+    def test_scaled_experiment(self, capsys):
+        assert bench_main(["figure3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "CET+CT+CF+AI" in out
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            bench_main(["not_a_table"])
+
+
+class TestCompilerCli:
+    def test_builtin_app_stats(self, capsys):
+        assert compiler_main(["vsftpd", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "BASTION compile of vsftpd" in out
+        assert "sensitive syscall callsites" in out
+
+    def test_metadata_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "meta.json"
+        assert compiler_main(["vsftpd", "--metadata", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["program"] == "vsftpd"
+        assert payload["call_types"]
+
+    def test_dump_ir(self, capsys):
+        assert compiler_main(["browser", "--dump-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "module browser" in out
+        assert "@ctx_bind" in out  # instrumentation is visible
+
+    def test_ir_file_target(self, tmp_path):
+        from repro.ir.printer import format_module
+
+        path = tmp_path / "prog.ir"
+        path.write_text(format_module(build_vsftpd()))
+        module = load_target(str(path))
+        assert module.name == "vsftpd"
+
+    def test_render_stats(self):
+        artifact = protect(build_vsftpd())
+        text = render_stats(artifact.metadata)
+        assert "total instrumentation sites" in text
+
+    def test_extend_fs_flag(self, capsys):
+        assert compiler_main(["vsftpd", "--extend-fs", "--stats"]) == 0
+        out = capsys.readouterr().out
+        # sendfile becomes a protected syscall under the extension
+        assert "sendfile" in out

@@ -1,0 +1,215 @@
+"""Tests for the argument-integrity analysis (§6.3): sensitivity sets,
+bind-origin resolution, and inter-procedural propagation."""
+
+from repro.compiler.argint import analyze_argument_integrity
+from repro.compiler.calltype import analyze_call_types
+from repro.compiler.cfg import find_sensitive_sites
+from repro.ir.builder import ModuleBuilder
+from repro.ir.callgraph import build_callgraph
+from tests.conftest import make_wrapper
+
+
+def _analyze(module, sensitive=("mmap", "mprotect", "execve")):
+    graph = build_callgraph(module)
+    ct = analyze_call_types(module, graph)
+    sites = find_sensitive_sites(module, graph, ct, sensitive)
+    return analyze_argument_integrity(module, graph, sites), sites
+
+
+def _plan_for(info, sites, syscall):
+    for site, name in sites.items():
+        if name == syscall:
+            return info.plans[site]
+    raise AssertionError("no plan for %s" % syscall)
+
+
+class TestBindResolution:
+    def test_constant_args_bind_const(self):
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main")
+        f.call("mprotect", [4096, 8192, 1])
+        f.ret(0)
+        info, sites = _analyze(mb.build())
+        plan = _plan_for(info, sites, "mprotect")
+        assert sorted(plan.binds) == [
+            (1, "const", 4096),
+            (2, "const", 8192),
+            (3, "const", 1),
+        ]
+
+    def test_const_local_resolves_to_const(self):
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main")
+        prot = f.const(5, dst="prot")
+        f.call("mprotect", [0, 4096, prot])
+        f.ret(0)
+        info, sites = _analyze(mb.build())
+        plan = _plan_for(info, sites, "mprotect")
+        assert (3, "const", 5) in plan.binds
+
+    def test_load_resolves_to_origin(self):
+        """Figure 2: bind &gshm->size, not a load temporary."""
+        mb = ModuleBuilder("m")
+        mb.struct("shm_t", ["base", "size"])
+        mb.global_var("gshm", size=2, struct="shm_t")
+        make_wrapper(mb, "mmap", 6)
+        f = mb.function("main")
+        g = f.addr_global("gshm")
+        size_p = f.gep(g, "shm_t", "size")
+        size = f.load(size_p)
+        f.call("mmap", [0, size, 3, 0x22, -1, 0])
+        f.ret(0)
+        info, sites = _analyze(mb.build())
+        plan = _plan_for(info, sites, "mmap")
+        mem_at = [b for b in plan.binds if b[1] == "mem_at"]
+        assert mem_at and mem_at[0][0] == 2  # position 2 anchored at origin
+        assert ("shm_t", "size") in info.sensitive_fields
+
+    def test_computed_value_binds_own_slot(self):
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main")
+        a = f.const(1)
+        b = f.const(2)
+        prot = f.binop("|", a, b, dst="prot")
+        f.call("mprotect", [0, 4096, prot])
+        f.ret(0)
+        info, sites = _analyze(mb.build())
+        plan = _plan_for(info, sites, "mprotect")
+        assert (3, "mem", "prot") in plan.binds
+
+    def test_move_chain_followed(self):
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main")
+        orig = f.const(3, dst="orig")
+        alias = f.move(orig, dst="alias")
+        f.call("mprotect", [0, 4096, alias])
+        f.ret(0)
+        info, sites = _analyze(mb.build())
+        plan = _plan_for(info, sites, "mprotect")
+        assert (3, "const", 3) in plan.binds
+
+
+class TestSensitivityPropagation:
+    def test_param_pulls_caller_args(self):
+        """Figure 2's b2 <- flags inter-procedural case."""
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "mmap", 6)
+        bar = mb.function("bar", params=["b0", "b1", "b2"])
+        bar.call("mmap", [0, 100, 3, bar.p("b2"), -1, 0])
+        bar.ret(0)
+        foo = mb.function("foo")
+        flags = foo.const(0x22, dst="flags")
+        foo.call("bar", [1, 2, flags])
+        foo.ret(0)
+        f = mb.function("main")
+        f.call("foo", [])
+        f.ret(0)
+        info, sites = _analyze(mb.build())
+        assert ("bar", "b2") in info.sensitive_locals
+        # the bar() callsite in foo gets a binding at position 3
+        passthrough = [
+            plan
+            for site, plan in info.plans.items()
+            if site.caller == "foo" and plan.syscall is None
+        ]
+        assert passthrough
+        assert any(b[0] == 3 for b in passthrough[0].binds)
+
+    def test_global_marked_and_stores_instrumented(self):
+        mb = ModuleBuilder("m")
+        mb.global_var("g_fd", init=0)
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main")
+        p = f.addr_global("g_fd")
+        f.store(p, 7)
+        v = f.load(p)
+        f.call("mprotect", [v, 4096, 1])
+        f.ret(0)
+        info, _sites = _analyze(mb.build())
+        assert "g_fd" in info.sensitive_globals
+        assert info.sensitive_stores  # the store to g_fd gets ctx_write_mem
+
+    def test_field_stores_discovered_across_functions(self):
+        mb = ModuleBuilder("m")
+        mb.struct("cfg_t", ["path", "mode"])
+        mb.global_var("g_cfg", size=2, struct="cfg_t")
+        make_wrapper(mb, "execve", 3)
+        init = mb.function("init")
+        g = init.addr_global("g_cfg")
+        pp = init.gep(g, "cfg_t", "path")
+        s = init.addr_global("g_cfg")  # placeholder pointer value
+        init.store(pp, s)
+        init.ret(0)
+        runner = mb.function("runner")
+        g2 = runner.addr_global("g_cfg")
+        pp2 = runner.gep(g2, "cfg_t", "path")
+        path = runner.load(pp2)
+        runner.call("execve", [path, 0, 0])
+        runner.ret(0)
+        f = mb.function("main")
+        f.call("init", [])
+        f.call("runner", [])
+        f.ret(0)
+        info, _sites = _analyze(mb.build())
+        assert ("cfg_t", "path") in info.sensitive_fields
+        # init's store to the field is in the instrumentation set
+        assert any(site.caller == "init" for site in info.sensitive_stores)
+
+    def test_index_marks_index_variable(self):
+        """Listing 2: the array index is in the use-def chain."""
+        mb = ModuleBuilder("m")
+        mb.global_var("g_table", size=8)
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main", params=["i"])
+        base = f.addr_global("g_table")
+        slot = f.index(base, f.p("i"))
+        v = f.load(slot)
+        f.call("mprotect", [v, 4096, 1])
+        f.ret(0)
+        info, _sites = _analyze(mb.build())
+        assert ("main", "i") in info.sensitive_locals
+        assert "g_table" in info.sensitive_globals
+
+    def test_return_value_chain(self):
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "mprotect", 3)
+        producer = mb.function("producer")
+        v = producer.const(4096, dst="page")
+        producer.ret(v)
+        f = mb.function("main")
+        r = f.call("producer", [])
+        f.call("mprotect", [r, 4096, 1])
+        f.ret(0)
+        info, _sites = _analyze(mb.build())
+        assert ("producer", "page") in info.sensitive_locals
+
+    def test_unrelated_code_untouched(self):
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "mprotect", 3)
+        noise = mb.function("noise")
+        noise.const(1, dst="junk")
+        noise.ret(0)
+        f = mb.function("main")
+        f.call("noise", [])
+        f.call("mprotect", [0, 4096, 1])
+        f.ret(0)
+        info, _sites = _analyze(mb.build())
+        assert ("noise", "junk") not in info.sensitive_locals
+
+
+class TestRealApps:
+    def test_nginx_exec_ctx_fields_sensitive(self):
+        from repro.apps.nginx import build_nginx
+
+        module = build_nginx()
+        info, _sites = _analyze(
+            module, ("execve", "mmap", "mprotect", "accept4", "setuid")
+        )
+        for field in ("path", "argv", "envp"):
+            assert ("ngx_exec_ctx_t", field) in info.sensitive_fields
+        # the execve path string itself is tracked (extended argument)
+        assert "g_upgrade_path" in info.sensitive_globals

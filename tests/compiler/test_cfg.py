@@ -1,0 +1,114 @@
+"""Tests for the control-flow context analysis (§6.2)."""
+
+from repro.compiler.calltype import analyze_call_types
+from repro.compiler.cfg import analyze_control_flow, find_sensitive_sites
+from repro.ir.builder import ModuleBuilder
+from repro.ir.callgraph import CallSite, build_callgraph
+from tests.conftest import make_wrapper
+
+
+def _chain_module():
+    """main -> outer -> inner -> mprotect(wrapper); 'other' is unrelated."""
+    mb = ModuleBuilder("m")
+    make_wrapper(mb, "mprotect", 3)
+    make_wrapper(mb, "getpid", 0)
+
+    inner = mb.function("inner")
+    inner.call("mprotect", [0, 4096, 1])
+    inner.ret(0)
+
+    outer = mb.function("outer")
+    outer.call("inner", [])
+    outer.ret(0)
+
+    other = mb.function("other")
+    other.call("getpid", [])
+    other.ret(0)
+
+    f = mb.function("main")
+    f.call("outer", [])
+    f.call("other", [])
+    f.ret(0)
+    return mb.build()
+
+
+def _analyze(module, sensitive=("mprotect",)):
+    graph = build_callgraph(module)
+    ct = analyze_call_types(module, graph)
+    return analyze_control_flow(module, graph, ct, sensitive)
+
+
+class TestSensitiveSites:
+    def test_wrapper_callsites_found(self):
+        module = _chain_module()
+        graph = build_callgraph(module)
+        ct = analyze_call_types(module, graph)
+        sites = find_sensitive_sites(module, graph, ct, ("mprotect",))
+        assert sites == {CallSite("inner", 0): "mprotect"}
+
+    def test_inline_sensitive_sites_found(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main")
+        f.const(0)
+        f.const(0)
+        f.const(0)
+        f.syscall("setuid", [33])
+        f.ret(0)
+        module = mb.build()
+        graph = build_callgraph(module)
+        ct = analyze_call_types(module, graph)
+        sites = find_sensitive_sites(module, graph, ct, ("setuid",))
+        assert CallSite("main", 3) in sites
+
+
+class TestRelevance:
+    def test_relevant_functions_on_path_only(self):
+        info = _analyze(_chain_module())
+        assert "inner" in info.relevant_functions
+        assert "outer" in info.relevant_functions
+        assert "main" in info.relevant_functions
+        assert "mprotect" in info.relevant_functions
+        # 'other' never reaches a sensitive syscall: not covered (the
+        # "specifically narrow" property of §3.2)
+        assert "other" not in info.relevant_functions
+        assert "getpid" not in info.relevant_functions
+
+    def test_valid_callers_edges(self):
+        info = _analyze(_chain_module())
+        assert info.valid_callers["inner"] == {CallSite("outer", 0)}
+        assert info.valid_callers["outer"] == {CallSite("main", 0)}
+        assert info.valid_callers["mprotect"] == {CallSite("inner", 0)}
+        assert info.valid_callers["main"] == set()
+
+
+class TestIndirectTermination:
+    def test_address_taken_recorded(self):
+        mb = ModuleBuilder("m")
+        make_wrapper(mb, "execve", 3)
+        proc_body = mb.function("proc_body", params=["data"])
+        proc_body.call("execve", [proc_body.p("data"), 0, 0])
+        proc_body.ret(0)
+        spawner = mb.function("spawner")
+        h = spawner.funcaddr("proc_body")
+        spawner.icall(h, [0], sig="fn1")
+        spawner.ret(0)
+        f = mb.function("main")
+        f.call("spawner", [])
+        f.ret(0)
+        info = _analyze(mb.build(), ("execve",))
+        assert "proc_body" in info.address_taken
+        assert len(info.indirect_sites) == 1
+        # proc_body has no direct callers; the CF walk terminates at the
+        # indirect callsite instead
+        assert info.valid_callers["proc_body"] == set()
+
+
+class TestRealApps:
+    def test_nginx_execve_path(self):
+        from repro.apps.nginx import build_nginx
+
+        info = _analyze(build_nginx(), ("execve",))
+        assert "ngx_execute_proc" in info.relevant_functions
+        assert "ngx_execute_proc" in info.address_taken  # via ngx_spawn_process
+        execve_callers = info.valid_callers["execve"]
+        assert all(site.caller in ("ngx_execute_proc", "system") for site in execve_callers)

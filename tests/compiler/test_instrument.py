@@ -1,0 +1,169 @@
+"""Tests for the instrumentation pass (§6.3.3)."""
+
+from repro.compiler.argint import analyze_argument_integrity
+from repro.compiler.calltype import analyze_call_types
+from repro.compiler.cfg import find_sensitive_sites
+from repro.compiler.instrument import instrument_module
+from repro.ir.builder import ModuleBuilder
+from repro.ir.callgraph import build_callgraph
+from repro.ir.instructions import (
+    AddrLocal,
+    Call,
+    Intrinsic,
+    Load,
+    CTX_BIND_CONST,
+    CTX_BIND_MEM,
+    CTX_WRITE_MEM,
+)
+from repro.ir.validate import validate_module
+from tests.conftest import make_wrapper
+
+
+def _instrument(module, sensitive=("mmap", "mprotect", "execve")):
+    graph = build_callgraph(module)
+    ct = analyze_call_types(module, graph)
+    sites = find_sensitive_sites(module, graph, ct, sensitive)
+    info = analyze_argument_integrity(module, graph, sites)
+    return instrument_module(module, info), info
+
+
+def _intrinsics(func, name):
+    return [i for i in func.body if isinstance(i, Intrinsic) and i.name == name]
+
+
+def _figure2_module():
+    """foo(flags) -> bar(b2) -> mmap(..., b2, ...): the paper's Figure 2."""
+    mb = ModuleBuilder("m")
+    make_wrapper(mb, "mmap", 6)
+    bar = mb.function("bar", params=["b0", "b1", "b2"])
+    prots = bar.const(3, dst="prots")
+    bar.call("mmap", [0, 100, prots, bar.p("b2"), -1, 0])
+    bar.ret(0)
+    foo = mb.function("foo")
+    flags = foo.binop("|", 0x20, 0x02, dst="flags")
+    foo.call("bar", [1, 2, flags])
+    foo.ret(0)
+    f = mb.function("main")
+    f.call("foo", [])
+    f.ret(0)
+    return mb.build()
+
+
+class TestPlacement:
+    def test_binds_precede_the_callsite(self):
+        result, _info = _instrument(_figure2_module())
+        bar = result.module.functions["bar"]
+        call_idx = next(
+            i for i, ins in enumerate(bar.body) if isinstance(ins, Call)
+        )
+        binds = [
+            i
+            for i, ins in enumerate(bar.body)
+            if isinstance(ins, Intrinsic) and ins.name.startswith("ctx_bind")
+        ]
+        assert binds and all(i < call_idx for i in binds)
+        # and their metadata points at the call instruction
+        for i in binds:
+            assert bar.body[i].meta["callsite_index"] == call_idx
+
+    def test_sensitive_param_refreshed_at_entry(self):
+        """Figure 2 line 11: ctx_write_mem(&b2) at function entry."""
+        result, _info = _instrument(_figure2_module())
+        bar = result.module.functions["bar"]
+        assert isinstance(bar.body[0], AddrLocal)
+        assert bar.body[0].var == "b2"
+        assert isinstance(bar.body[1], Intrinsic)
+        assert bar.body[1].name == CTX_WRITE_MEM
+
+    def test_const_binds_for_constants(self):
+        result, _info = _instrument(_figure2_module())
+        bar = result.module.functions["bar"]
+        const_binds = _intrinsics(bar, CTX_BIND_CONST)
+        bound_values = {b.args[0].value for b in const_binds}
+        assert {0, 100, -1, 0}.issubset(bound_values | {0})
+        assert result.ctx_bind_const_count >= 3
+
+    def test_passthrough_callsite_instrumented(self):
+        result, _info = _instrument(_figure2_module())
+        foo = result.module.functions["foo"]
+        binds = _intrinsics(foo, CTX_BIND_MEM) + _intrinsics(foo, CTX_BIND_CONST)
+        assert binds  # the bar() callsite carries flags' binding
+
+    def test_wrappers_never_instrumented(self):
+        result, _info = _instrument(_figure2_module())
+        mmap = result.module.functions["mmap"]
+        assert not any(isinstance(i, Intrinsic) for i in mmap.body)
+
+    def test_loads_do_not_refresh(self):
+        mb = ModuleBuilder("m")
+        mb.global_var("g", init=7)
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main")
+        p = f.addr_global("g")
+        v = f.load(p, dst="v")
+        f.call("mprotect", [v, 4096, 1])
+        f.ret(0)
+        result, _info = _instrument(mb.build())
+        main = result.module.functions["main"]
+        for i, ins in enumerate(main.body):
+            if isinstance(ins, Load):
+                nxt = main.body[i + 1]
+                assert not (
+                    isinstance(nxt, Intrinsic) and ins.dst in [
+                        a.name for a in nxt.uses() if hasattr(a, "name")
+                    ]
+                ), "load result must not be shadow-refreshed"
+
+    def test_sensitive_store_refreshed(self):
+        mb = ModuleBuilder("m")
+        mb.global_var("g", init=0)
+        make_wrapper(mb, "mprotect", 3)
+        f = mb.function("main")
+        p = f.addr_global("g")
+        f.store(p, 9)
+        v = f.load(p)
+        f.call("mprotect", [v, 4096, 1])
+        f.ret(0)
+        result, _info = _instrument(mb.build())
+        main = result.module.functions["main"]
+        writes = _intrinsics(main, CTX_WRITE_MEM)
+        assert writes  # the store to the sensitive global is tracked
+
+
+class TestStructure:
+    def test_original_module_untouched(self):
+        module = _figure2_module()
+        before = {name: len(f.body) for name, f in module.functions.items()}
+        _result, _info = _instrument(module)
+        after = {name: len(f.body) for name, f in module.functions.items()}
+        assert before == after
+
+    def test_instrumented_module_still_validates(self):
+        result, _info = _instrument(_figure2_module())
+        validate_module(result.module)
+
+    def test_site_map_translates_indices(self):
+        module = _figure2_module()
+        result, _info = _instrument(module)
+        for (func_name, old_idx), new_idx in result.site_map.items():
+            old = module.functions[func_name].body[old_idx]
+            new = result.module.functions[func_name].body[new_idx]
+            assert type(old) is type(new)
+
+    def test_counts_sum(self):
+        result, _info = _instrument(_figure2_module())
+        assert result.total_sites == (
+            result.ctx_write_mem_count
+            + result.ctx_bind_mem_count
+            + result.ctx_bind_const_count
+        )
+        assert result.total_sites > 0
+
+    def test_real_app_instruments_and_validates(self):
+        from repro.apps.nginx import build_nginx
+
+        result, _info = _instrument(
+            build_nginx(), ("execve", "mmap", "mprotect", "accept4", "setuid")
+        )
+        validate_module(result.module)
+        assert result.ctx_write_mem_count > 10

@@ -1,0 +1,55 @@
+"""Shared fixtures and tiny-program builders for the test suite."""
+
+import pytest
+
+from repro.ir.builder import ModuleBuilder
+from repro.kernel.kernel import Kernel
+from repro.vm.cpu import CPU, CPUOptions
+from repro.vm.loader import Image
+
+
+def make_wrapper(mb, name, arity):
+    """Add a libc-style syscall wrapper to a module builder."""
+    params = ["a%d" % i for i in range(arity)]
+    fb = mb.function(name, params=params)
+    rc = fb.syscall(name, [fb.p(p) for p in params])
+    fb.ret(rc)
+    fb.func.is_wrapper = True
+    return fb
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def run_module(module, kernel=None, options=None, setup=None, hooks=None):
+    """Load + run a module to completion; returns (status, proc, cpu)."""
+    kernel = kernel or Kernel()
+    image = Image(module)
+    proc = kernel.create_process(module.name, image)
+    cpu = CPU(image, proc, kernel, options or CPUOptions())
+    if setup is not None:
+        setup(kernel, proc, cpu)
+    if hooks:
+        cpu.hooks.update(hooks)
+    status = cpu.run()
+    return status, proc, cpu
+
+
+def build_simple_program(body_fn, name="prog", globals_fn=None):
+    """A module with a single main() whose body is emitted by ``body_fn``."""
+    mb = ModuleBuilder(name)
+    if globals_fn is not None:
+        globals_fn(mb)
+    f = mb.function("main", params=[])
+    body_fn(f)
+    if not f.func.body or not getattr(f.func.body[-1], "is_terminator", False):
+        f.ret(0)
+    return mb.build()
+
+
+def run_main(body_fn, **kwargs):
+    """Build + run a single-function program; returns (status, proc, cpu)."""
+    module = build_simple_program(body_fn)
+    return run_module(module, **kwargs)

@@ -1,0 +1,149 @@
+"""Tests for the module/function builders and Function layout rules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import FunctionBuilder, ModuleBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Call, Const, Label, Ret, Var
+
+
+class TestFunctionLayout:
+    def test_params_first_in_local_order(self):
+        f = Function("f", params=["a", "b"])
+        f.append(Const("x", 1))
+        f.append(Const("y", 2))
+        f.append(Ret(Var("x")))
+        assert f.local_names()[:2] == ["a", "b"]
+        assert f.local_slot("a") == 0
+        assert f.local_slot("x") == 2
+        assert f.frame_size == 4
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(IRError):
+            Function("f", params=["a", "a"])
+
+    def test_labels_resolved(self):
+        f = Function("f")
+        f.append(Label("top"))
+        f.append(Const("x", 1))
+        f.append(Label("end"))
+        f.append(Ret())
+        assert f.label_index("top") == 0
+        assert f.label_index("end") == 2
+
+    def test_duplicate_label_rejected(self):
+        f = Function("f")
+        f.append(Label("L"))
+        f.append(Label("L"))
+        with pytest.raises(IRError):
+            f.labels  # noqa: B018 - property materializes the map
+
+    def test_unknown_label_raises(self):
+        f = Function("f")
+        f.append(Ret())
+        with pytest.raises(IRError):
+            f.label_index("missing")
+
+    def test_unknown_local_raises(self):
+        f = Function("f")
+        f.append(Ret())
+        with pytest.raises(IRError):
+            f.local_slot("ghost")
+
+    def test_invalidate_after_mutation(self):
+        f = Function("f")
+        f.append(Ret())
+        assert f.frame_size == 0
+        f.body.insert(0, Const("x", 1))
+        f.invalidate()
+        assert f.frame_size == 1
+
+
+class TestBuilders:
+    def test_temps_are_fresh(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main")
+        a = f.const(1)
+        b = f.const(2)
+        assert a != b
+
+    def test_explicit_dst(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main")
+        v = f.const(7, dst="seven")
+        assert v == Var("seven")
+
+    def test_loop_range_emits_working_loop(self):
+        from tests.conftest import run_main
+
+        def body(f):
+            total = f.const(0, dst="total")
+
+            def step(i):
+                t = f.add(f.var("total"), i)
+                f.move(t, dst="total")
+
+            f.loop_range(f.const(5), step)
+            f.intrinsic("trace", [f.var("total")])
+            f.ret(f.var("total"))
+
+        status, proc, _cpu = run_main(body)
+        assert status.kind == "returned"
+        assert proc.trace_log == [[10]]  # 0+1+2+3+4
+
+    def test_if_then_else(self):
+        from tests.conftest import run_main
+
+        def body(f):
+            cond = f.const(0)
+            f.if_then(
+                cond,
+                lambda: f.intrinsic("trace", [f.const(1)]),
+                lambda: f.intrinsic("trace", [f.const(2)]),
+            )
+            f.ret(0)
+
+        status, proc, _cpu = run_main(body)
+        assert proc.trace_log == [[2]]
+
+    def test_duplicate_function_rejected(self):
+        mb = ModuleBuilder("m")
+        mb.function("f")
+        with pytest.raises(IRError):
+            mb.function("f")
+
+    def test_global_string_size(self):
+        mb = ModuleBuilder("m")
+        g = mb.global_string("s", "abc")
+        assert g.size == 4  # three chars + NUL
+        assert g.initial_words() == [97, 98, 99, 0]
+
+    def test_global_words(self):
+        mb = ModuleBuilder("m")
+        g = mb.global_words("w", [5, 6, 7])
+        assert g.initial_words() == [5, 6, 7]
+
+    def test_extend_merges_and_rejects_conflicts(self):
+        lib = ModuleBuilder("lib")
+        lib.function("helper").ret(0)
+        lib.global_var("shared", init=1)
+        app = ModuleBuilder("app")
+        app.extend(lib.build())
+        assert app.module.has_function("helper")
+        other = ModuleBuilder("other")
+        other.global_var("shared", init=2)
+        with pytest.raises(IRError):
+            app.extend(other.build())
+
+    def test_fresh_label_unique(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("main")
+        assert f.fresh_label() != f.fresh_label()
+
+    def test_default_sig_by_arity(self):
+        mb = ModuleBuilder("m")
+        f = mb.function("h", params=["a", "b", "c"])
+        assert f.func.sig == "fn3"
+        g = mb.function("g", params=["a"], sig="custom")
+        assert g.func.sig == "custom"

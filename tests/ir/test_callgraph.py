@@ -1,0 +1,80 @@
+"""Tests for call-graph construction."""
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.callgraph import CallSite, build_callgraph
+
+
+def _diamond_module():
+    """main -> a, b; a -> c; b -> c (indirectly); c contains a syscall."""
+    mb = ModuleBuilder("m")
+    c = mb.function("c")
+    c.syscall("getpid", [])
+    c.ret(0)
+
+    a = mb.function("a")
+    a.call("c", [])
+    a.ret(0)
+
+    b = mb.function("b")
+    fp = b.funcaddr("c")
+    b.icall(fp, [], sig="fn0")
+    b.ret(0)
+
+    m = mb.function("main")
+    m.call("a", [])
+    m.call("b", [])
+    m.ret(0)
+    return mb.build()
+
+
+def test_direct_edges():
+    module = _diamond_module()
+    graph = build_callgraph(module)
+    callers_of_c = graph.callers_of("c")
+    assert callers_of_c == (CallSite("a", 0),)
+    assert {s.caller for s in graph.callers_of("a")} == {"main"}
+    assert {s.caller for s in graph.callers_of("b")} == {"main"}
+
+
+def test_indirect_sites_and_sigs():
+    graph = build_callgraph(_diamond_module())
+    assert len(graph.indirect_sites) == 1
+    site = graph.indirect_sites[0]
+    assert site.caller == "b"
+    assert graph.indirect_sigs[site] == "fn0"
+
+
+def test_address_taken():
+    graph = build_callgraph(_diamond_module())
+    assert graph.address_taken == {"c"}
+    assert graph.is_address_taken("c")
+    assert not graph.is_address_taken("a")
+
+
+def test_syscall_sites():
+    graph = build_callgraph(_diamond_module())
+    assert graph.functions_containing_syscall("getpid") == ("c",)
+    assert graph.functions_containing_syscall("execve") == ()
+
+
+def test_direct_callees():
+    graph = build_callgraph(_diamond_module())
+    assert set(graph.direct_callees("main")) == {"a", "b"}
+    assert graph.direct_callees("c") == []
+
+
+def test_reachable_from_includes_address_taken():
+    module = _diamond_module()
+    graph = build_callgraph(module)
+    reachable = graph.reachable_from(["main"])
+    # c is reachable both directly (via a) and as an address-taken function
+    assert reachable == {"main", "a", "b", "c"}
+
+
+def test_reachable_excludes_dead_code():
+    mb = ModuleBuilder("m")
+    mb.function("dead").ret(0)
+    m = mb.function("main")
+    m.ret(0)
+    graph = build_callgraph(mb.build())
+    assert "dead" not in graph.reachable_from(["main"])

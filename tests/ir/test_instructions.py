@@ -1,0 +1,120 @@
+"""Tests for IR operands and instruction uses/defs."""
+
+import pytest
+
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrLocal,
+    BinOp,
+    Branch,
+    Call,
+    CallIndirect,
+    Const,
+    FuncAddr,
+    Gep,
+    Imm,
+    Index,
+    Intrinsic,
+    Jump,
+    Label,
+    Load,
+    Move,
+    Ret,
+    Store,
+    Syscall,
+    Var,
+    as_operand,
+)
+
+
+class TestOperands:
+    def test_as_operand_int(self):
+        assert as_operand(42) == Imm(42)
+
+    def test_as_operand_bool(self):
+        assert as_operand(True) == Imm(1)
+
+    def test_as_operand_str(self):
+        assert as_operand("x") == Var("x")
+
+    def test_as_operand_passthrough(self):
+        v = Var("y")
+        assert as_operand(v) is v
+        i = Imm(7)
+        assert as_operand(i) is i
+
+    def test_as_operand_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_operand(3.14)
+        with pytest.raises(TypeError):
+            as_operand([1, 2])
+
+    def test_reprs(self):
+        assert repr(Var("x")) == "%x"
+        assert repr(Imm(5)) == "$5"
+
+
+class TestUsesDefs:
+    def test_const(self):
+        i = Const("d", 1)
+        assert i.defs() == ("d",)
+        assert i.uses() == ()
+
+    def test_move(self):
+        i = Move("d", Var("s"))
+        assert i.defs() == ("d",)
+        assert i.uses() == (Var("s"),)
+
+    def test_binop(self):
+        i = BinOp("d", "+", Var("a"), Imm(2))
+        assert set(i.uses()) == {Var("a"), Imm(2)}
+        assert i.defs() == ("d",)
+
+    def test_load_store(self):
+        assert Load("d", Var("p")).uses() == (Var("p"),)
+        st = Store(Var("p"), Var("v"))
+        assert st.uses() == (Var("p"), Var("v"))
+        assert st.defs() == ()
+
+    def test_addr_instructions(self):
+        assert AddrLocal("d", "x").defs() == ("d",)
+        assert AddrGlobal("d", "g").defs() == ("d",)
+        assert FuncAddr("d", "f").defs() == ("d",)
+
+    def test_gep_index(self):
+        gep = Gep("d", Var("b"), "S", "f")
+        assert gep.uses() == (Var("b"),)
+        idx = Index("d", Var("b"), Var("i"), 3)
+        assert set(idx.uses()) == {Var("b"), Var("i")}
+
+    def test_call_void_and_valued(self):
+        call = Call("d", "f", [Var("a"), Imm(1)])
+        assert call.defs() == ("d",)
+        assert call.uses() == (Var("a"), Imm(1))
+        void = Call(None, "f", [])
+        assert void.defs() == ()
+
+    def test_call_indirect(self):
+        icall = CallIndirect("d", Var("p"), [Var("a")], "fn1")
+        assert icall.uses() == (Var("p"), Var("a"))
+
+    def test_syscall(self):
+        sc = Syscall("d", "mmap", [Imm(0), Var("n")])
+        assert sc.defs() == ("d",)
+        assert sc.uses() == (Imm(0), Var("n"))
+
+    def test_control_flow(self):
+        assert Jump("L").is_terminator
+        branch = Branch(Var("c"), "a", "b")
+        assert branch.is_terminator
+        assert branch.uses() == (Var("c"),)
+        assert Ret(Var("v")).uses() == (Var("v"),)
+        assert Ret().uses() == ()
+        assert not Label("L").is_terminator
+
+    def test_intrinsic(self):
+        intr = Intrinsic("ctx_bind_mem", [Var("p")], None, {"pos": 2})
+        assert intr.uses() == (Var("p"),)
+        assert intr.defs() == ()
+        valued = Intrinsic("trace", [], "d", {})
+        assert valued.defs() == ("d",)

@@ -1,0 +1,44 @@
+"""Tests for the IR text printer."""
+
+from repro.ir.builder import ModuleBuilder
+from repro.ir.printer import format_function, format_instr, format_module
+from repro.ir.instructions import Const, Ret, Store, Imm, Var
+
+
+def test_format_instr_samples():
+    assert format_instr(Const("x", 5)) == "%x = const 5"
+    assert "store" in format_instr(Store(Var("p"), Imm(1)))
+
+
+def test_format_function_contains_signature_and_body():
+    mb = ModuleBuilder("m")
+    f = mb.function("foo", params=["a"])
+    f.const(1, dst="x")
+    f.ret(f.var("x"))
+    text = format_function(f.func)
+    assert "func foo(a)" in text
+    assert "%x = const 1" in text
+    assert text.strip().endswith("}")
+
+
+def test_format_module_lists_everything():
+    mb = ModuleBuilder("prog")
+    mb.struct("pair_t", ["a", "b"])
+    mb.global_string("greeting", "hi")
+    f = mb.function("main")
+    f.ret(0)
+    text = format_module(mb.build())
+    assert "module prog" in text
+    assert "struct pair_t { a, b }" in text
+    assert 'global greeting = "hi"' in text
+    assert "func main()" in text
+
+
+def test_every_instruction_kind_formats():
+    """Printing the real nginx module exercises every instruction kind."""
+    from repro.apps.nginx import build_nginx
+
+    text = format_module(build_nginx())
+    assert "ngx_execute_proc" in text
+    assert "syscall execve" in text
+    assert "icall" in text

@@ -1,0 +1,140 @@
+"""Tests for the IR validator's error detection."""
+
+import pytest
+
+from repro.errors import IRValidationError
+from repro.ir.builder import ModuleBuilder
+from repro.ir.instructions import BinOp, Branch, Call, Gep, Imm, Jump, Ret, Syscall, Var
+from repro.ir.validate import validate_module
+
+
+def _module_with_main():
+    mb = ModuleBuilder("m")
+    f = mb.function("main")
+    return mb, f
+
+
+def test_valid_module_passes():
+    mb, f = _module_with_main()
+    f.const(1)
+    f.ret(0)
+    assert validate_module(mb.build()) is mb.module
+
+
+def test_missing_entry():
+    mb = ModuleBuilder("m")
+    mb.function("not_main").ret(0)
+    with pytest.raises(IRValidationError, match="entry"):
+        validate_module(mb.build())
+
+
+def test_empty_function_body():
+    mb, f = _module_with_main()
+    with pytest.raises(IRValidationError, match="empty body"):
+        validate_module(mb.build())
+
+
+def test_fallthrough_end():
+    mb, f = _module_with_main()
+    f.const(1)
+    with pytest.raises(IRValidationError, match="falls off"):
+        validate_module(mb.build())
+
+
+def test_unknown_binop():
+    mb, f = _module_with_main()
+    f.func.append(BinOp("x", "**", Imm(2), Imm(3)))
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="operator"):
+        validate_module(mb.build())
+
+
+def test_jump_to_unknown_label():
+    mb, f = _module_with_main()
+    f.func.append(Jump("nowhere"))
+    with pytest.raises(IRValidationError, match="unknown label"):
+        validate_module(mb.build())
+
+
+def test_branch_to_unknown_label():
+    mb, f = _module_with_main()
+    f.label("here")
+    f.func.append(Branch(Imm(1), "here", "gone"))
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="unknown label"):
+        validate_module(mb.build())
+
+
+def test_call_to_undefined_function():
+    mb, f = _module_with_main()
+    f.func.append(Call("x", "ghost", []))
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="undefined function"):
+        validate_module(mb.build())
+
+
+def test_funcaddr_of_undefined_function():
+    mb, f = _module_with_main()
+    f.funcaddr("ghost")
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="address of undefined"):
+        validate_module(mb.build())
+
+
+def test_unknown_syscall_name():
+    mb, f = _module_with_main()
+    f.func.append(Syscall("x", "execve", [Imm(0)] * 7))
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="at most 6"):
+        validate_module(mb.build())
+
+
+def test_syscall_name_must_exist():
+    mb, f = _module_with_main()
+    mb2, f2 = _module_with_main()
+    f2.func.append(Syscall("x", "frobnicate", []))
+    f2.ret(0)
+    with pytest.raises(IRValidationError, match="unknown syscall"):
+        validate_module(mb2.build())
+
+
+def test_gep_unknown_struct_and_field():
+    mb, f = _module_with_main()
+    f.func.append(Gep("x", Var("p"), "nope_t", "f"))
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="unknown struct"):
+        validate_module(mb.build())
+
+    mb2 = ModuleBuilder("m")
+    mb2.struct("pair_t", ["a", "b"])
+    f2 = mb2.function("main")
+    f2.func.append(Gep("x", Var("p"), "pair_t", "zz"))
+    f2.ret(0)
+    with pytest.raises(IRValidationError, match="no field"):
+        validate_module(mb2.build())
+
+
+def test_unknown_global():
+    mb, f = _module_with_main()
+    f.addr_global("ghost")
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="unknown global"):
+        validate_module(mb.build())
+
+
+def test_unknown_intrinsic():
+    mb, f = _module_with_main()
+    f.intrinsic("make_coffee")
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="unknown intrinsic"):
+        validate_module(mb.build())
+
+
+def test_bastion_intrinsics_allowed():
+    mb, f = _module_with_main()
+    addr = f.const(0x600000)
+    f.intrinsic("ctx_write_mem", [addr, 1])
+    f.intrinsic("ctx_bind_mem", [addr], pos=1, callsite_index=0)
+    f.intrinsic("ctx_bind_const", [7], pos=2, callsite_index=0)
+    f.ret(0)
+    validate_module(mb.build())

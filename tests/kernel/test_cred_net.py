@@ -1,0 +1,105 @@
+"""Tests for credentials and the socket layer."""
+
+from repro.kernel import errno
+from repro.kernel.cred import Credentials
+from repro.kernel.net import Connection, NetStack, Socket
+
+
+class TestCredentials:
+    def test_root_can_become_anyone(self):
+        c = Credentials()
+        assert c.setuid(1000) == 0
+        assert c.uid == 1000 and c.euid == 1000
+
+    def test_non_root_cannot_escalate(self):
+        c = Credentials(uid=1000, euid=1000, gid=1000, egid=1000)
+        assert c.setuid(0) == -errno.EPERM
+        assert c.setgid(0) == -errno.EPERM
+        assert c.euid == 1000
+
+    def test_non_root_can_set_self(self):
+        c = Credentials(uid=1000, euid=1000)
+        assert c.setuid(1000) == 0
+
+    def test_setreuid(self):
+        c = Credentials()
+        assert c.setreuid(500, 501) == 0
+        assert (c.uid, c.euid) == (500, 501)
+        assert c.setreuid(-1, 500) == 0
+        assert c.uid == 500
+        assert c.setreuid(0, 0) == -errno.EPERM  # no longer root
+
+    def test_clone_independent(self):
+        c = Credentials()
+        child = c.clone()
+        child.setuid(7)
+        assert c.uid == 0
+
+    def test_is_root(self):
+        assert Credentials().is_root()
+        assert not Credentials(uid=1, euid=1).is_root()
+
+
+class TestNetStack:
+    def test_bind_listen(self):
+        net = NetStack()
+        sock = Socket()
+        assert net.bind(sock, 80)
+        assert net.listen(sock, 128)
+        assert net.listeners[80] is sock
+
+    def test_double_bind_conflicts(self):
+        net = NetStack()
+        a, b = Socket(), Socket()
+        net.bind(a, 80)
+        net.listen(a, 1)
+        assert not net.bind(b, 80)
+
+    def test_provider_supplies_connections(self):
+        net = NetStack()
+        sock = Socket()
+        net.bind(sock, 80)
+        net.listen(sock, 1)
+        queue = [Connection(), None]
+        net.backlog_provider = lambda s: queue.pop(0)
+        assert net.next_connection(sock) is not None
+        assert net.next_connection(sock) is None
+        assert net.accepted == 1
+
+    def test_no_provider_means_no_connections(self):
+        net = NetStack()
+        assert net.next_connection(Socket()) is None
+
+    def test_byte_accounting(self):
+        net = NetStack()
+        net.account_send(100)
+        net.account_recv(40)
+        assert net.bytes_sent == 100
+        assert net.bytes_received == 40
+
+
+class TestConnection:
+    def test_deliver_take(self):
+        conn = Connection()
+        conn.deliver(b"hello")
+        assert conn.take(3) == b"hel"
+        assert conn.take(10) == b"lo"
+        assert conn.take(10) == b""
+
+    def test_server_write_counts_and_keeps_prefix(self):
+        conn = Connection()
+        conn.server_write(1000, b"HTTP/1.1 200")
+        assert conn.bytes_out == 1000
+        assert conn.out_prefix.startswith(b"HTTP/1.1 200")
+
+    def test_write_callback_pacing(self):
+        conn = Connection()
+        seen = []
+        conn.on_server_write = lambda c, n, prefix: seen.append((n, prefix))
+        conn.server_write(10, b"226")
+        assert seen == [(10, b"226")]
+
+    def test_out_prefix_bounded(self):
+        conn = Connection()
+        conn.server_write(10000, b"x" * 10000)
+        assert len(conn.out_prefix) <= Connection._OUT_KEEP

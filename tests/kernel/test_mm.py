@@ -1,0 +1,114 @@
+"""Tests for virtual memory regions (mmap/mprotect/munmap/brk)."""
+
+from hypothesis import given, strategies as st
+
+from repro.kernel import errno
+from repro.kernel.mm import (
+    AddressSpace,
+    MAP_ANONYMOUS,
+    MAP_FIXED,
+    MAP_PRIVATE,
+    PAGE,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+)
+
+
+class TestMmap:
+    def test_mmap_allocates_distinct_regions(self):
+        mm = AddressSpace()
+        a = mm.do_mmap(0, 4096, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS)
+        b = mm.do_mmap(0, 4096, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS)
+        assert a > 0 and b > 0
+        assert b >= a + 4096
+
+    def test_mmap_fixed(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0x10000000, 4096, PROT_READ, MAP_FIXED)
+        assert addr == 0x10000000
+
+    def test_mmap_bad_length(self):
+        assert AddressSpace().do_mmap(0, 0, PROT_READ, 0) == -errno.EINVAL
+
+    def test_length_page_aligned(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, 100, PROT_READ, 0)
+        region = mm.region_at(addr)
+        assert region.end - region.start == PAGE
+
+
+class TestMprotect:
+    def test_whole_region(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, 8192, PROT_READ | PROT_WRITE, 0)
+        assert mm.do_mprotect(addr, 8192, PROT_READ) == 0
+        assert mm.prot_at(addr) == PROT_READ
+
+    def test_split_middle(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, 3 * PAGE, PROT_READ | PROT_WRITE, 0)
+        assert mm.do_mprotect(addr + PAGE, PAGE, PROT_NONE) == 0
+        assert mm.prot_at(addr) == PROT_READ | PROT_WRITE
+        assert mm.prot_at(addr + PAGE) == PROT_NONE
+        assert mm.prot_at(addr + 2 * PAGE) == PROT_READ | PROT_WRITE
+
+    def test_unmapped_fails(self):
+        assert AddressSpace().do_mprotect(0x5000, PAGE, PROT_READ) == -errno.ENOMEM
+
+    def test_unaligned_fails(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, PAGE, PROT_READ, 0)
+        assert mm.do_mprotect(addr + 8, PAGE, PROT_READ) == -errno.EINVAL
+
+    def test_wx_detection(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, PAGE, PROT_READ | PROT_WRITE, 0)
+        assert not mm.has_wx_region()
+        mm.do_mprotect(addr, PAGE, PROT_READ | PROT_WRITE | PROT_EXEC)
+        assert mm.has_wx_region()
+        assert mm.is_executable(addr)
+
+
+class TestMunmapBrk:
+    def test_munmap_removes(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, PAGE, PROT_READ, 0)
+        assert mm.do_munmap(addr, PAGE) == 0
+        assert mm.region_at(addr) is None
+
+    def test_munmap_splits(self):
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, 3 * PAGE, PROT_READ, 0)
+        assert mm.do_munmap(addr + PAGE, PAGE) == 0
+        assert mm.region_at(addr) is not None
+        assert mm.region_at(addr + PAGE) is None
+        assert mm.region_at(addr + 2 * PAGE) is not None
+
+    def test_munmap_nothing(self):
+        assert AddressSpace().do_munmap(0x7000, PAGE) == -errno.EINVAL
+
+    def test_brk_grows_only(self):
+        mm = AddressSpace()
+        start = mm.brk
+        assert mm.do_brk(start + 4096) == start + 4096
+        assert mm.do_brk(start) == start + 4096  # shrink ignored
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        prots=st.lists(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=6
+        ),
+    )
+    def test_mprotect_pages_independent(self, n, prots):
+        """Protecting individual pages never leaks onto neighbours."""
+        mm = AddressSpace()
+        addr = mm.do_mmap(0, (len(prots) + 1) * PAGE, PROT_READ, 0)
+        for i, prot in enumerate(prots):
+            mm.do_mprotect(addr + i * PAGE, PAGE, prot)
+        for i, prot in enumerate(prots):
+            assert mm.prot_at(addr + i * PAGE) == prot
+        assert mm.prot_at(addr + len(prots) * PAGE) == PROT_READ

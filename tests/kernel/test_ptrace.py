@@ -1,0 +1,76 @@
+"""Tests for the ptrace transport (and the in-kernel ablation transport)."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.kernel.kernel import Kernel
+from repro.kernel.ptrace import PtraceHandle
+from repro.vm.costs import DEFAULT_COSTS
+from repro.vm.memory import WORD
+
+
+@pytest.fixture
+def proc():
+    return Kernel().create_process("t")
+
+
+def test_getregs_returns_copy(proc):
+    proc.set_registers("mmap", [1, 2, 3, 4, 5, 6], rip=0x400000, rbp=0x7000, rsp=0x6000)
+    pt = PtraceHandle(proc, DEFAULT_COSTS)
+    regs = pt.getregs()
+    assert regs.rdi == 1 and regs.r9 == 6
+    assert regs.rip == 0x400000 and regs.rbp == 0x7000
+    assert regs.arg(1) == 1 and regs.arg(6) == 6
+    assert regs.syscall_args() == (1, 2, 3, 4, 5, 6)
+    regs.rdi = 999
+    assert proc.regs.rdi == 1  # copy, not alias
+
+
+def test_peek_and_readv(proc):
+    proc.memory.write_block(0x5000, [10, 20, 30])
+    pt = PtraceHandle(proc, DEFAULT_COSTS)
+    assert pt.peekdata(0x5000) == 10
+    assert pt.readv(0x5000, 3) == [10, 20, 30]
+    assert pt.words_read == 4
+
+
+def test_read_cstr_and_vector(proc):
+    proc.memory.write_cstr(0x5000, "/bin/sh")
+    pt = PtraceHandle(proc, DEFAULT_COSTS)
+    assert pt.read_cstr(0x5000) == "/bin/sh"
+    proc.memory.write_block(0x6000, [0x111, 0x222, 0])
+    assert pt.read_vector(0x6000) == [0x111, 0x222]
+
+
+def test_costs_charged_to_tracee_ledger(proc):
+    pt = PtraceHandle(proc, DEFAULT_COSTS)
+    before = proc.ledger.cycles
+    pt.getregs()
+    pt.readv(0x5000, 10)
+    charged = proc.ledger.cycles - before
+    assert charged >= DEFAULT_COSTS.ptrace_getregs + DEFAULT_COSTS.readv_base
+    assert proc.ledger.category("ptrace") == charged
+
+
+def test_inkernel_transport_is_cheaper(proc):
+    ptrace = PtraceHandle(proc, DEFAULT_COSTS, transport="ptrace")
+    ptrace.readv(0x5000, 8)
+    ptrace_cost = proc.ledger.category("ptrace")
+
+    proc2 = Kernel().create_process("t2")
+    inkernel = PtraceHandle(proc2, DEFAULT_COSTS, transport="inkernel")
+    inkernel.readv(0x5000, 8)
+    inkernel_cost = proc2.ledger.category("monitor")
+    assert inkernel_cost < ptrace_cost // 5
+
+
+def test_unknown_transport_rejected(proc):
+    with pytest.raises(MonitorError):
+        PtraceHandle(proc, DEFAULT_COSTS, transport="telepathy")
+
+
+def test_kill_tracee(proc):
+    pt = PtraceHandle(proc, DEFAULT_COSTS)
+    pt.kill_tracee("violation")
+    assert not proc.alive
+    assert proc.kill_reason == "violation"

@@ -1,0 +1,96 @@
+"""Tests for seccomp filters: generation, precedence, evaluation."""
+
+from hypothesis import given, strategies as st
+
+from repro.kernel.seccomp import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_ERRNO,
+    SECCOMP_RET_KILL_PROCESS,
+    SECCOMP_RET_TRACE,
+    SECCOMP_RET_TRAP,
+    action_name,
+    build_action_filter,
+    combine_actions,
+    evaluate_filters,
+)
+
+
+class TestActionFilterGeneration:
+    def test_actions_honored(self):
+        filt = build_action_filter(
+            {59: SECCOMP_RET_TRACE, 10: SECCOMP_RET_KILL_PROCESS}
+        )
+        assert evaluate_filters([filt], 59)[0] == SECCOMP_RET_TRACE
+        assert evaluate_filters([filt], 10)[0] == SECCOMP_RET_KILL_PROCESS
+        assert evaluate_filters([filt], 0)[0] == SECCOMP_RET_ALLOW
+
+    def test_custom_default(self):
+        filt = build_action_filter({}, default_action=SECCOMP_RET_KILL_PROCESS)
+        assert evaluate_filters([filt], 123)[0] == SECCOMP_RET_KILL_PROCESS
+
+    def test_empty_filter_list_allows(self):
+        assert evaluate_filters([], 59) == (SECCOMP_RET_ALLOW, 0)
+
+    def test_instruction_count_scales_with_entries(self):
+        small = build_action_filter({1: SECCOMP_RET_TRACE})
+        big = build_action_filter(
+            {nr: SECCOMP_RET_TRACE for nr in range(1, 60)}
+        )
+        _a1, c1 = evaluate_filters([small], 500)
+        _a2, c2 = evaluate_filters([big], 500)
+        assert c2 > c1
+
+    @given(
+        entries=st.dictionaries(
+            st.integers(min_value=0, max_value=450),
+            st.sampled_from(
+                [SECCOMP_RET_TRACE, SECCOMP_RET_KILL_PROCESS, SECCOMP_RET_ERRNO | 13]
+            ),
+            max_size=40,
+        ),
+        nr=st.integers(min_value=0, max_value=460),
+    )
+    def test_generated_filter_matches_action_map(self, entries, nr):
+        """Property: the compiled cBPF program implements the map exactly."""
+        filt = build_action_filter(entries)
+        action, _count = evaluate_filters([filt], nr)
+        assert action == entries.get(nr, SECCOMP_RET_ALLOW)
+
+
+class TestPrecedence:
+    def test_kill_beats_everything(self):
+        assert (
+            combine_actions([SECCOMP_RET_ALLOW, SECCOMP_RET_KILL_PROCESS])
+            == SECCOMP_RET_KILL_PROCESS
+        )
+
+    def test_trap_beats_errno_beats_trace(self):
+        assert (
+            combine_actions([SECCOMP_RET_TRACE, SECCOMP_RET_ERRNO])
+            & 0xFFFF0000
+            == SECCOMP_RET_ERRNO
+        )
+        assert (
+            combine_actions([SECCOMP_RET_ERRNO, SECCOMP_RET_TRAP])
+            & 0xFFFF0000
+            == SECCOMP_RET_TRAP
+        )
+
+    def test_multiple_filters_strictest_wins(self):
+        allow_all = build_action_filter({})
+        kill_59 = build_action_filter({59: SECCOMP_RET_KILL_PROCESS})
+        action, _ = evaluate_filters([allow_all, kill_59], 59)
+        assert action == SECCOMP_RET_KILL_PROCESS
+
+    def test_errno_data_preserved(self):
+        filt = build_action_filter({2: SECCOMP_RET_ERRNO | 13})
+        action, _ = evaluate_filters([filt], 2)
+        assert action & 0xFFFF == 13
+
+
+class TestNames:
+    def test_action_names(self):
+        assert action_name(SECCOMP_RET_ALLOW) == "ALLOW"
+        assert action_name(SECCOMP_RET_TRACE) == "TRACE"
+        assert action_name(SECCOMP_RET_KILL_PROCESS) == "KILL_PROCESS"
+        assert action_name(SECCOMP_RET_ERRNO | 5) == "ERRNO"

@@ -1,0 +1,112 @@
+"""Tests for readv/writev, pipes, and dup2."""
+
+import pytest
+
+from repro.ir.builder import ModuleBuilder
+from repro.kernel import errno
+from repro.kernel.kernel import Kernel
+from repro.vm.loader import Image
+from repro.vm.memory import WORD
+
+
+@pytest.fixture
+def setup():
+    kernel = Kernel()
+    kernel.vfs.makedirs("/tmp")
+    kernel.vfs.write_file("/tmp/data", b"abcdefghij")
+    mb = ModuleBuilder("t")
+    f = mb.function("main")
+    f.ret(0)
+    proc = kernel.create_process("t", Image(mb.build()))
+    return kernel, proc
+
+
+BUF = 0x7F20_0000_0000
+IOV = 0x7F20_0010_0000
+STR = 0x7F20_0020_0000
+
+
+def _open(kernel, proc, path="/tmp/data", flags=0):
+    proc.memory.write_cstr(STR, path)
+    return kernel.dispatch(proc, "open", [STR, flags, 0o644])
+
+
+class TestVectoredIO:
+    def test_readv_scatters(self, setup):
+        kernel, proc = setup
+        fd = _open(kernel, proc)
+        # two iovecs: 3 bytes then 4 bytes
+        proc.memory.write_block(IOV, [BUF, 3, BUF + 0x1000 * WORD, 4])
+        n = kernel.dispatch(proc, "readv", [fd, IOV, 2])
+        assert n == 7
+        assert proc.memory.read(BUF) == ord("a")
+        assert proc.memory.read(BUF + 2 * WORD) == ord("c")
+        assert proc.memory.read(BUF + 0x1000 * WORD) == ord("d")
+
+    def test_writev_gathers(self, setup):
+        kernel, proc = setup
+        fd = _open(kernel, proc, "/tmp/out", flags=0o100)  # O_CREAT
+        proc.memory.write_cstr(BUF, "he")
+        proc.memory.write_cstr(BUF + 0x1000 * WORD, "llo")
+        proc.memory.write_block(IOV, [BUF, 2, BUF + 0x1000 * WORD, 3])
+        n = kernel.dispatch(proc, "writev", [fd, IOV, 2])
+        assert n == 5
+        assert kernel.vfs.lookup("/tmp/out").data == b"hello"
+
+    def test_readv_stops_at_short_read(self, setup):
+        kernel, proc = setup
+        fd = _open(kernel, proc)
+        proc.memory.write_block(IOV, [BUF, 8, BUF + 0x1000 * WORD, 8])
+        n = kernel.dispatch(proc, "readv", [fd, IOV, 2])
+        assert n == 10  # file is only 10 bytes
+
+    def test_readv_bad_fd(self, setup):
+        kernel, proc = setup
+        proc.memory.write_block(IOV, [BUF, 4])
+        assert kernel.dispatch(proc, "readv", [99, IOV, 1]) == -errno.EBADF
+
+
+class TestPipe:
+    def test_pipe_roundtrip(self, setup):
+        kernel, proc = setup
+        fds = BUF
+        assert kernel.dispatch(proc, "pipe", [fds]) == 0
+        read_fd = proc.memory.read(fds)
+        write_fd = proc.memory.read(fds + WORD)
+        proc.memory.write_cstr(BUF + 0x100 * WORD, "ping")
+        assert kernel.dispatch(proc, "write", [write_fd, BUF + 0x100 * WORD, 4]) == 4
+        n = kernel.dispatch(proc, "read", [read_fd, BUF + 0x200 * WORD, 16])
+        assert n == 4
+        assert proc.memory.read(BUF + 0x200 * WORD) == ord("p")
+
+    def test_pipe_wrong_direction(self, setup):
+        kernel, proc = setup
+        fds = BUF
+        kernel.dispatch(proc, "pipe", [fds])
+        read_fd = proc.memory.read(fds)
+        write_fd = proc.memory.read(fds + WORD)
+        assert kernel.dispatch(proc, "write", [read_fd, BUF, 1]) < 0
+        assert kernel.dispatch(proc, "read", [write_fd, BUF, 1]) < 0
+
+    def test_empty_pipe_reads_zero(self, setup):
+        kernel, proc = setup
+        fds = BUF
+        kernel.dispatch(proc, "pipe", [fds])
+        read_fd = proc.memory.read(fds)
+        assert kernel.dispatch(proc, "read", [read_fd, BUF + 0x100 * WORD, 8]) == 0
+
+
+class TestDup2:
+    def test_dup2_aliases(self, setup):
+        kernel, proc = setup
+        fd = _open(kernel, proc)
+        assert kernel.dispatch(proc, "dup2", [fd, 42]) == 42
+        n = kernel.dispatch(proc, "read", [42, BUF, 3])
+        assert n == 3
+        # shared offset: the original fd continues where the dup left off
+        n = kernel.dispatch(proc, "read", [fd, BUF, 3])
+        assert proc.memory.read(BUF) == ord("d")
+
+    def test_dup2_bad_source(self, setup):
+        kernel, proc = setup
+        assert kernel.dispatch(proc, "dup2", [99, 5]) == -errno.EBADF

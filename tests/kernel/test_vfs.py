@@ -1,0 +1,125 @@
+"""Tests for the in-memory filesystem."""
+
+from hypothesis import given, strategies as st
+
+from repro.kernel import errno
+from repro.kernel.vfs import FileSystem, O_APPEND, O_CREAT, OpenFile
+
+
+class TestTree:
+    def test_makedirs_and_lookup(self):
+        fs = FileSystem()
+        fs.makedirs("/a/b/c")
+        assert fs.lookup("/a/b/c").kind == "dir"
+        assert fs.lookup("/a/b") is not None
+        assert fs.lookup("/a/missing") is None
+
+    def test_write_file(self):
+        fs = FileSystem()
+        fs.makedirs("/etc")
+        fs.write_file("/etc/conf", b"hello", mode=0o600)
+        node = fs.lookup("/etc/conf")
+        assert node.data == b"hello"
+        assert node.mode == 0o600
+        assert node.size == 5
+
+    def test_path_normalization(self):
+        fs = FileSystem()
+        fs.makedirs("/a")
+        fs.write_file("/a/f", b"x")
+        assert fs.lookup("a//f") is not None
+        assert fs.lookup("/a/./f") is not None
+
+    def test_mkdir_errors(self):
+        fs = FileSystem()
+        assert fs.mkdir("/no/parent") == -errno.ENOENT
+        fs.makedirs("/d")
+        assert fs.mkdir("/d") == -errno.EEXIST
+
+    def test_unlink(self):
+        fs = FileSystem()
+        fs.makedirs("/d")
+        fs.write_file("/d/f", b"x")
+        assert fs.unlink("/d/f") == 0
+        assert fs.lookup("/d/f") is None
+        assert fs.unlink("/d/f") == -errno.ENOENT
+        assert fs.unlink("/d") == -errno.EISDIR
+
+    def test_rename(self):
+        fs = FileSystem()
+        fs.makedirs("/a")
+        fs.makedirs("/b")
+        fs.write_file("/a/f", b"data")
+        assert fs.rename("/a/f", "/b/g") == 0
+        assert fs.lookup("/a/f") is None
+        assert fs.lookup("/b/g").data == b"data"
+        assert fs.rename("/a/nothing", "/b/h") == -errno.ENOENT
+
+    def test_chmod(self):
+        fs = FileSystem()
+        fs.makedirs("/d")
+        fs.write_file("/d/f", b"")
+        assert fs.chmod("/d/f", 0o777) == 0
+        assert fs.lookup("/d/f").mode & 0o7777 == 0o777
+        assert fs.chmod("/nope", 0o777) == -errno.ENOENT
+
+    def test_create_idempotent(self):
+        fs = FileSystem()
+        fs.makedirs("/d")
+        n1 = fs.create("/d/f")
+        n1.data = b"keep"
+        n2 = fs.create("/d/f")
+        assert n2 is n1
+        assert n2.data == b"keep"
+
+
+class TestOpenFile:
+    def _file(self, data=b"hello world"):
+        fs = FileSystem()
+        fs.makedirs("/d")
+        node = fs.write_file("/d/f", data)
+        return OpenFile(node=node, path="/d/f")
+
+    def test_sequential_reads(self):
+        f = self._file()
+        assert f.read(5) == b"hello"
+        assert f.read(100) == b" world"
+        assert f.read(10) == b""
+
+    def test_seek(self):
+        f = self._file()
+        assert f.seek(6, 0) == 6
+        assert f.read(5) == b"world"
+        assert f.seek(-5, 2) == 6
+        assert f.seek(2, 1) == 8
+        assert f.seek(-100, 0) == -errno.EINVAL
+        assert f.seek(0, 9) == -errno.EINVAL
+
+    def test_write_overwrites_and_extends(self):
+        f = self._file(b"abc")
+        f.seek(1, 0)
+        assert f.write(b"ZZZZ") == 4
+        assert f.node.data == b"aZZZZ"
+
+    def test_write_past_end_pads(self):
+        f = self._file(b"ab")
+        f.seek(5, 0)
+        f.write(b"x")
+        assert f.node.data == b"ab\x00\x00\x00x"
+
+    def test_append_mode(self):
+        f = self._file(b"log:")
+        f.flags = O_CREAT | O_APPEND
+        f.seek(0, 0)
+        f.write(b"entry")
+        assert f.node.data == b"log:entry"
+
+    @given(chunks=st.lists(st.binary(max_size=64), max_size=8))
+    def test_write_read_roundtrip(self, chunks):
+        f = self._file(b"")
+        total = b""
+        for chunk in chunks:
+            f.write(chunk)
+            total += chunk
+        f.seek(0, 0)
+        assert f.read(len(total) + 1) == total

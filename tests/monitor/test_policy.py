@@ -1,0 +1,54 @@
+"""Tests for the enforcement policy object."""
+
+import pytest
+
+from repro.monitor.policy import ContextPolicy
+
+
+def test_defaults_full():
+    policy = ContextPolicy()
+    assert policy.call_type and policy.control_flow and policy.arg_integrity
+    assert policy.enforcing
+    assert policy.label() == "CT+CF+AI"
+
+
+def test_presets():
+    assert ContextPolicy.ct_only().label() == "CT"
+    assert ContextPolicy.ct_cf().label() == "CT+CF"
+    assert ContextPolicy.cf_only().label() == "CF"
+    assert ContextPolicy.ai_only().label() == "AI"
+    assert ContextPolicy.full().label() == "CT+CF+AI"
+
+
+def test_modes():
+    hook = ContextPolicy.full().as_hook_only()
+    assert hook.mode == "hook_only"
+    assert not hook.enforcing
+    fetch = ContextPolicy.full().as_fetch_state()
+    assert fetch.mode == "fetch_state"
+    assert not fetch.enforcing
+
+
+def test_transport():
+    inkernel = ContextPolicy.full().as_inkernel()
+    assert inkernel.transport == "inkernel"
+    # chained derivation keeps both settings
+    both = ContextPolicy.full().as_fetch_state().as_inkernel()
+    assert both.mode == "fetch_state" and both.transport == "inkernel"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ContextPolicy(mode="bogus")
+    with pytest.raises(ValueError):
+        ContextPolicy(transport="bogus")
+
+
+def test_monitor_only_label():
+    policy = ContextPolicy(call_type=False, control_flow=False, arg_integrity=False)
+    assert policy.label() == "monitor-only"
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        ContextPolicy().call_type = False

@@ -1,0 +1,106 @@
+"""Tests for the application-side BASTION runtime (Table 2 API)."""
+
+import pytest
+
+from repro.ir.builder import ModuleBuilder
+from repro.kernel.kernel import Kernel
+from repro.runtime.bastion_rt import BastionRuntime
+from repro.runtime.shadow_table import (
+    BIND_CONST,
+    BIND_MEM,
+    BINDINGS_LAYOUT,
+    COPIES_LAYOUT,
+    ShadowTableReader,
+)
+from repro.vm.loader import Image
+from repro.vm.memory import WORD
+
+
+@pytest.fixture
+def rt():
+    proc = Kernel().create_process("t")
+    return BastionRuntime(proc)
+
+
+def _copies_reader(rt):
+    return ShadowTableReader(rt.proc.memory.read_block, COPIES_LAYOUT)
+
+
+def _bindings_reader(rt):
+    return ShadowTableReader(rt.proc.memory.read_block, BINDINGS_LAYOUT)
+
+
+class TestCtxWriteMem:
+    def test_records_current_value(self, rt):
+        rt.proc.memory.write(0x5000, 77)
+        rt.ctx_write_mem(0x5000)
+        assert _copies_reader(rt).get(0x5000) == [77]
+
+    def test_multi_slot(self, rt):
+        rt.proc.memory.write_block(0x5000, [1, 2, 3])
+        rt.ctx_write_mem(0x5000, 3)
+        reader = _copies_reader(rt)
+        assert reader.get(0x5000) == [1]
+        assert reader.get(0x5000 + WORD) == [2]
+        assert reader.get(0x5000 + 2 * WORD) == [3]
+
+    def test_refresh_overwrites(self, rt):
+        rt.proc.memory.write(0x5000, 1)
+        rt.ctx_write_mem(0x5000)
+        rt.proc.memory.write(0x5000, 2)
+        rt.ctx_write_mem(0x5000)
+        assert _copies_reader(rt).get(0x5000) == [2]
+        assert rt.write_count == 2
+
+
+class TestCtxBind:
+    def test_bind_mem(self, rt):
+        rt.ctx_bind_mem(0x400010, 3, 0x5000)
+        record = _bindings_reader(rt).get(0x400010)
+        # record layout: [argmask, (kind, payload) x 6]
+        assert record[0] == 1 << 2
+        assert record[1 + 2 * 2] == BIND_MEM
+        assert record[2 + 2 * 2] == 0x5000
+
+    def test_bind_const(self, rt):
+        rt.ctx_bind_const(0x400010, 1, -1 & ((1 << 64) - 1))
+        record = _bindings_reader(rt).get(0x400010)
+        assert record[1] == BIND_CONST
+
+    def test_mask_accumulates(self, rt):
+        rt.ctx_bind_mem(0x400010, 1, 0x5000)
+        rt.ctx_bind_const(0x400010, 4, 9)
+        record = _bindings_reader(rt).get(0x400010)
+        assert record[0] == (1 << 0) | (1 << 3)
+
+    def test_rebind_overwrites(self, rt):
+        rt.ctx_bind_mem(0x400010, 1, 0x5000)
+        rt.ctx_bind_mem(0x400010, 1, 0x6000)
+        record = _bindings_reader(rt).get(0x400010)
+        assert record[2] == 0x6000
+
+    def test_position_bounds(self, rt):
+        with pytest.raises(ValueError):
+            rt.ctx_bind_mem(0x400010, 0, 0x5000)
+        with pytest.raises(ValueError):
+            rt.ctx_bind_mem(0x400010, 7, 0x5000)
+
+
+class TestGlobalSeeding:
+    def test_initialize_globals(self):
+        mb = ModuleBuilder("t")
+        mb.global_string("path", "/bin/true")
+        mb.global_var("flag", init=5)
+        f = mb.function("main")
+        f.ret(0)
+        image = Image(mb.build())
+        kernel = Kernel()
+        proc = kernel.create_process("t", image)
+        rt = BastionRuntime(proc)
+        rt.initialize_globals(image, ["path", "flag", "missing_is_ok"])
+        reader = _copies_reader(rt)
+        base = image.global_addr["path"]
+        assert reader.get(base) == [ord("/")]
+        assert reader.get(base + 8 * WORD) == [ord("e")]
+        assert reader.get(base + 9 * WORD) == [0]  # NUL terminator tracked too
+        assert reader.get(image.global_addr["flag"]) == [5]

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end (they are the docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+_EXPECTED_MARKERS = {
+    "quickstart.py": "BLOCKED: [arg-integrity]",
+    "protect_nginx.py": "matches the paper's row (x x Y): True",
+    "attack_gallery.py": "17/17 rows reproduce the paper's Table 6",
+    "filtering_comparison.py": "BASTION (full)  : blocked",
+    "extend_sensitive_set.py": "Conclusion (matches",
+    "write_your_own_app.py": "execve events (should NOT contain /bin/sh): []",
+}
+
+
+def test_all_examples_have_marker_checks():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(_EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert _EXPECTED_MARKERS[path.name] in result.stdout, result.stdout[-2000:]

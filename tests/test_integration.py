@@ -1,0 +1,114 @@
+"""Cross-stack integration tests: the README quickstart path and the
+paper's headline claims, end to end."""
+
+import pytest
+
+from repro import BastionCompiler, ContextPolicy, protect
+from repro.apps.nginx import build_nginx
+from repro.bench.harness import run_app
+from repro.bench.experiments import security_baseline_comparison
+from repro.attacks.catalog import CATALOG
+from repro.attacks.runner import evaluate_attack
+from repro.kernel.kernel import Kernel
+from repro.monitor.monitor import BastionMonitor
+
+
+class TestQuickstartPath:
+    def test_readme_flow(self):
+        """The exact flow the README documents."""
+        module = build_nginx()
+        artifact = protect(module)
+        assert artifact.metadata.stats["total_instrumentation"] > 0
+        result = run_app("nginx", "cet_ct_cf_ai", scale=0.05)
+        assert result.ok
+        assert result.hook_total > 0
+
+    def test_metadata_travels_as_json(self):
+        """Compile once, ship metadata as JSON, monitor loads it back."""
+        from repro.compiler.metadata import BastionMetadata
+        from repro.compiler.pipeline import BastionArtifact
+
+        artifact = protect(build_nginx())
+        text = artifact.metadata.to_json()
+        reloaded = BastionMetadata.from_json(text)
+        rebuilt = BastionArtifact(
+            original=artifact.original, module=artifact.module, metadata=reloaded
+        )
+        monitor = BastionMonitor(rebuilt)
+        kernel = Kernel()
+        proc, _cpu = monitor.launch(kernel)
+        assert proc.seccomp_filters
+
+
+class TestHeadlineClaims:
+    """The abstract's claims, verified."""
+
+    def test_low_overhead_on_syscall_intensive_apps(self):
+        """'negligible performance overhead (0.60%-2.01%)' — shape: full
+        BASTION stays under a few percent on all three applications."""
+        for app, scale in (("nginx", 0.4), ("sqlite", 0.4), ("vsftpd", 0.6)):
+            base = run_app(app, "vanilla", scale=scale)
+            full = run_app(app, "cet_ct_cf_ai", scale=scale)
+            overhead = full.overhead_pct(base)
+            assert 0 < overhead < 6.0, (app, overhead)
+
+    def test_contexts_cost_in_order(self):
+        """Each added context costs more: CT <= CT+CF <= CT+CF+AI."""
+        base = run_app("nginx", "vanilla", scale=0.4)
+        ct = run_app("nginx", "cet_ct", scale=0.4).overhead_pct(base)
+        cf = run_app("nginx", "cet_ct_cf", scale=0.4).overhead_pct(base)
+        ai = run_app("nginx", "cet_ct_cf_ai", scale=0.4).overhead_pct(base)
+        assert ct <= cf <= ai
+
+    def test_stops_all_catalog_attacks(self):
+        """'Bastion can effectively stop all the attacks' — full policy."""
+        for spec in CATALOG:
+            evaluation = evaluate_attack(spec)
+            assert evaluation.valid, spec.name
+            assert evaluation.blocked_by_full, spec.name
+
+    def test_one_context_always_compensates(self):
+        """'even if one context is bypassed, another ... can compensate'."""
+        for spec in CATALOG:
+            evaluation = evaluate_attack(spec)
+            assert any(
+                evaluation.blocks(context) for context in ("CT", "CF", "AI")
+            ), spec.name
+
+
+class TestBaselineContrast:
+    def test_bastion_beats_baselines_on_coverage(self):
+        """LLVM CFI and CET each miss attacks that BASTION blocks."""
+        rows = security_baseline_comparison()
+        cfi_misses = [r["attack"] for r in rows if r["cfi_bypassed"]]
+        cet_misses = [r["attack"] for r in rows if r["cet_bypassed"]]
+        assert cfi_misses, "LLVM CFI should miss type-compatible attacks"
+        assert cet_misses, "CET should miss non-ROP attacks"
+        # specifically the §10.3 set
+        assert "control_jujutsu" in cfi_misses
+        assert "aocr_nginx_attack2" in cet_misses
+
+
+class TestExtendedScope:
+    def test_fs_extension_protects_open(self):
+        """§11.2: with the extension, AOCR Attack 1's open() is covered."""
+        compiler = BastionCompiler(extend_filesystem=True)
+        artifact = compiler.compile(build_nginx())
+        assert "open" in artifact.metadata.sensitive_set
+
+    def test_fs_extension_cost_is_ptrace_dominated(self):
+        """Table 7's conclusion: state fetching dominates; the in-kernel
+        variant removes most of it."""
+        base = run_app("nginx", "vanilla", scale=0.3)
+        hook = run_app("nginx", "fs_hook_only", scale=0.3)
+        fetch = run_app("nginx", "fs_fetch_state", scale=0.3)
+        full = run_app("nginx", "fs_full", scale=0.3)
+        inkernel = run_app("nginx", "fs_full_inkernel", scale=0.3)
+        hook_ovh = hook.overhead_pct(base)
+        fetch_ovh = fetch.overhead_pct(base)
+        full_ovh = full.overhead_pct(base)
+        inkernel_ovh = inkernel.overhead_pct(base)
+        assert hook_ovh < 5
+        assert fetch_ovh > 20 * max(hook_ovh, 0.1)
+        assert full_ovh >= fetch_ovh
+        assert inkernel_ovh < fetch_ovh / 4

@@ -1,0 +1,140 @@
+"""Tests for the syscall table, Table 1 classification, and arg specs."""
+
+import pytest
+
+from repro.syscalls.argspec import ARG_SPECS, ArgKind, argspec_for
+from repro.syscalls.sensitive import (
+    SENSITIVE_BY_CATEGORY,
+    SENSITIVE_SYSCALLS,
+    FILESYSTEM_EXTENSION,
+    AttackVector,
+    category_of,
+    is_sensitive,
+    sensitive_numbers,
+)
+from repro.syscalls.table import SYSCALL_BY_NAME, SYSCALL_BY_NR, SYSCALLS, name_of, nr_of
+
+
+class TestSyscallTable:
+    def test_known_x86_64_numbers(self):
+        # spot-check real kernel numbering
+        assert nr_of("read") == 0
+        assert nr_of("write") == 1
+        assert nr_of("mmap") == 9
+        assert nr_of("mprotect") == 10
+        assert nr_of("clone") == 56
+        assert nr_of("execve") == 59
+        assert nr_of("accept4") == 288
+        assert nr_of("execveat") == 322
+
+    def test_no_duplicate_numbers_or_names(self):
+        assert len({s.nr for s in SYSCALLS}) == len(SYSCALLS)
+        assert len({s.name for s in SYSCALLS}) == len(SYSCALLS)
+
+    def test_name_of_known_and_unknown(self):
+        assert name_of(59) == "execve"
+        assert name_of(9999) == "sys_9999"
+
+    def test_lookup_maps_consistent(self):
+        for entry in SYSCALLS:
+            assert SYSCALL_BY_NAME[entry.name] is entry
+            assert SYSCALL_BY_NR[entry.nr] is entry
+
+    def test_nr_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            nr_of("not_a_syscall")
+
+
+class TestSensitiveClassification:
+    def test_exactly_twenty_sensitive(self):
+        assert len(SENSITIVE_SYSCALLS) == 20
+
+    def test_table1_contents(self):
+        assert set(SENSITIVE_BY_CATEGORY[AttackVector.ARBITRARY_CODE_EXECUTION]) == {
+            "execve",
+            "execveat",
+            "fork",
+            "vfork",
+            "clone",
+            "ptrace",
+        }
+        assert set(SENSITIVE_BY_CATEGORY[AttackVector.MEMORY_PERMISSIONS]) == {
+            "mprotect",
+            "mmap",
+            "mremap",
+            "remap_file_pages",
+        }
+        assert set(SENSITIVE_BY_CATEGORY[AttackVector.PRIVILEGE_ESCALATION]) == {
+            "chmod",
+            "setuid",
+            "setgid",
+            "setreuid",
+        }
+        assert set(SENSITIVE_BY_CATEGORY[AttackVector.NETWORKING]) == {
+            "socket",
+            "bind",
+            "connect",
+            "listen",
+            "accept",
+            "accept4",
+        }
+
+    def test_is_sensitive(self):
+        assert is_sensitive("execve")
+        assert is_sensitive("accept4")
+        assert not is_sensitive("getpid")
+        assert not is_sensitive("read")
+        assert is_sensitive("read", extended=True)
+        assert is_sensitive("sendfile", extended=True)
+
+    def test_sensitive_numbers_sorted_and_sized(self):
+        numbers = sensitive_numbers()
+        assert list(numbers) == sorted(numbers)
+        assert len(numbers) == 20
+        extended = sensitive_numbers(extended=True)
+        assert len(extended) == 20 + len(FILESYSTEM_EXTENSION)
+
+    def test_category_of(self):
+        assert category_of("mprotect") is AttackVector.MEMORY_PERMISSIONS
+        assert category_of("setuid") is AttackVector.PRIVILEGE_ESCALATION
+        assert category_of("getpid") is None
+
+    def test_all_sensitive_in_table(self):
+        for name in SENSITIVE_SYSCALLS + FILESYSTEM_EXTENSION:
+            assert name in SYSCALL_BY_NAME
+
+
+class TestArgSpecs:
+    def test_execve_pathname_extended(self):
+        spec = argspec_for("execve")
+        assert spec.kind(1) is ArgKind.EXTENDED
+        assert spec.kind(2) is ArgKind.VECTOR
+        assert spec.kind(3) is ArgKind.VECTOR
+
+    def test_mmap_all_direct(self):
+        spec = argspec_for("mmap")
+        for position in range(1, 7):
+            assert spec.kind(position) is ArgKind.DIRECT
+
+    def test_accept4_sockaddr_fast_path(self):
+        spec = argspec_for("accept4")
+        assert spec.kind(2) is ArgKind.OUT_SOCKADDR
+        assert spec.kind(4) is ArgKind.DIRECT
+
+    def test_positions_beyond_spec_are_direct(self):
+        assert argspec_for("setuid").kind(5) is ArgKind.DIRECT
+
+    def test_unlisted_syscall_all_direct(self):
+        spec = argspec_for("getpid")
+        assert spec.kind(1) is ArgKind.DIRECT
+
+    def test_every_sensitive_syscall_has_spec(self):
+        for name in SENSITIVE_SYSCALLS:
+            assert name in ARG_SPECS
+
+    def test_chmod_path_extended(self):
+        assert argspec_for("chmod").kind(1) is ArgKind.EXTENDED
+
+    def test_bind_connect_sockaddr_extended(self):
+        assert argspec_for("bind").kind(2) is ArgKind.EXTENDED
+        assert argspec_for("connect").kind(2) is ArgKind.EXTENDED

@@ -1,0 +1,56 @@
+"""Tests for the cycle ledger and cost model."""
+
+import pytest
+
+from repro.vm.costs import CostModel, CycleLedger, DEFAULT_COSTS
+
+
+class TestLedger:
+    def test_charge_accumulates(self):
+        ledger = CycleLedger()
+        ledger.charge(10)
+        ledger.charge(5, "kernel")
+        assert ledger.cycles == 15
+        assert ledger.category("app") == 10
+        assert ledger.category("kernel") == 5
+        assert ledger.category("missing") == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CycleLedger().charge(-1)
+
+    def test_overhead_vs(self):
+        ledger = CycleLedger()
+        ledger.charge(110)
+        assert ledger.overhead_vs(100) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            ledger.overhead_vs(0)
+
+    def test_breakdown_sorted(self):
+        ledger = CycleLedger()
+        ledger.charge(10, "a")
+        ledger.charge(90, "b")
+        rows = ledger.breakdown()
+        assert rows[0][0] == "b"
+        assert rows[0][2] == pytest.approx(90.0)
+
+
+class TestCostModel:
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.instr = 2
+
+    def test_relative_magnitudes(self):
+        """The mechanism ordering the paper relies on: instrumentation <<
+        seccomp eval << ptrace round trip."""
+        costs = DEFAULT_COSTS
+        instrumentation = costs.ctx_write_mem_base + costs.ctx_write_mem_per_slot
+        seccomp_eval = 80 * costs.seccomp_per_bpf_instr_millicycles // 1000
+        trap = 2 * costs.context_switch + costs.ptrace_getregs
+        assert instrumentation < seccomp_eval < trap
+        assert costs.inkernel_state_access < costs.readv_base
+
+    def test_custom_model(self):
+        model = CostModel(instr=3)
+        assert model.instr == 3
+        assert model.load == DEFAULT_COSTS.load

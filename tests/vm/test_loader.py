@@ -1,0 +1,117 @@
+"""Tests for image layout and code-address resolution."""
+
+import pytest
+
+from repro.errors import ExecutionFault, IRValidationError
+from repro.ir.builder import ModuleBuilder
+from repro.vm.loader import (
+    DATA_BASE,
+    Image,
+    INSTR_STRIDE,
+    TEXT_BASE,
+    load_module,
+)
+from repro.vm.memory import Memory, WORD
+
+
+def _module():
+    mb = ModuleBuilder("m")
+    mb.global_string("hello", "hi")
+    mb.global_var("counter", init=7)
+
+    callee = mb.function("callee", params=["x"])
+    callee.ret(callee.p("x"))
+
+    f = mb.function("main")
+    v = f.const(1)
+    r = f.call("callee", [v])
+    fp = f.funcaddr("callee")
+    f.icall(fp, [r], sig="fn1")
+    f.ret(0)
+    return mb.build()
+
+
+class TestLayout:
+    def test_functions_at_text_base(self):
+        image = Image(_module())
+        assert image.func_base["callee"] == TEXT_BASE
+        assert image.func_base["main"] > image.func_base["callee"]
+        assert image.func_base["main"] % 0x100 == 0
+
+    def test_globals_in_data_segment(self):
+        image = Image(_module())
+        hello = image.global_addr["hello"]
+        counter = image.global_addr["counter"]
+        assert hello == DATA_BASE
+        assert counter == hello + 3 * WORD  # "hi" + NUL
+
+    def test_entry_addr(self):
+        image = Image(_module())
+        assert image.entry_addr == image.func_base["main"]
+
+    def test_validates_module(self):
+        mb = ModuleBuilder("bad")
+        mb.function("main")  # empty body
+        with pytest.raises(IRValidationError):
+            Image(mb.build())
+
+
+class TestResolution:
+    def test_resolve_round_trip(self):
+        image = Image(_module())
+        for name in ("main", "callee"):
+            func = image.module.functions[name]
+            for idx in range(len(func.body)):
+                addr = image.addr_of(name, idx)
+                resolved_func, resolved_idx = image.resolve_code(addr)
+                assert resolved_func.name == name
+                assert resolved_idx == idx
+
+    def test_fetch_outside_text_faults(self):
+        image = Image(_module())
+        with pytest.raises(ExecutionFault):
+            image.resolve_code(DATA_BASE)  # data is not executable
+        with pytest.raises(ExecutionFault):
+            image.resolve_code(0x10)
+
+    def test_fetch_past_function_end_faults(self):
+        image = Image(_module())
+        end = image.addr_of("callee", 1) + INSTR_STRIDE
+        # callee has 2 instructions; its padding is not executable
+        with pytest.raises(ExecutionFault):
+            image.resolve_code(end)
+
+    def test_misaligned_fetch_faults(self):
+        image = Image(_module())
+        with pytest.raises(ExecutionFault):
+            image.resolve_code(image.entry_addr + 1)
+
+    def test_func_containing(self):
+        image = Image(_module())
+        assert image.func_containing(image.entry_addr) == "main"
+        assert image.func_containing(DATA_BASE) is None
+
+    def test_call_kind_decoding(self):
+        image = Image(_module())
+        main = image.module.functions["main"]
+        kinds = [
+            image.call_kind_at(image.addr_of("main", i))
+            for i in range(len(main.body))
+        ]
+        assert "direct" in kinds
+        assert "indirect" in kinds
+        assert image.call_kind_at(DATA_BASE) is None
+
+    def test_describe(self):
+        image = Image(_module())
+        assert image.describe(image.entry_addr) == "main+0x0"
+        assert image.describe(0x10) == "0x10"
+
+
+class TestGlobalsMaterialization:
+    def test_write_globals(self):
+        memory = Memory()
+        image = load_module(_module(), memory)
+        hello = image.global_addr["hello"]
+        assert memory.read_cstr(hello) == "hi"
+        assert memory.read(image.global_addr["counter"]) == 7

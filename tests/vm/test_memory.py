@@ -1,0 +1,123 @@
+"""Tests (incl. property-based) for the simulated memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SegmentationFault
+from repro.vm.memory import Memory, WORD
+
+addresses = st.integers(min_value=0, max_value=1 << 47).map(lambda a: a * WORD)
+values = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+class TestBasics:
+    def test_unwritten_reads_zero(self):
+        assert Memory().read(0x1000) == 0
+
+    def test_write_read(self):
+        m = Memory()
+        m.write(0x1000, 42)
+        assert m.read(0x1000) == 42
+
+    def test_unaligned_rejected(self):
+        m = Memory()
+        with pytest.raises(SegmentationFault):
+            m.read(0x1001)
+        with pytest.raises(SegmentationFault):
+            m.write(0x1004, 1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SegmentationFault):
+            Memory().read(-8)
+
+    def test_non_integer_address_rejected(self):
+        with pytest.raises(SegmentationFault):
+            Memory().read("0x1000")
+
+    def test_non_integer_value_rejected(self):
+        with pytest.raises(TypeError):
+            Memory().write(0x1000, "x")
+
+    def test_block_ops(self):
+        m = Memory()
+        m.write_block(0x2000, [1, 2, 3])
+        assert m.read_block(0x2000, 3) == [1, 2, 3]
+        assert m.read_block(0x2000, 5) == [1, 2, 3, 0, 0]
+
+    def test_mapped_count(self):
+        m = Memory()
+        m.write_block(0x2000, [1, 2, 3])
+        assert m.mapped_count() == 3
+
+
+class TestStrings:
+    def test_cstr_roundtrip(self):
+        m = Memory()
+        used = m.write_cstr(0x3000, "/bin/sh")
+        assert used == 8
+        assert m.read_cstr(0x3000) == "/bin/sh"
+
+    def test_cstr_empty(self):
+        m = Memory()
+        m.write_cstr(0x3000, "")
+        assert m.read_cstr(0x3000) == ""
+
+    def test_cstr_bounded(self):
+        m = Memory()
+        for i in range(10):
+            m.write(0x3000 + i * WORD, ord("a"))
+        assert m.read_cstr(0x3000, max_slots=4) == "aaaa"
+
+    def test_vector(self):
+        m = Memory()
+        m.write_block(0x4000, [0x111, 0x222, 0])
+        assert m.read_vector(0x4000) == [0x111, 0x222]
+
+    def test_vector_bounded(self):
+        m = Memory()
+        m.write_block(0x4000, [1] * 100)
+        assert len(m.read_vector(0x4000, max_entries=8)) == 8
+
+
+class TestProperties:
+    @given(addr=addresses, value=values)
+    def test_read_after_write(self, addr, value):
+        m = Memory()
+        m.write(addr, value)
+        assert m.read(addr) == value
+
+    @given(addr=addresses, first=values, second=values)
+    def test_last_write_wins(self, addr, first, second):
+        m = Memory()
+        m.write(addr, first)
+        m.write(addr, second)
+        assert m.read(addr) == second
+
+    @given(
+        addr=addresses,
+        text=st.text(
+            alphabet=st.characters(min_codepoint=1, max_codepoint=0x10FF),
+            max_size=64,
+        ),
+    )
+    def test_cstr_roundtrip_property(self, addr, text):
+        m = Memory()
+        m.write_cstr(addr, text)
+        assert m.read_cstr(addr, max_slots=len(text) + 8) == text
+
+    @given(addr=addresses, words=st.lists(values, max_size=32))
+    def test_block_roundtrip(self, addr, words):
+        m = Memory()
+        m.write_block(addr, words)
+        assert m.read_block(addr, len(words)) == words
+        assert m.snapshot_region(addr, len(words)) == tuple(words)
+
+    @given(a=addresses, b=addresses, va=values, vb=values)
+    def test_distinct_slots_independent(self, a, b, va, vb):
+        if a == b:
+            return
+        m = Memory()
+        m.write(a, va)
+        m.write(b, vb)
+        assert m.read(a) == va
+        assert m.read(b) == vb

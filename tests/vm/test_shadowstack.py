@@ -1,0 +1,77 @@
+"""Tests for the CET shadow stack."""
+
+import pytest
+
+from repro.errors import ShadowStackFault
+from repro.ir.builder import ModuleBuilder
+from repro.vm.cpu import CPUOptions
+from repro.vm.memory import WORD
+from repro.vm.shadowstack import ShadowStack
+from tests.conftest import run_module
+
+
+class TestUnit:
+    def test_push_pop_matching(self):
+        ss = ShadowStack()
+        ss.push(0x1000)
+        ss.check_pop(0x1000)
+        assert ss.depth == 0
+        assert ss.violations == 0
+
+    def test_mismatch_faults(self):
+        ss = ShadowStack()
+        ss.push(0x1000)
+        with pytest.raises(ShadowStackFault):
+            ss.check_pop(0x2000)
+        assert ss.violations == 1
+
+    def test_underflow_faults(self):
+        ss = ShadowStack()
+        with pytest.raises(ShadowStackFault):
+            ss.check_pop(0x1000)
+
+
+def _rop_module():
+    mb = ModuleBuilder("m")
+    gadget = mb.function("gadget")
+    gadget.intrinsic("trace", [gadget.const(666)])
+    gadget.ret(0)
+    victim = mb.function("victim")
+    victim.hook("smash")
+    victim.ret(0)
+    f = mb.function("main")
+    f.call("victim", [])
+    f.ret(0)
+    return mb.build()
+
+
+def _smash(cpu):
+    fake = 0x7F41_0000_0000
+    cpu.proc.memory.write(fake, 0)
+    cpu.proc.memory.write(fake + WORD, 0)
+    cpu.proc.memory.write(cpu.fp + WORD, cpu.image.func_base["gadget"])
+    cpu.proc.memory.write(cpu.fp, fake)
+
+
+class TestIntegration:
+    def test_rop_succeeds_without_cet(self):
+        status, proc, _c = run_module(_rop_module(), hooks={"smash": _smash})
+        assert [666] in proc.trace_log
+        assert status.kind == "returned"
+
+    def test_cet_stops_rop(self):
+        status, proc, _c = run_module(
+            _rop_module(), options=CPUOptions(cet=True), hooks={"smash": _smash}
+        )
+        assert status.kind == "fault"
+        assert "ShadowStackFault" in status.reason
+        assert [666] not in proc.trace_log
+
+    def test_cet_benign_run_clean(self):
+        status, _p, cpu = run_module(_rop_module(), options=CPUOptions(cet=True))
+        assert status.kind == "returned"
+        assert cpu.shadow_stack.violations == 0
+
+    def test_cet_charges_cycles(self):
+        _s, proc, _c = run_module(_rop_module(), options=CPUOptions(cet=True))
+        assert proc.ledger.category("cet") > 0
