@@ -29,28 +29,40 @@ This package rebuilds the whole stack on a simulated substrate:
 
 Quickstart::
 
+    from repro import ProtectConfig, run
+
+    result = run("nginx", scale=0.5)      # full BASTION, fast path on
+    print("overhead: %.2f%%" % result.overhead_pct)
+    print("cache hit rate: %.0f%%" % (100 * result.monitor_stats["hit_rate"]))
+
+Compiling a module directly::
+
     from repro import protect
     from repro.apps.nginx import build_nginx
-    from repro.bench.harness import run_protected
 
-    module = build_nginx()
-    artifact = protect(module)            # compile + instrument + metadata
-    result = run_protected(artifact, app="nginx", requests=200)
-    print(result.summary())
+    artifact = protect(build_nginx())     # compile + instrument + metadata
+    artifact.metadata.stats               # Table 5's static statistics
 """
 
-from repro.compiler.pipeline import BastionCompiler, BastionArtifact, protect
+from repro.api import ProtectConfig, RunResult, protect, run
+from repro.compiler.pipeline import BastionCompiler, BastionArtifact
+from repro.monitor.cache import MonitorStats, VerdictCache
 from repro.monitor.policy import ContextPolicy
 from repro.monitor.monitor import BastionMonitor, SyscallIntegrityViolation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BastionCompiler",
     "BastionArtifact",
+    "ProtectConfig",
+    "RunResult",
     "protect",
+    "run",
     "ContextPolicy",
     "BastionMonitor",
+    "MonitorStats",
+    "VerdictCache",
     "SyscallIntegrityViolation",
     "__version__",
 ]

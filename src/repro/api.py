@@ -1,0 +1,207 @@
+"""The stable public API: ``repro.api`` (also re-exported from ``repro``).
+
+Two entry points cover the library's workflow:
+
+- :func:`protect` compiles a module with BASTION protection, configured by
+  a :class:`ProtectConfig` (or plain keyword arguments);
+- :func:`run` measures an application under a configuration and returns a
+  :class:`RunResult` with stable fields (``overhead_pct``, ``violations``,
+  ``monitor_stats``).
+
+Usage::
+
+    from repro.api import ProtectConfig, run
+    from repro import ContextPolicy
+
+    result = run("nginx", scale=0.5)
+    print(result.overhead_pct, result.monitor_stats["hit_rate"])
+
+    relaxed = ProtectConfig(policy=ContextPolicy.full().without("arg_integrity"))
+    result = run("nginx", relaxed, scale=0.5)
+"""
+
+from dataclasses import dataclass, field
+
+from repro.bench.harness import CONFIGS, DefenseConfig, SIM_HZ, _run_app
+from repro.compiler.pipeline import BastionCompiler
+from repro.monitor.monitor import SyscallIntegrityViolation
+from repro.monitor.policy import ContextPolicy
+
+
+@dataclass(frozen=True)
+class ProtectConfig:
+    """Declarative protection settings consumed by :func:`protect` / :func:`run`.
+
+    The default is full BASTION as shipped: all three contexts enforced,
+    CET shadow stack on, and the monitor fast path (verdict cache) enabled.
+    """
+
+    policy: ContextPolicy = field(default_factory=ContextPolicy.full)
+    #: run with the CET-style shadow stack (the paper's deployment baseline)
+    cet: bool = True
+    #: override the protected syscall set (``protect`` only; ``run`` uses
+    #: the paper's Table 1 set, optionally extended)
+    sensitive: tuple = None
+    #: add the §11.2 filesystem-syscall extension set
+    extend_filesystem: bool = False
+    #: display name used in results and reports
+    label: str = "bastion"
+
+    def defense(self):
+        """The equivalent bench-harness :class:`DefenseConfig`."""
+        return DefenseConfig(
+            self.label,
+            cet=self.cet,
+            policy=self.policy,
+            instrumented=True,
+            extend_filesystem=self.extend_filesystem,
+        )
+
+
+def protect(module, config=None, *, sensitive=None, extend_filesystem=False):
+    """Compile ``module`` with BASTION protection; returns the artifact.
+
+    Accepts either a :class:`ProtectConfig` or the legacy keyword
+    arguments (kept for ``repro.protect`` compatibility).
+    """
+    if config is not None:
+        if sensitive is not None or extend_filesystem:
+            raise ValueError("pass either a ProtectConfig or keyword arguments")
+        sensitive = config.sensitive
+        extend_filesystem = config.extend_filesystem
+    return BastionCompiler(
+        sensitive=sensitive, extend_filesystem=extend_filesystem
+    ).compile(module)
+
+
+@dataclass
+class RunResult:
+    """Stable result surface of :func:`run`.
+
+    ``bench`` holds the raw bench-harness result for anything not promoted
+    to a stable field; ``baseline`` is the vanilla run used for
+    ``overhead_pct`` (``None`` when no baseline was run).
+    """
+
+    app: str
+    config: str
+    ok: bool
+    #: percent more steady-state cycles than the unprotected baseline;
+    #: ``None`` when no baseline comparison was possible
+    overhead_pct: float
+    violations: list
+    monitor_stats: dict
+    work_units: int
+    bytes_sent: int
+    syscall_counts: dict
+    init_cycles: int
+    steady_cycles: int
+    total_cycles: int
+    bench: object = field(repr=False, default=None)
+    baseline: object = field(repr=False, default=None)
+
+    @property
+    def steady_seconds(self):
+        return self.steady_cycles / SIM_HZ
+
+    def throughput_mbps(self):
+        return self.bench.throughput_mbps()
+
+    def notpm(self):
+        return self.bench.notpm()
+
+    def transfer_seconds(self):
+        return self.bench.transfer_seconds()
+
+    def summary(self):
+        return self.bench.summary()
+
+
+#: vanilla runs memoized per (app, scale, app_config)
+_baseline_cache = {}
+
+
+def _resolve_config(config):
+    if config is None:
+        config = ProtectConfig()
+    if isinstance(config, ProtectConfig):
+        if config.sensitive is not None:
+            raise ValueError(
+                "ProtectConfig.sensitive applies to protect(); run() always "
+                "uses the paper's sensitive set (extend_filesystem aside)"
+            )
+        return config.defense()
+    if isinstance(config, DefenseConfig):
+        return config
+    if isinstance(config, str):
+        try:
+            return CONFIGS[config]
+        except KeyError:
+            raise ValueError(
+                "unknown config %r (expected one of %s)"
+                % (config, ", ".join(sorted(CONFIGS)))
+            ) from None
+    raise TypeError("config must be a ProtectConfig, DefenseConfig, or name")
+
+
+def run(
+    app,
+    config=None,
+    *,
+    scale=1.0,
+    workload=None,
+    app_config=None,
+    compare_baseline=True,
+    raise_on_violation=False,
+):
+    """Run ``app`` under ``config`` and return a :class:`RunResult`.
+
+    Args:
+        app: 'nginx' | 'sqlite' | 'vsftpd'.
+        config: ``None`` (full BASTION, fast path on), a
+            :class:`ProtectConfig`, a bench :class:`DefenseConfig`, or a
+            name from ``repro.bench.harness.CONFIGS``.
+        scale: workload size multiplier.
+        workload: custom workload object; disables the baseline comparison
+            (workloads are stateful, so no identical second run exists).
+        app_config: application build-time configuration override.
+        compare_baseline: also run (and memoize) the vanilla baseline so
+            ``overhead_pct`` is populated.
+        raise_on_violation: re-raise the monitor's verdict as
+            :class:`~repro.monitor.monitor.SyscallIntegrityViolation`.
+    """
+    defense = _resolve_config(config)
+    bench = _run_app(
+        app, config=defense, scale=scale, app_config=app_config, workload=workload
+    )
+
+    baseline = None
+    overhead = None
+    if compare_baseline and workload is None and defense.name != "vanilla":
+        key = (app, scale, app_config)
+        if key not in _baseline_cache:
+            _baseline_cache[key] = _run_app(
+                app, config="vanilla", scale=scale, app_config=app_config
+            )
+        baseline = _baseline_cache[key]
+        overhead = bench.overhead_pct(baseline)
+
+    if raise_on_violation and bench.violations:
+        raise SyscallIntegrityViolation(bench.violations[0])
+
+    return RunResult(
+        app=app,
+        config=defense.name,
+        ok=bench.ok,
+        overhead_pct=overhead,
+        violations=list(bench.violations),
+        monitor_stats=dict(bench.monitor_stats),
+        work_units=bench.work_units,
+        bytes_sent=bench.bytes_sent,
+        syscall_counts=dict(bench.syscall_counts),
+        init_cycles=bench.init_cycles,
+        steady_cycles=bench.steady_cycles,
+        total_cycles=bench.total_cycles,
+        bench=bench,
+        baseline=baseline,
+    )

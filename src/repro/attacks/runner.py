@@ -222,22 +222,30 @@ class AttackEvaluation:
         return bool(self.full and self.full.blocked and not self.full.succeeded)
 
 
-def evaluate_attack(spec):
-    """Run the full Table 6 protocol for one attack."""
+def evaluate_attack(spec, policy_transform=None):
+    """Run the full Table 6 protocol for one attack.
+
+    ``policy_transform`` maps each defense policy before use, e.g.
+    ``lambda p: p.without("cache")`` to evaluate the catalog with the
+    monitor fast path disabled (the defaults run with caching on, so the
+    standard matrix doubles as the cache's soundness check).
+    """
+    transform = policy_transform or (lambda policy: policy)
     evaluation = AttackEvaluation(spec=spec)
     evaluation.unprotected = run_attack(spec, None, "none")
     for context, policy in _CONTEXT_POLICIES.items():
-        evaluation.by_context[context] = run_attack(spec, policy, context)
-    evaluation.full = run_attack(spec, ContextPolicy.full(), "full")
+        evaluation.by_context[context] = run_attack(spec, transform(policy), context)
+    evaluation.full = run_attack(spec, transform(ContextPolicy.full()), "full")
     return evaluation
 
 
-def table6_matrix(catalog=None, include_extra=False):
+def table6_matrix(catalog=None, include_extra=False, policy_transform=None):
     """Evaluate the Table 6 attacks; returns ``[AttackEvaluation, ...]``.
 
-    ``include_extra`` adds the extension scenarios beyond the paper's rows.
+    ``include_extra`` adds the extension scenarios beyond the paper's rows;
+    ``policy_transform`` is forwarded to :func:`evaluate_attack`.
     """
     specs = catalog if catalog is not None else [
         spec for spec in CATALOG if include_extra or not spec.extra
     ]
-    return [evaluate_attack(spec) for spec in specs]
+    return [evaluate_attack(spec, policy_transform=policy_transform) for spec in specs]

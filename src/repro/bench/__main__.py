@@ -1,7 +1,8 @@
 """CLI entry point: ``python -m repro.bench <experiment> [--scale S]``.
 
 Experiments: figure3, table3, table4, table5, table6, table7,
-security_baselines, ablation_dfi, all.
+security_baselines, ablation_cache, ablation_dfi, all.  Ablations can
+also be selected with ``--ablate cache`` / ``--ablate dfi``.
 """
 
 import argparse
@@ -10,7 +11,10 @@ import time
 
 from repro.bench.report import RENDERERS
 
-_SCALED = {"figure3", "table3", "table4", "table7", "ablation_dfi"}
+_SCALED = {"figure3", "table3", "table4", "table7", "ablation_cache", "ablation_dfi"}
+
+#: short names accepted by ``--ablate``
+_ABLATIONS = {"cache": "ablation_cache", "dfi": "ablation_dfi"}
 
 
 def main(argv=None):
@@ -20,8 +24,14 @@ def main(argv=None):
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(RENDERERS) + ["all"],
         help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--ablate",
+        choices=sorted(_ABLATIONS),
+        help="run an ablation by short name (e.g. --ablate cache)",
     )
     parser.add_argument(
         "--scale",
@@ -31,7 +41,18 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    names = sorted(RENDERERS) if args.experiment == "all" else [args.experiment]
+    names = []
+    if args.experiment == "all":
+        names = sorted(RENDERERS)
+    elif args.experiment is not None:
+        names = [args.experiment]
+    if args.ablate is not None:
+        ablation = _ABLATIONS[args.ablate]
+        if ablation not in names:
+            names.append(ablation)
+    if not names:
+        parser.error("specify an experiment or --ablate")
+
     for name in names:
         renderer = RENDERERS[name]
         start = time.time()

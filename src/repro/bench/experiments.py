@@ -231,6 +231,32 @@ def ablation_dfi(scale=0.5):
     return rows
 
 
+def ablation_cache(scale=0.5):
+    """Monitor fast path: full BASTION with the verdict cache on vs off.
+
+    Returns, per app, the steady-state overhead of ``cache_off`` (the
+    paper's re-verify-everything monitor) and ``cache_on`` (memoized ALLOW
+    verdicts + batched trace stops), plus the cache's own counters.
+    """
+    scales = _scales(scale)
+    rows = {}
+    for app in APPS:
+        baseline = run_app(app, "vanilla", scale=scales[app])
+        off = run_app(app, "cache_off", scale=scales[app])
+        on = run_app(app, "cache_on", scale=scales[app])
+        stats = on.monitor_stats
+        rows[app] = {
+            "cache_off_overhead_pct": off.overhead_pct(baseline),
+            "cache_on_overhead_pct": on.overhead_pct(baseline),
+            "hit_rate": stats.get("hit_rate", 0.0),
+            "cache_hits": stats.get("cache_hits", 0),
+            "cache_misses": stats.get("cache_misses", 0),
+            "invalidations": stats.get("invalidations", 0),
+            "seccomp_cache_hits": stats.get("seccomp_cache_hits", 0),
+        }
+    return rows
+
+
 def adaptive_study_rows():
     """§11.1: BASTION under arbitrary read/write (oracle vs blind forger)."""
     from repro.attacks.adaptive import adaptive_study

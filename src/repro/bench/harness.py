@@ -58,7 +58,13 @@ class DefenseConfig:
 
 
 def _full():
-    return ContextPolicy.full()
+    """The paper's monitor re-verifies every stop: verdict caching off.
+
+    The Figure 3 / Table 3 / Table 7 configs reproduce the published
+    numbers, so they run the exact re-verify-everything monitor; the fast
+    path is exposed separately through ``cache_on`` / ``cache_off``.
+    """
+    return ContextPolicy.full().without("cache")
 
 
 CONFIGS = {
@@ -66,10 +72,16 @@ CONFIGS = {
     "llvm_cfi": DefenseConfig("llvm_cfi", llvm_cfi=True),
     "cet": DefenseConfig("cet", cet=True),
     "cet_ct": DefenseConfig(
-        "cet_ct", cet=True, policy=ContextPolicy.ct_only(), instrumented=True
+        "cet_ct",
+        cet=True,
+        policy=ContextPolicy.ct_only().without("cache"),
+        instrumented=True,
     ),
     "cet_ct_cf": DefenseConfig(
-        "cet_ct_cf", cet=True, policy=ContextPolicy.ct_cf(), instrumented=True
+        "cet_ct_cf",
+        cet=True,
+        policy=ContextPolicy.ct_cf().without("cache"),
+        instrumented=True,
     ),
     "cet_ct_cf_ai": DefenseConfig(
         "cet_ct_cf_ai", cet=True, policy=_full(), instrumented=True
@@ -103,6 +115,13 @@ CONFIGS = {
     "bastion_inkernel": DefenseConfig(
         "bastion_inkernel", cet=True, policy=_full().as_inkernel(), instrumented=True
     ),
+    # monitor fast path: full BASTION with the verdict cache on/off
+    "cache_on": DefenseConfig(
+        "cache_on", cet=True, policy=ContextPolicy.full(), instrumented=True
+    ),
+    "cache_off": DefenseConfig(
+        "cache_off", cet=True, policy=_full(), instrumented=True
+    ),
     # DFI baseline (related-work overhead contrast)
     "dfi": DefenseConfig("dfi", dfi=True),
 }
@@ -131,6 +150,8 @@ class RunResult:
     avg_unwind_depth: float = 0.0
     max_unwind_depth: int = 0
     metadata_stats: dict = field(default_factory=dict)
+    #: MonitorStats.as_dict() plus seccomp action-cache counters
+    monitor_stats: dict = field(default_factory=dict)
 
     @property
     def ok(self):
@@ -280,12 +301,28 @@ def run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
         app: 'nginx' | 'sqlite' | 'vsftpd'.
         config: a name from :data:`CONFIGS` or a :class:`DefenseConfig`.
         scale: workload size multiplier (tests use ~0.1, benches 1.0+).
-        app_config: override the application build-time config.
-        workload: override the default workload object.
+        app_config: deprecated here — use :func:`repro.api.run`.
+        workload: deprecated here — use :func:`repro.api.run`.
 
     Returns:
         :class:`RunResult`
     """
+    if app_config is not None or workload is not None:
+        import warnings
+
+        warnings.warn(
+            "run_app(app_config=..., workload=...) is deprecated; "
+            "use repro.api.run(app, workload=..., app_config=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _run_app(
+        app, config=config, scale=scale, app_config=app_config, workload=workload
+    )
+
+
+def _run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
+    """Internal, warning-free implementation behind :func:`run_app`."""
     entry = _APPS[app]
     defense = CONFIGS[config] if isinstance(config, str) else config
     module = build_app(app, app_config)
@@ -331,4 +368,7 @@ def run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
         result.avg_unwind_depth = monitor.average_unwind_depth
         result.max_unwind_depth = monitor.max_unwind_depth
         result.metadata_stats = dict(monitor.metadata.stats)
+        result.monitor_stats = monitor.stats.as_dict()
+        result.monitor_stats["seccomp_cache_hits"] = proc.seccomp_cache_hits
+        result.monitor_stats["seccomp_cache_misses"] = proc.seccomp_cache_misses
     return result

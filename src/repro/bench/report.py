@@ -4,6 +4,7 @@ from repro.bench.experiments import (
     APPS,
     _TABLE5_ROWS,
     TABLE7_ROWS,
+    ablation_cache,
     ablation_dfi,
     figure3,
     perf_sweep,
@@ -27,6 +28,8 @@ _CONFIG_LABELS = {
     "fs_fetch_state": "+fs syscalls (fetch process state)",
     "fs_full": "+fs syscalls (full context checking)",
     "fs_full_inkernel": "+fs syscalls (in-kernel monitor, §11.2)",
+    "cache_on": "BASTION + verdict cache",
+    "cache_off": "BASTION (re-verify every stop)",
 }
 
 
@@ -282,6 +285,33 @@ def render_adaptive():
     return "\n".join(lines)
 
 
+def render_ablation_cache(scale=0.5):
+    """Monitor fast path: verdict cache on vs off, per app."""
+    rows = ablation_cache(scale)
+    lines = [
+        "Ablation: monitor verdict cache (overhead % vs unprotected)",
+        _rule(86),
+        "%-10s %14s %14s %10s %12s %14s"
+        % ("app", "cache off", "cache on", "hit rate", "invalidated", "seccomp hits"),
+        _rule(86),
+    ]
+    for app in APPS:
+        row = rows[app]
+        lines.append(
+            "%-10s %13.2f%% %13.2f%% %9.1f%% %12d %14d"
+            % (
+                app,
+                row["cache_off_overhead_pct"],
+                row["cache_on_overhead_pct"],
+                100.0 * row["hit_rate"],
+                row["invalidations"],
+                row["seccomp_cache_hits"],
+            )
+        )
+    lines.append(_rule(86))
+    return "\n".join(lines)
+
+
 RENDERERS = {
     "figure3": render_figure3,
     "table3": render_table3,
@@ -290,6 +320,7 @@ RENDERERS = {
     "table6": render_table6,
     "table7": render_table7,
     "security_baselines": render_security_baselines,
+    "ablation_cache": render_ablation_cache,
     "ablation_dfi": render_ablation_dfi,
     "adaptive": render_adaptive,
 }

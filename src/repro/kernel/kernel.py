@@ -36,10 +36,11 @@ from repro.kernel.seccomp import (
     SECCOMP_RET_KILL_THREAD,
     SECCOMP_RET_TRACE,
     SECCOMP_RET_TRAP,
+    compute_action_cache,
     evaluate_filters,
 )
 from repro.kernel.vfs import FileSystem, O_APPEND, O_CREAT, O_TRUNC, OpenFile, S_IFDIR, S_IFREG
-from repro.syscalls.table import nr_of
+from repro.syscalls.table import SYSCALLS, nr_of
 from repro.vm.costs import DEFAULT_COSTS
 from repro.vm.memory import WORD
 
@@ -201,8 +202,16 @@ class Kernel:
         return proc
 
     def install_seccomp(self, proc, seccomp_filter):
-        """Attach a filter (as the monitor does before releasing the app)."""
+        """Attach a filter (as the monitor does before releasing the app).
+
+        Like Linux at ``SECCOMP_SET_MODE_FILTER`` time, the per-syscall
+        ALLOW bitmap is recomputed over *all* attached filters so that
+        always-allowed syscalls skip the BPF engine on the hot path.
+        """
         proc.seccomp_filters.append(seccomp_filter)
+        proc.seccomp_action_cache = compute_action_cache(
+            proc.seccomp_filters, [entry.nr for entry in SYSCALLS]
+        )
 
     def run_child(self, child, image, entry, args=(), cpu_options=None):
         """Run a clone()d child at its start routine, to completion.
@@ -242,40 +251,64 @@ class Kernel:
         """Run seccomp, maybe stop into the tracer, then the handler."""
         proc.count_syscall(name)
         if proc.seccomp_filters:
-            action, insns = evaluate_filters(
-                proc.seccomp_filters,
-                nr_of(name),
-                ip=proc.regs.rip,
-                args=tuple(args) + (0,) * (6 - len(args)),
-            )
-            proc.ledger.charge(
-                insns * self.costs.seccomp_per_bpf_instr_millicycles // 1000,
-                "seccomp",
-            )
-            base = action & SECCOMP_RET_ACTION_FULL
-            if base in (SECCOMP_RET_KILL_PROCESS, SECCOMP_RET_KILL_THREAD):
-                proc.kill("seccomp: %s not callable" % name)
-                self.record("seccomp_kill", proc, syscall=name)
-                raise ProcessKilled(
-                    "seccomp killed pid %d on %s" % (proc.pid, name),
-                    reason="seccomp",
+            nr = nr_of(name)
+            cache = proc.seccomp_action_cache
+            if cache is not None and cache.allows(nr):
+                # Linux's per-nr action bitmap: an always-ALLOW syscall
+                # never enters the BPF engine — one bit test and go.
+                proc.seccomp_cache_hits += 1
+                proc.ledger.charge(self.costs.seccomp_cache_hit, "seccomp")
+            else:
+                if cache is not None:
+                    proc.seccomp_cache_misses += 1
+                action, insns = evaluate_filters(
+                    proc.seccomp_filters,
+                    nr,
+                    ip=proc.regs.rip,
+                    args=tuple(args) + (0,) * (6 - len(args)),
                 )
-            if base == SECCOMP_RET_ERRNO:
-                return -(action & SECCOMP_RET_DATA)
-            if base in (SECCOMP_RET_TRACE, SECCOMP_RET_TRAP):
-                # A trace stop costs two context switches — unless the
-                # tracer is in hook-only accounting mode (Table 7 row 1
-                # measures the seccomp hook without the stop) or runs
-                # inside the kernel (§11.2: in-kernel execution "completely
-                # resolves overhead incurred from context switching").
-                if getattr(proc.tracer, "stops_at_trace", True) and not getattr(
-                    proc.tracer, "in_kernel", False
-                ):
-                    proc.ledger.charge(2 * self.costs.context_switch, "trap")
-                if proc.tracer is not None:
-                    proc.tracer.on_syscall_stop(proc, name)
-                    if not proc.alive:
-                        raise ProcessKilled(
+                proc.ledger.charge(
+                    insns * self.costs.seccomp_per_bpf_instr_millicycles // 1000,
+                    "seccomp",
+                )
+                base = action & SECCOMP_RET_ACTION_FULL
+                if base in (SECCOMP_RET_KILL_PROCESS, SECCOMP_RET_KILL_THREAD):
+                    proc.kill("seccomp: %s not callable" % name)
+                    self.record("seccomp_kill", proc, syscall=name)
+                    raise ProcessKilled(
+                        "seccomp killed pid %d on %s" % (proc.pid, name),
+                        reason="seccomp",
+                    )
+                if base == SECCOMP_RET_ERRNO:
+                    return -(action & SECCOMP_RET_DATA)
+                if base in (SECCOMP_RET_TRACE, SECCOMP_RET_TRAP):
+                    fast = False
+                    if proc.tracer is not None:
+                        fast = bool(proc.tracer.on_syscall_stop(proc, name))
+                    # A trace stop costs two context switches — unless the
+                    # tracer is in hook-only accounting mode (Table 7 row 1
+                    # measures the seccomp hook without the stop) or runs
+                    # inside the kernel (§11.2: in-kernel execution
+                    # "completely resolves overhead incurred from context
+                    # switching").  A fast-path stop (memoized verdict) is
+                    # resumed in a batched continuation, amortizing the
+                    # round trip over ``costs.trace_stop_batch`` stops.
+                    if getattr(proc.tracer, "stops_at_trace", True) and not getattr(
+                        proc.tracer, "in_kernel", False
+                    ):
+                        full_trap = 2 * self.costs.context_switch
+                        proc.ledger.charge(
+                            full_trap // self.costs.trace_stop_batch
+                            if fast
+                            else full_trap,
+                            "trap",
+                        )
+                    if proc.tracer is not None and not proc.alive:
+                        pending, proc.pending_exception = (
+                            proc.pending_exception,
+                            None,
+                        )
+                        raise pending or ProcessKilled(
                             "monitor killed pid %d on %s: %s"
                             % (proc.pid, name, proc.kill_reason),
                             reason=proc.kill_reason,
@@ -752,6 +785,7 @@ class Kernel:
         # seccomp filters, the tracer, and the (shared-shadow-region)
         # BASTION runtime are inherited (§7.1)
         child.seccomp_filters = list(proc.seccomp_filters)
+        child.seccomp_action_cache = proc.seccomp_action_cache
         child.tracer = proc.tracer
         child.bastion_runtime = proc.bastion_runtime
         child.ledger_costs = proc.ledger_costs

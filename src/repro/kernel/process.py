@@ -103,7 +103,15 @@ class Process:
     creds: Credentials = field(default_factory=Credentials)
     mm: object = None  # AddressSpace, set at load time
     seccomp_filters: list = field(default_factory=list)
+    #: per-syscall-nr ALLOW bitmap (SeccompActionCache), rebuilt on every
+    #: filter install; None while any installed filter is arg/ip-dependent
+    seccomp_action_cache: object = None
+    seccomp_cache_hits: int = 0
+    seccomp_cache_misses: int = 0
     tracer: object = None  # BastionMonitor (or any on_syscall_stop object)
+    #: exception the dispatcher should raise for this process (set by the
+    #: monitor's kill verdict so callers can catch SyscallIntegrityViolation)
+    pending_exception: object = None
     parent: object = None
     children: list = field(default_factory=list)
 

@@ -146,3 +146,61 @@ def evaluate_filters(filters, nr, ip=0, args=(0, 0, 0, 0, 0, 0)):
     if not actions:
         return SECCOMP_RET_ALLOW, 0
     return combine_actions(actions), total_insns
+
+
+# ---------------------------------------------------------------------------
+# per-syscall action cache (Linux's SECCOMP_CACHE_NR_ONLY bitmap)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeccompActionCache:
+    """Syscall numbers whose combined filter action is provably ALLOW.
+
+    Linux precomputes, at filter-attach time, a per-syscall-nr bitmap of
+    numbers every attached filter allows *regardless of arguments*; those
+    syscalls then skip the BPF engine entirely (a single bit test).  Only
+    ALLOW is ever cached — any stricter action still runs the filters, so
+    the cache can never weaken enforcement, only skip re-deriving an ALLOW.
+    """
+
+    allow_nrs: frozenset
+
+    def allows(self, nr):
+        return nr in self.allow_nrs
+
+    def __len__(self):
+        return len(self.allow_nrs)
+
+
+def _filter_is_nr_only(filt):
+    """True if the program reads nothing but the syscall nr and arch.
+
+    The cache is only sound when the verdict cannot depend on arguments or
+    the instruction pointer.  Rather than emulating with unknowns (Linux's
+    approach), reject any program whose absolute loads reach past the
+    ``arch`` field; :func:`build_action_filter` programs always pass.
+    """
+    for ins in filt.program.instructions:
+        if ins.code & 0x07 != BPF_LD:
+            continue
+        mode = ins.code & 0xE0
+        if mode == BPF_ABS and ins.k not in (SECCOMP_DATA_NR, SECCOMP_DATA_ARCH):
+            return False
+    return True
+
+
+def compute_action_cache(filters, nrs):
+    """Precompute the ALLOW bitmap for ``nrs`` against ``filters``.
+
+    Returns ``None`` (no cache, every syscall runs the BPF engine) when no
+    filter is attached or any attached filter is argument/ip-dependent.
+    """
+    if not filters or not all(_filter_is_nr_only(f) for f in filters):
+        return None
+    allow = set()
+    for nr in nrs:
+        action, _insns = evaluate_filters(filters, nr)
+        if action & SECCOMP_RET_ACTION_FULL == SECCOMP_RET_ALLOW:
+            allow.add(nr)
+    return SeccompActionCache(allow_nrs=frozenset(allow))

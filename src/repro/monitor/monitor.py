@@ -16,12 +16,14 @@ Lifecycle (§7.1):
 
 from dataclasses import dataclass, field
 
+from repro.errors import ProcessKilled
 from repro.kernel.ptrace import PtraceHandle
 from repro.kernel.seccomp import (
     SECCOMP_RET_KILL_PROCESS,
     SECCOMP_RET_TRACE,
     build_action_filter,
 )
+from repro.monitor.cache import MonitorStats, VerdictCache, VerificationDeps
 from repro.monitor.policy import ContextPolicy
 from repro.monitor.unwind import unwind_stack
 from repro.monitor.verify import ContextVerifier, Violation
@@ -31,8 +33,33 @@ from repro.vm.costs import DEFAULT_COSTS
 from repro.vm.cpu import CPU, CPUOptions
 
 
-#: Backwards-friendly alias: a violation *is* the integrity failure record.
-SyscallIntegrityViolation = Violation
+class SyscallIntegrityViolation(ProcessKilled):
+    """The monitor's kill verdict, as a catchable exception.
+
+    Raised by the kernel dispatcher when the monitor kills the protected
+    application at a trace stop, so callers driving the kernel directly can
+    ``except SyscallIntegrityViolation`` (``repro.api.run`` re-raises it on
+    request via ``raise_on_violation=True``).  Carries the underlying
+    :class:`~repro.monitor.verify.Violation` record.
+    """
+
+    def __init__(self, violation, message=None):
+        super().__init__(
+            message or str(violation), reason=getattr(violation, "context", None)
+        )
+        self.violation = violation
+
+    @property
+    def context(self):
+        return self.violation.context
+
+    @property
+    def syscall(self):
+        return self.violation.syscall
+
+    @property
+    def detail(self):
+        return self.violation.detail
 
 
 @dataclass
@@ -66,12 +93,15 @@ class BastionMonitor:
         self.stops_at_trace = self.policy.mode != "hook_only"
         self.in_kernel = self.policy.transport == "inkernel"
 
-        self.hook_count = 0
-        self.hook_counts = {}
+        self.stats = MonitorStats()
         self.violations = []
-        self.max_unwind_depth = 0
-        self.unwind_depth_total = 0
-        self.unwind_samples = 0
+        #: the fast path only memoizes *enforced* ALLOW verdicts — the
+        #: fetch-state/hook-only accounting ablations never produce one
+        self.cache = (
+            VerdictCache(stats=self.stats)
+            if self.policy.verdict_cache and self.policy.enforcing
+            else None
+        )
 
     # ------------------------------------------------------------------
     # initialization (§7.1)
@@ -131,6 +161,8 @@ class BastionMonitor:
         runtime = BastionRuntime(proc)
         runtime.initialize_globals(self.image, self.metadata.sensitive_globals)
         proc.bastion_runtime = runtime
+        if self.cache is not None:
+            runtime.subscribe(self)
         kernel.install_seccomp(proc, self.build_filter())
         proc.tracer = self
         options = cpu_options or CPUOptions(cet=True)
@@ -142,23 +174,54 @@ class BastionMonitor:
     # ------------------------------------------------------------------
 
     def on_syscall_stop(self, proc, syscall_name):
-        """Called by the kernel at each SECCOMP_RET_TRACE stop."""
-        self.hook_count += 1
-        self.hook_counts[syscall_name] = self.hook_counts.get(syscall_name, 0) + 1
+        """Called by the kernel at each SECCOMP_RET_TRACE stop.
+
+        Returns ``True`` when the stop resolved on the fast path (a cached
+        ALLOW verdict revalidated); the kernel then batches the trace-stop
+        context-switch cost instead of charging a full round trip.
+        """
+        self.stats.count_hook(syscall_name)
         policy = self.policy
         if policy.mode == "hook_only":
-            return
+            return False
 
         pt = PtraceHandle(proc, self.costs, transport=policy.transport)
         regs = pt.getregs()
 
+        # -- fast path: memoized ALLOW verdict (cache.py) ------------------
+        key = None
+        if self.cache is not None:
+            key = VerdictCache.key_for(syscall_name, regs)
+            pt.proc.ledger.charge(self.costs.verdict_cache_lookup, "monitor")
+            entry = self.cache.lookup(key)
+            if entry is not None and self.cache.probe_ok(entry, pt, regs):
+                # resident check: sensitive global struct fields are
+                # compared in place on every hit — data-only corruption of
+                # a cached callsite's globals is invisible to the
+                # register fingerprint but not to this sweep.
+                resident = None
+                if policy.arg_integrity:
+                    resident = self.verifier.verify_global_fields(
+                        pt, regs, syscall_name, True
+                    )
+                if resident is None:
+                    self.stats.cache_hits += 1
+                    self.stats.trap_stops_batched += 1
+                    return True
+                self.cache.invalidate_key(key)
+                self._verdict(pt, resident)
+                return False
+            self.stats.cache_misses += 1
+        self.stats.trap_stops_full += 1
+
+        # -- slow path: full unwind + three-context verification -----------
         func_name = self.image.func_containing(regs.rip)
         if func_name is None:
             self._verdict(
                 pt,
                 Violation("call-type", syscall_name, "syscall outside text", regs.rip),
             )
-            return
+            return False
         known = self.metadata.syscall_functions.get(func_name, ())
         if syscall_name not in known:
             self._verdict(
@@ -170,7 +233,7 @@ class BastionMonitor:
                     regs.rip,
                 ),
             )
-            return
+            return False
         func = self.image.module.functions[func_name]
         inline = not func.is_wrapper
 
@@ -181,49 +244,86 @@ class BastionMonitor:
         else:
             max_frames = 1
         frames = unwind_stack(pt, regs, self.image, max_frames=max_frames)
-        depth = len(frames)
-        self.max_unwind_depth = max(self.max_unwind_depth, depth)
-        self.unwind_depth_total += depth
-        self.unwind_samples += 1
+        self.stats.sample_unwind(len(frames))
 
         enforce = policy.enforcing
+        deps = VerificationDeps() if self.cache is not None else None
+        self.verifier.deps = deps
+        try:
+            if policy.call_type:
+                verdict = self.verifier.verify_call_type(
+                    pt, regs, syscall_name, frames, inline
+                )
+                if verdict is not None and enforce:
+                    self._verdict(pt, verdict)
+                    return False
+            if policy.control_flow:
+                verdict = self.verifier.verify_control_flow(
+                    pt, regs, syscall_name, frames
+                )
+                if verdict is not None and enforce:
+                    self._verdict(pt, verdict)
+                    return False
+            if policy.arg_integrity:
+                verdict = self.verifier.verify_arg_integrity(
+                    pt, regs, syscall_name, frames, inline, enforce
+                )
+                if verdict is not None and enforce:
+                    self._verdict(pt, verdict)
+                    return False
+        finally:
+            self.verifier.deps = None
 
-        if policy.call_type:
-            verdict = self.verifier.verify_call_type(
-                pt, regs, syscall_name, frames, inline
-            )
-            if verdict is not None and enforce:
-                self._verdict(pt, verdict)
-                return
-        if policy.control_flow:
-            verdict = self.verifier.verify_control_flow(
-                pt, regs, syscall_name, frames
-            )
-            if verdict is not None and enforce:
-                self._verdict(pt, verdict)
-                return
-        if policy.arg_integrity:
-            verdict = self.verifier.verify_arg_integrity(
-                pt, regs, syscall_name, frames, inline, enforce
-            )
-            if verdict is not None and enforce:
-                self._verdict(pt, verdict)
-                return
+        if self.cache is not None:
+            self.cache.store(key, frames, deps)
+        return False
+
+    # -- shadow-update notifications (BastionRuntime.subscribe) -------------
+
+    def on_shadow_write(self, slot_addr):
+        if self.cache is not None:
+            self.cache.invalidate_shadow(slot_addr)
+
+    def on_bind_write(self, callsite_addr):
+        if self.cache is not None:
+            self.cache.invalidate_callsite(callsite_addr)
 
     def _verdict(self, pt, violation):
         """Record the violation and kill the protected application (§7.2)."""
         self.violations.append(violation)
+        self.stats.violation_count += 1
+        pt.proc.pending_exception = SyscallIntegrityViolation(violation)
         pt.kill_tracee(str(violation))
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
 
+    # legacy attribute names kept as views over :class:`MonitorStats`
+
+    @property
+    def hook_count(self):
+        return self.stats.hooks
+
+    @property
+    def hook_counts(self):
+        return self.stats.hook_counts
+
+    @property
+    def max_unwind_depth(self):
+        return self.stats.max_unwind_depth
+
+    @property
+    def unwind_depth_total(self):
+        return self.stats.unwind_depth_total
+
+    @property
+    def unwind_samples(self):
+        return self.stats.unwind_samples
+
     @property
     def average_unwind_depth(self):
-        if not self.unwind_samples:
-            return 0.0
-        return self.unwind_depth_total / self.unwind_samples
+        return self.stats.average_unwind_depth
 
     def summary(self):
         lines = [
@@ -231,6 +331,16 @@ class BastionMonitor:
             % (self.policy.label(), self.metadata.program),
             "  hooks: %d  violations: %d" % (self.hook_count, len(self.violations)),
         ]
+        if self.cache is not None:
+            lines.append(
+                "  cache: %d hits / %d misses (%.1f%%)  invalidations: %d"
+                % (
+                    self.stats.cache_hits,
+                    self.stats.cache_misses,
+                    100.0 * self.stats.hit_rate,
+                    self.stats.invalidations,
+                )
+            )
         for name, count in sorted(self.hook_counts.items(), key=lambda kv: -kv[1]):
             lines.append("  %-18s %d" % (name, count))
         return "\n".join(lines)

@@ -21,6 +21,22 @@ class ContextPolicy:
     mode: str = "full"
     #: 'ptrace' (separate monitor process) or 'inkernel' (§11.2 ablation).
     transport: str = "ptrace"
+    #: memoize ALLOW verdicts (the monitor fast path); only effective when
+    #: enforcing.  Disable to reproduce the paper's re-verify-everything
+    #: monitor exactly (the Figure 3 ladder runs with this off).
+    verdict_cache: bool = True
+
+    #: fluent aliases accepted by :meth:`without` / :meth:`with_contexts`
+    _FEATURES = {
+        "ct": "call_type",
+        "call_type": "call_type",
+        "cf": "control_flow",
+        "control_flow": "control_flow",
+        "ai": "arg_integrity",
+        "arg_integrity": "arg_integrity",
+        "cache": "verdict_cache",
+        "verdict_cache": "verdict_cache",
+    }
 
     def __post_init__(self):
         if self.mode not in ("full", "fetch_state", "hook_only"):
@@ -62,6 +78,29 @@ class ContextPolicy:
 
     def as_inkernel(self):
         return replace(self, transport="inkernel")
+
+    # -- fluent construction (repro.api surface) -------------------------------
+
+    def _resolve(self, feature):
+        try:
+            return self._FEATURES[feature.lower().replace("-", "_")]
+        except (KeyError, AttributeError):
+            raise ValueError(
+                "unknown policy feature %r (expected one of %s)"
+                % (feature, ", ".join(sorted(set(self._FEATURES))))
+            )
+
+    def without(self, *features):
+        """Disable features by name: ``ContextPolicy.full().without("ai")``.
+
+        Accepted names: ``ct``/``call_type``, ``cf``/``control_flow``,
+        ``ai``/``arg_integrity``, ``cache``/``verdict_cache``.
+        """
+        return replace(self, **{self._resolve(f): False for f in features})
+
+    def with_contexts(self, *features):
+        """Enable features by name (the dual of :meth:`without`)."""
+        return replace(self, **{self._resolve(f): True for f in features})
 
     @property
     def enforcing(self):

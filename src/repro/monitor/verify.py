@@ -62,6 +62,10 @@ class ContextVerifier:
         #: fetch-state mode performs the reads but not the comparisons;
         #: only enforcing runs charge the comparison cost (Table 7 rows 2/3)
         self.charge_checks = True
+        #: optional :class:`~repro.monitor.cache.VerificationDeps` sink the
+        #: monitor installs around a full verification so the verdict cache
+        #: learns which shadow slots / binding records the verdict depends on
+        self.deps = None
 
     def _charge_check(self, pt):
         if self.charge_checks:
@@ -218,24 +222,9 @@ class ContextVerifier:
         if verdict is not None:
             return verdict
 
-        # Sensitive struct fields living in globals are verified in place
-        # ("verifies integrity of all sensitive variables", §7.4): this is
-        # what catches data-only corruption of e.g. ngx_exec_ctx_t.path
-        # performed entirely through legitimate control flow.
-        for slot_addr in self.resolved.global_field_slots:
-            self._charge_check(pt)
-            shadow = self._shadow_value(copies, slot_addr)
-            if shadow is None:
-                continue  # field not initialized yet on this path
-            actual = pt.peekdata(slot_addr)
-            if enforce and actual != shadow:
-                return Violation(
-                    "arg-integrity",
-                    syscall_name,
-                    "sensitive global field at %#x corrupted (%d != shadow %d)"
-                    % (slot_addr, actual, shadow),
-                    regs.rip,
-                )
+        verdict = self.verify_global_fields(pt, regs, syscall_name, enforce)
+        if verdict is not None:
+            return verdict
 
         # Walk the remaining frames: pass-through callsites carrying
         # sensitive variables (Figure 2's foo -> bar flags binding).
@@ -252,7 +241,35 @@ class ContextVerifier:
                 return verdict
         return None
 
+    def verify_global_fields(self, pt, regs, syscall_name, enforce):
+        """In-place verification of sensitive global struct fields (§7.4).
+
+        This is what catches data-only corruption of e.g.
+        ``ngx_exec_ctx_t.path`` performed entirely through legitimate
+        control flow.  The monitor fast path re-runs this sweep on every
+        cache *hit* (the resident check): the field lives in corruptible
+        application memory, so no fingerprint can stand in for reading it.
+        """
+        copies = ShadowTableReader(pt.readv, COPIES_LAYOUT)
+        for slot_addr in self.resolved.global_field_slots:
+            self._charge_check(pt)
+            shadow = self._shadow_value(copies, slot_addr)
+            if shadow is None:
+                continue  # field not initialized yet on this path
+            actual = pt.peekdata(slot_addr)
+            if enforce and actual != shadow:
+                return Violation(
+                    "arg-integrity",
+                    syscall_name,
+                    "sensitive global field at %#x corrupted (%d != shadow %d)"
+                    % (slot_addr, actual, shadow),
+                    regs.rip,
+                )
+        return None
+
     def _shadow_value(self, copies, addr):
+        if self.deps is not None:
+            self.deps.read_shadow(addr)
         entry = copies.get(addr)
         return None if entry is None else entry[0]
 
@@ -260,6 +277,8 @@ class ContextVerifier:
         self, pt, regs, syscall_name, site_addr, meta, copies, bindings, enforce
     ):
         spec = argspec_for(syscall_name)
+        if self.deps is not None:
+            self.deps.read_bindings(site_addr)
         record = bindings.get(site_addr)  # [argmask, (kind, payload) x 6]
         for binding in meta.binds:
             self._charge_check(pt)
@@ -313,7 +332,12 @@ class ContextVerifier:
                         regs.rip,
                     )
             # Extended arguments: also verify pointee memory (§6.3.2).
+            # Pointee bytes live in corruptible app memory the argument
+            # fingerprint cannot see, so such verdicts are never cached.
             arg_kind = spec.kind(binding.position)
+            if arg_kind in (ArgKind.EXTENDED, ArgKind.VECTOR) and actual > 0:
+                if self.deps is not None:
+                    self.deps.mark_volatile()
             if arg_kind == ArgKind.EXTENDED and actual > 0:
                 verdict = self._verify_pointee(
                     pt, regs, syscall_name, binding.position, actual, copies, enforce
@@ -362,6 +386,8 @@ class ContextVerifier:
     ):
         """Verify callee parameter slots against bound caller variables."""
         bindings = ShadowTableReader(pt.readv, BINDINGS_LAYOUT)
+        if self.deps is not None:
+            self.deps.read_bindings(frame.callsite_addr)
         record = bindings.get(frame.callsite_addr)
         for binding in meta.binds:
             self._charge_check(pt)

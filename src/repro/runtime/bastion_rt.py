@@ -36,6 +36,15 @@ class BastionRuntime:
         self.bindings = ShadowTable(proc.memory, BINDINGS_LAYOUT)
         self.write_count = 0
         self.bind_count = 0
+        #: shadow-update listeners (the monitor's verdict cache).  Notified
+        #: only when an update *changes* the stored value: a server's steady
+        #: state re-binds the same callsite with the same payload on every
+        #: iteration, and re-notifying on each would thrash any cache.
+        self._listeners = []
+
+    def subscribe(self, listener):
+        """Register for ``on_shadow_write(addr)`` / ``on_bind_write(site)``."""
+        self._listeners.append(listener)
 
     # -- Table 2 API ------------------------------------------------------
 
@@ -44,7 +53,12 @@ class BastionRuntime:
         memory = self.proc.memory
         for i in range(max(size, 1)):
             slot_addr = addr + i * WORD
-            self.copies.put(slot_addr, (memory.read(slot_addr),))
+            value = memory.read(slot_addr)
+            previous = self.copies.get(slot_addr)
+            self.copies.put(slot_addr, (value,))
+            if previous is None or previous[0] != value:
+                for listener in self._listeners:
+                    listener.on_shadow_write(slot_addr)
         self.write_count += 1
 
     def ctx_bind_mem(self, callsite_addr, position, addr):
@@ -58,14 +72,25 @@ class BastionRuntime:
     def _bind(self, callsite_addr, position, kind, payload):
         if not 1 <= position <= self.MAX_ARGS:
             raise ValueError("argument position %d out of range" % position)
+        memory = self.proc.memory
         offset = 2 + (position - 1) * 2  # key, argmask, then (kind, payload) pairs
+        previous = self.bindings.get(callsite_addr)
         entry = self.bindings.update_word(callsite_addr, offset, kind)
-        self.proc.memory.write(entry + (offset + 1) * WORD, payload)
+        payload_addr = entry + (offset + 1) * WORD
+        memory.write(payload_addr, payload)
         # maintain the bound-argument mask
         mask_addr = entry + WORD
-        mask = self.proc.memory.read(mask_addr)
-        self.proc.memory.write(mask_addr, mask | (1 << (position - 1)))
+        mask = memory.read(mask_addr)
+        memory.write(mask_addr, mask | (1 << (position - 1)))
         self.bind_count += 1
+        changed = (
+            previous is None
+            or previous[offset - 1] != kind
+            or previous[offset] != payload
+        )
+        if changed:
+            for listener in self._listeners:
+                listener.on_bind_write(callsite_addr)
 
     # -- launch-time seeding -------------------------------------------------
 

@@ -50,6 +50,9 @@ class CostModel:
     #: per BPF instruction evaluated, in millicycles (the kernel JITs
     #: filters, so effective per-instruction cost is well under a cycle)
     seccomp_per_bpf_instr_millicycles: int = 300
+    #: seccomp action-cache hit (Linux's per-syscall-nr bitmap: a mask test
+    #: instead of running the BPF engine)
+    seccomp_cache_hit: int = 1
 
     # -- instrumentation (inlined BASTION runtime library) -----------------
     ctx_write_mem_base: int = 9
@@ -64,6 +67,12 @@ class CostModel:
     readv_per_word: int = 2
     monitor_check: int = 25  # metadata lookup / compare in the monitor
     inkernel_state_access: int = 40  # ablation: monitor inside the kernel
+    #: hash + probe of the monitor's verdict cache, charged per lookup
+    verdict_cache_lookup: int = 30
+    #: a fast-path stop resumes the tracee without a full scheduler round
+    #: trip: the trap's two context switches are amortized over this many
+    #: stops (the batched-continuation accounting of Table 3/4)
+    trace_stop_batch: int = 8
 
 
 #: The calibrated model used by all benchmarks.

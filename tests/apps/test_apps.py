@@ -6,6 +6,7 @@ from repro.apps.nginx import NginxConfig, PAGE_BYTES, build_nginx
 from repro.apps.sqlite import SqliteConfig, build_sqlite
 from repro.apps.vsftpd import VsftpdConfig, build_vsftpd
 from repro.apps.workloads import Dbt2Workload, DkftpbenchWorkload, WrkWorkload
+from repro.api import run
 from repro.bench.harness import run_app
 from repro.ir.validate import validate_module
 
@@ -42,7 +43,7 @@ class TestModulesBuild:
 class TestNginxServing:
     def test_serves_requests_and_counts_bytes(self):
         workload = WrkWorkload(connections=3, requests_per_connection=5)
-        result = run_app("nginx", "vanilla", workload=workload)
+        result = run("nginx", "vanilla", workload=workload)
         assert result.ok
         assert workload.stats.responses == 15
         assert result.bytes_sent >= 15 * PAGE_BYTES
@@ -51,7 +52,7 @@ class TestNginxServing:
     def test_syscall_profile_shape(self):
         """Table 4's character: accept4 per connection, init-heavy mmap."""
         workload = WrkWorkload(connections=6, requests_per_connection=4)
-        result = run_app("nginx", "vanilla", workload=workload)
+        result = run("nginx", "vanilla", workload=workload)
         counts = result.syscall_counts
         assert counts["accept4"] == 7  # 6 connections + final EAGAIN
         assert counts["mmap"] >= NginxConfig().pools
@@ -63,7 +64,7 @@ class TestNginxServing:
 
     def test_steady_state_marker_set(self):
         workload = WrkWorkload(connections=2, requests_per_connection=2)
-        result = run_app("nginx", "vanilla", workload=workload)
+        result = run("nginx", "vanilla", workload=workload)
         assert 0 < result.init_cycles < result.total_cycles
         assert result.steady_cycles == result.total_cycles - result.init_cycles
 
@@ -75,14 +76,14 @@ class TestNginxServing:
 class TestSqlite:
     def test_transactions_complete(self):
         workload = Dbt2Workload(terminals=3, transactions_per_terminal=8)
-        result = run_app("sqlite", "vanilla", workload=workload)
+        result = run("sqlite", "vanilla", workload=workload)
         assert result.ok
         assert workload.stats.transactions == 24
         assert result.work_units == 24
 
     def test_pager_touches_files(self):
         workload = Dbt2Workload(terminals=2, transactions_per_terminal=4)
-        result = run_app("sqlite", "vanilla", workload=workload)
+        result = run("sqlite", "vanilla", workload=workload)
         counts = result.syscall_counts
         assert counts["pread64"] == 8 * SqliteConfig().items_per_order
         assert counts["pwrite64"] >= 8 * 2
@@ -94,7 +95,7 @@ class TestSqlite:
         config = SqliteConfig()
         txns = config.runtime_mprotect_every * 2
         workload = Dbt2Workload(terminals=1, transactions_per_terminal=txns)
-        result = run_app("sqlite", "vanilla", workload=workload)
+        result = run("sqlite", "vanilla", workload=workload)
         runtime_mprotects = result.syscall_counts["mprotect"] - config.init_mprotects
         assert runtime_mprotects == 2
 
@@ -106,7 +107,7 @@ class TestSqlite:
 class TestVsftpd:
     def test_sessions_and_transfers(self):
         workload = DkftpbenchWorkload(sessions=3, files_per_session=2)
-        result = run_app("vsftpd", "vanilla", workload=workload)
+        result = run("vsftpd", "vanilla", workload=workload)
         assert result.ok
         assert workload.stats.sessions == 3
         assert workload.stats.transfers == 6
@@ -116,14 +117,14 @@ class TestVsftpd:
         from repro.bench.harness import FTP_FILE_BYTES
 
         workload = DkftpbenchWorkload(sessions=1, files_per_session=1)
-        result = run_app("vsftpd", "vanilla", workload=workload)
+        result = run("vsftpd", "vanilla", workload=workload)
         assert result.bytes_sent >= FTP_FILE_BYTES
 
     def test_networking_profile(self):
         """Table 4's vsftpd row: per-transfer PASV socket dance + priv drop."""
         sessions, files = 2, 3
         workload = DkftpbenchWorkload(sessions=sessions, files_per_session=files)
-        result = run_app("vsftpd", "vanilla", workload=workload)
+        result = run("vsftpd", "vanilla", workload=workload)
         counts = result.syscall_counts
         transfers = sessions * files
         assert counts["socket"] == 1 + transfers

@@ -1,0 +1,45 @@
+"""Fast-path soundness: the full Table 6 catalog, cache on vs cache off.
+
+The default policies now run with the verdict cache enabled, so the
+standard :mod:`tests.attacks.test_catalog` matrix already exercises the
+fast path.  This module runs the catalog again with ``without("cache")``
+and requires the two sweeps to agree verdict-for-verdict: memoizing ALLOW
+decisions must never turn a blocked attack into a missed one.
+"""
+
+import pytest
+
+from repro.attacks.catalog import CATALOG
+from repro.attacks.runner import table6_matrix
+
+
+@pytest.fixture(scope="module")
+def both_ways():
+    cache_on = {e.spec.name: e for e in table6_matrix(catalog=CATALOG)}
+    cache_off = {
+        e.spec.name: e
+        for e in table6_matrix(
+            catalog=CATALOG, policy_transform=lambda p: p.without("cache")
+        )
+    }
+    return cache_on, cache_off
+
+
+@pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+def test_no_false_negatives_with_cache_on(spec, both_ways):
+    cache_on, _ = both_ways
+    evaluation = cache_on[spec.name]
+    assert evaluation.valid
+    assert evaluation.matches_paper()
+    assert evaluation.blocked_by_full
+
+
+@pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+def test_cache_off_reference_agrees(spec, both_ways):
+    """The cache must be a pure optimization: identical verdicts either way."""
+    cache_on, cache_off = both_ways
+    on, off = cache_on[spec.name], cache_off[spec.name]
+    assert off.matches_paper() and off.blocked_by_full
+    for context in on.by_context:
+        assert on.blocks(context) == off.blocks(context), (spec.name, context)
+    assert on.full.blocked_by == off.full.blocked_by, spec.name

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.bench.report import (
+    render_ablation_cache,
     render_ablation_dfi,
     render_adaptive,
     render_figure3,
@@ -62,6 +63,13 @@ def test_render_security_baselines():
     assert "blocked" in text
 
 
+def test_render_ablation_cache():
+    text = render_ablation_cache(SCALE)
+    assert "verdict cache" in text
+    assert "cache on" in text
+    assert "hit rate" in text
+
+
 def test_render_ablation_dfi():
     text = render_ablation_dfi(SCALE)
     assert "DFI" in text
@@ -83,6 +91,7 @@ def test_all_renderers_registered():
         "table6",
         "table7",
         "security_baselines",
+        "ablation_cache",
         "ablation_dfi",
         "adaptive",
     }
