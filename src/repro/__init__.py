@@ -44,7 +44,14 @@ Compiling a module directly::
     artifact.metadata.stats               # Table 5's static statistics
 """
 
-from repro.api import ProtectConfig, RunResult, protect, run
+from repro.api import (
+    AnalysisFailure,
+    ProtectConfig,
+    RunResult,
+    analyze,
+    protect,
+    run,
+)
 from repro.compiler.pipeline import BastionCompiler, BastionArtifact
 from repro.monitor.cache import MonitorStats, VerdictCache
 from repro.monitor.policy import ContextPolicy
@@ -57,6 +64,8 @@ __all__ = [
     "BastionArtifact",
     "ProtectConfig",
     "RunResult",
+    "analyze",
+    "AnalysisFailure",
     "protect",
     "run",
     "ContextPolicy",

@@ -1,0 +1,43 @@
+"""Static-analysis pass suite over compiled BASTION artifacts.
+
+Four passes audit the compiler's three contexts from the outside, in the
+spirit of the binary-level syscall-policy extractors the paper compares
+against (B-Side, SFIP):
+
+1. :mod:`repro.analyze.completeness` — instrumentation completeness: an
+   independent backward taint proves every sensitive-variable store is
+   shadowed by ``ctx_write_mem`` and every metadata binding has its
+   ``ctx_bind_*`` intrinsic;
+2. :mod:`repro.analyze.calltypes` — call-type audit: re-derives the §6.1
+   directly/indirectly/not-callable table and diffs it against the
+   metadata, flagging over-permissive entries;
+3. :mod:`repro.analyze.flowgraph` — syscall-flow precision: per-syscall
+   legitimate-chain counts and the chains×args attack-surface metric;
+4. :mod:`repro.analyze.consistency` — metadata ↔ IR cross-check: the
+   chains the monitor would accept are exactly the derivable ones.
+
+Entry points: ``python -m repro.analyze``, :func:`repro.api.analyze`, and
+:func:`analyze_artifact`/:func:`analyze_app` here.
+"""
+
+from repro.analyze.diagnostics import AnalysisReport, Diagnostic, SEVERITIES
+from repro.analyze.runner import (
+    PASS_ORDER,
+    analyze_app,
+    analyze_artifact,
+    analyze_module,
+)
+from repro.analyze.waivers import SHIPPED_WAIVERS, Waiver, apply_waivers
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "SEVERITIES",
+    "PASS_ORDER",
+    "analyze_app",
+    "analyze_artifact",
+    "analyze_module",
+    "SHIPPED_WAIVERS",
+    "Waiver",
+    "apply_waivers",
+]

@@ -1,0 +1,82 @@
+"""CLI: ``python -m repro.analyze <app> [--format text|json] [--strict]``.
+
+Exit status: 0 when every analyzed program passes (no unwaived errors; with
+``--strict``, no unwaived findings at all), 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analyze.runner import analyze_app
+from repro.apps import SYNTHETIC_APPS
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Run the BASTION static-analysis pass suite over "
+        "compiled synthetic apps.",
+    )
+    parser.add_argument(
+        "apps",
+        nargs="*",
+        metavar="app",
+        help="registered app name(s): %s" % ", ".join(sorted(SYNTHETIC_APPS)),
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="analyze every registered app",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on any unwaived finding, not just errors",
+    )
+    parser.add_argument(
+        "--no-waivers",
+        action="store_true",
+        help="ignore the shipped waiver table and show raw findings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.all:
+        names = sorted(SYNTHETIC_APPS)
+    else:
+        names = args.apps
+    if not names:
+        parser.error("name at least one app, or pass --all")
+    unknown = [n for n in names if n not in SYNTHETIC_APPS]
+    if unknown:
+        parser.error("unknown app(s): %s" % ", ".join(unknown))
+
+    waivers = () if args.no_waivers else None
+    reports = []
+    for name in names:
+        if waivers is None:
+            reports.append(analyze_app(name))
+        else:
+            reports.append(analyze_app(name, waivers=waivers))
+
+    if args.format == "json":
+        payload = {r.program: r.to_dict() for r in reports}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render_text())
+
+    failed = any(
+        not (r.clean if args.strict else r.ok) for r in reports
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Metadata/monitor consistency pass.
+
+The monitor trusts the metadata blindly: it resolves every ``SiteKey`` to a
+code address and enforces whatever the tables say.  This pass closes the
+loop — it checks, in both directions, that the chains and sites the monitor
+would accept are exactly the ones derivable from the shipped IR:
+
+- every ``SiteKey`` resolves to a real instruction of the right kind
+  (a dangling or mistyped key makes the monitor compare against garbage);
+- every call edge the metadata accepts exists in the IR, and every edge
+  the IR contains for a tracked callee is accepted (a missing edge kills
+  legitimate executions, an extra edge admits forged stacks);
+- the indirect-callsite and address-taken tables match the IR's
+  ``CallIndirect``/``FuncAddr`` instructions exactly;
+- sensitive globals and global field slots name real globals;
+- the provenance block matches the module the metadata shipped with.
+"""
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.ir.instructions import Call, CallIndirect, FuncAddr, Syscall
+
+PASS_NAME = "consistency"
+
+
+def _resolve(module, site):
+    func = module.functions.get(site.func)
+    if func is None or not (0 <= site.index < len(func.body)):
+        return None
+    return func.body[site.index]
+
+
+def check_consistency(module, metadata):
+    """Cross-check ``metadata`` against ``module``.
+
+    Returns ``(diagnostics, metrics)``.
+    """
+    diagnostics = []
+
+    def bad(code, message, **kw):
+        diagnostics.append(
+            Diagnostic(PASS_NAME, code, "error", message, **kw)
+        )
+
+    # --- SiteKey resolution + instruction kinds ------------------------
+    checked_sites = 0
+    for callee, sites in sorted(metadata.valid_callers.items()):
+        for site in sites:
+            checked_sites += 1
+            instr = _resolve(module, site)
+            if instr is None:
+                bad(
+                    "dangling-site",
+                    "valid-caller site for %s does not resolve to an "
+                    "instruction" % callee,
+                    func=site.func,
+                    index=site.index,
+                )
+            elif not isinstance(instr, Call) or instr.callee != callee:
+                bad(
+                    "edge-not-derivable",
+                    "metadata accepts a call edge to %s here but the "
+                    "instruction is %s" % (callee, type(instr).__name__),
+                    func=site.func,
+                    index=site.index,
+                )
+
+    for site in metadata.indirect_sites:
+        checked_sites += 1
+        instr = _resolve(module, site)
+        if not isinstance(instr, CallIndirect):
+            bad(
+                "dangling-site",
+                "indirect-site entry does not resolve to a CallIndirect",
+                func=site.func,
+                index=site.index,
+            )
+
+    for site, meta in sorted(metadata.callsites.items()):
+        checked_sites += 1
+        instr = _resolve(module, site)
+        if not isinstance(instr, (Call, CallIndirect, Syscall)):
+            bad(
+                "dangling-site",
+                "argument-integrity site does not resolve to a call",
+                func=site.func,
+                index=site.index,
+                syscall=meta.syscall,
+            )
+
+    # --- reverse direction: IR constructs the tables must cover --------
+    tracked = set(metadata.valid_callers)
+    ir_indirect = set()
+    ir_address_taken = set()
+    for func in module.functions.values():
+        for idx, instr in enumerate(func.body):
+            if isinstance(instr, Call) and instr.callee in tracked:
+                sites = metadata.valid_callers[instr.callee]
+                if not any(
+                    s.func == func.name and s.index == idx for s in sites
+                ):
+                    bad(
+                        "edge-not-accepted",
+                        "the IR calls %s here but the monitor would reject "
+                        "the stack edge" % instr.callee,
+                        func=func.name,
+                        index=idx,
+                    )
+            elif isinstance(instr, CallIndirect):
+                ir_indirect.add((func.name, idx))
+            elif isinstance(instr, FuncAddr):
+                ir_address_taken.add(instr.func)
+
+    meta_indirect = {(s.func, s.index) for s in metadata.indirect_sites}
+    for func_name, idx in sorted(ir_indirect - meta_indirect):
+        bad(
+            "indirect-site-missing",
+            "CallIndirect instruction absent from the indirect-site table — "
+            "the monitor would reject this legitimate dispatch",
+            func=func_name,
+            index=idx,
+        )
+
+    meta_taken = set(metadata.address_taken)
+    for name in sorted(meta_taken - ir_address_taken):
+        bad(
+            "address-taken-extra",
+            "%s is listed address-taken but no FuncAddr targets it" % name,
+            func=name,
+        )
+    for name in sorted(ir_address_taken - meta_taken):
+        bad(
+            "address-taken-missing",
+            "FuncAddr targets %s but it is absent from the address-taken "
+            "table" % name,
+            func=name,
+        )
+
+    # --- named entities ------------------------------------------------
+    for name in metadata.sensitive_globals:
+        if name not in module.globals:
+            bad(
+                "unknown-global",
+                "sensitive global %s does not exist in the module" % name,
+            )
+    for name, _offset in metadata.global_field_slots:
+        if name not in module.globals:
+            bad(
+                "unknown-global",
+                "global field slot names missing global %s" % name,
+            )
+
+    for func_name, syscalls in sorted(metadata.syscall_functions.items()):
+        func = module.functions.get(func_name)
+        if func is None:
+            bad(
+                "unknown-function",
+                "syscall_functions names missing function %s" % func_name,
+                func=func_name,
+            )
+            continue
+        present = {i.name for i in func.body if isinstance(i, Syscall)}
+        for syscall in syscalls:
+            if syscall not in present:
+                bad(
+                    "syscall-function-mismatch",
+                    "%s is recorded as containing syscall %s but has no such "
+                    "Syscall instruction" % (func_name, syscall),
+                    func=func_name,
+                    syscall=syscall,
+                )
+
+    # --- provenance ----------------------------------------------------
+    provenance = metadata.provenance
+    if provenance:
+        recorded = provenance.get("instrumented_instructions")
+        actual = module.instruction_count()
+        if recorded is not None and recorded != actual:
+            bad(
+                "provenance-mismatch",
+                "metadata was produced for a module with %s instructions but "
+                "this one has %d — artifact and metadata do not match"
+                % (recorded, actual),
+            )
+    else:
+        diagnostics.append(
+            Diagnostic(
+                PASS_NAME,
+                "no-provenance",
+                "warning",
+                "metadata carries no provenance block; cannot confirm it was "
+                "produced for this module",
+            )
+        )
+
+    metrics = {
+        "checked_sites": checked_sites,
+        "tracked_callees": len(tracked),
+        "indirect_sites": len(meta_indirect),
+        "address_taken": len(meta_taken),
+    }
+    return diagnostics, metrics

@@ -1,0 +1,130 @@
+"""Diagnostic and report types shared by every analysis pass.
+
+A :class:`Diagnostic` is one finding: which pass produced it, a stable
+machine-readable code, a severity, and (when known) the IR location it
+anchors to.  A :class:`AnalysisReport` is the result of running the full
+pass suite over one compiled artifact, after waivers are applied.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+#: diagnostic severities, in increasing order of badness
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from one analysis pass."""
+
+    pass_name: str  # 'completeness' | 'call-type' | 'flow' | 'consistency'
+    code: str  # stable slug, e.g. 'missing-bind'
+    severity: str  # 'info' | 'warning' | 'error'
+    message: str
+    func: str = None  # IR location, when the finding anchors to one
+    index: int = None
+    syscall: str = None
+
+    def location(self):
+        if self.func is None:
+            return "<module>"
+        if self.index is None:
+            return self.func
+        return "%s[%d]" % (self.func, self.index)
+
+    def render(self):
+        parts = [
+            "%s: %s/%s" % (self.severity, self.pass_name, self.code),
+            self.location(),
+        ]
+        if self.syscall:
+            parts.append("(%s)" % self.syscall)
+        return " ".join(parts) + ": " + self.message
+
+    def to_dict(self):
+        return {
+            "pass": self.pass_name,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "func": self.func,
+            "index": self.index,
+            "syscall": self.syscall,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The pass suite's verdict on one program."""
+
+    program: str
+    #: findings that survived waiver filtering, in pass order
+    diagnostics: list = field(default_factory=list)
+    #: (diagnostic, waiver) pairs suppressed by the waiver table
+    waived: list = field(default_factory=list)
+    #: per-pass metrics (the flow pass's precision numbers live here)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def ok(self):
+        """No unwaived errors (warnings tolerated)."""
+        return not self.errors
+
+    @property
+    def clean(self):
+        """No unwaived findings of any severity (what ``--strict`` demands)."""
+        return not self.diagnostics
+
+    def counts_by_pass(self):
+        """Unwaived finding counts keyed by pass name (zero-filled)."""
+        counts = {name: 0 for name in ("completeness", "call-type", "flow", "consistency")}
+        for diag in self.diagnostics:
+            counts[diag.pass_name] = counts.get(diag.pass_name, 0) + 1
+        return counts
+
+    # -- rendering ---------------------------------------------------------
+
+    def render_text(self):
+        lines = ["repro.analyze: %s" % self.program]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.render())
+        for diag, waiver in self.waived:
+            lines.append("  waived: %s [%s]" % (diag.render(), waiver.reason))
+        counts = self.counts_by_pass()
+        summary = ", ".join("%s=%d" % (name, counts[name]) for name in sorted(counts))
+        flow = self.metrics.get("flow", {})
+        lines.append(
+            "  %d finding(s) (%s), %d waived" % (len(self.diagnostics), summary, len(self.waived))
+        )
+        if flow:
+            lines.append(
+                "  precision: %d sensitive site(s), %d chain(s), attack surface %d"
+                % (
+                    flow.get("sensitive_sites", 0),
+                    flow.get("chains", 0),
+                    flow.get("attack_surface", 0),
+                )
+            )
+        lines.append("  verdict: %s" % ("clean" if self.clean else ("ok" if self.ok else "FAIL")))
+        return "\n".join(lines)
+
+    def to_dict(self):
+        return {
+            "program": self.program,
+            "ok": self.ok,
+            "clean": self.clean,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "waived": [
+                {"diagnostic": d.to_dict(), "reason": w.reason}
+                for d, w in self.waived
+            ],
+            "counts_by_pass": self.counts_by_pass(),
+            "metrics": self.metrics,
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)

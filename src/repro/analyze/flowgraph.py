@@ -1,0 +1,122 @@
+"""Syscall-flow precision pass (SFIP-style, §6.2 cross-check).
+
+Builds the *syscall-flow graph*: for each sensitive syscall callsite, the
+set of legitimate call chains that can reach it under the control-flow
+context the compiler emitted (``valid_callers`` + ``indirect_sites`` +
+``address_taken``).  From it we compute the precision metrics SFIP reports
+for static syscall-flow extraction:
+
+- **chains per syscall** — how many distinct legitimate paths from the
+  program entry (or a thread entry) end at a callsite of that syscall.
+  Fewer chains = a tighter control-flow context = less room for an
+  attacker to mimic a legitimate stack.
+- **attack surface** — ``sum(chains(site) * reachable_args(syscall))``
+  over all sensitive sites: the number of (path, argument) pairs an
+  attacker could try to abuse while staying within policy.
+
+Chain counting walks caller edges backward with memoization; recursive
+cycles are cut at the first repeated function on the current path (a
+recursive frame adds no *new* stack shape the monitor could distinguish),
+and counts saturate at :data:`CHAIN_CAP` so pathological graphs stay
+finite.  Sites whose function no legitimate chain reaches are reported as
+``unreachable-site`` warnings — protected code the control-flow context
+says can never run is a precision loss, not a soundness hole.
+"""
+
+from repro.analyze.completeness import find_sensitive_sites
+from repro.analyze.diagnostics import Diagnostic
+from repro.syscalls import argspec_for
+
+PASS_NAME = "flow"
+
+#: chain counts saturate here; beyond this precision differences are noise
+CHAIN_CAP = 1_000_000
+
+
+class ChainCounter:
+    """Memoized backward chain counter over the metadata's caller edges."""
+
+    def __init__(self, metadata):
+        self.metadata = metadata
+        self.roots = {metadata.entry} | set(metadata.thread_entries)
+        self.address_taken = set(metadata.address_taken)
+        self.indirect_site_count = len(metadata.indirect_sites)
+        self._memo = {}
+
+    def chains_to(self, func_name):
+        """Number of legitimate call chains from a root to ``func_name``."""
+        return self._count(func_name, ())
+
+    def _count(self, func_name, path):
+        if func_name in path:
+            return 0  # recursion: cut the cycle
+        memoized = self._memo.get(func_name)
+        if memoized is not None:
+            return memoized
+        total = 1 if func_name in self.roots else 0
+        path = path + (func_name,)
+        for site in self.metadata.valid_callers.get(func_name, ()):
+            total += self._count(site.func, path)
+            if total >= CHAIN_CAP:
+                total = CHAIN_CAP
+                break
+        if total < CHAIN_CAP and func_name in self.address_taken:
+            # §6.2: a partial stack ending at a legitimate indirect callsite
+            # is valid when the callee there is address-taken — each indirect
+            # callsite is therefore a chain terminus of its own.
+            total = min(CHAIN_CAP, total + self.indirect_site_count)
+        self._memo[func_name] = total
+        return total
+
+
+def reachable_args(syscall):
+    """Argument positions the monitor verifies for ``syscall``."""
+    return len(argspec_for(syscall).kinds)
+
+
+def analyze_flow(artifact):
+    """Compute syscall-flow precision metrics for a compiled artifact.
+
+    Returns ``(diagnostics, metrics)``.
+    """
+    module = artifact.module
+    metadata = artifact.metadata
+    counter = ChainCounter(metadata)
+    sites = find_sensitive_sites(module, metadata.sensitive_set)
+
+    diagnostics = []
+    per_syscall = {}
+    total_chains = 0
+    attack_surface = 0
+    for (func_name, index), syscall in sorted(sites.items()):
+        chains = counter.chains_to(func_name)
+        if chains == 0:
+            diagnostics.append(
+                Diagnostic(
+                    PASS_NAME,
+                    "unreachable-site",
+                    "warning",
+                    "no legitimate call chain reaches this %s callsite under "
+                    "the emitted control-flow context" % syscall,
+                    func=func_name,
+                    index=index,
+                    syscall=syscall,
+                )
+            )
+        args = reachable_args(syscall)
+        entry = per_syscall.setdefault(
+            syscall, {"sites": 0, "chains": 0, "args": args, "surface": 0}
+        )
+        entry["sites"] += 1
+        entry["chains"] = min(CHAIN_CAP, entry["chains"] + chains)
+        entry["surface"] = min(CHAIN_CAP, entry["surface"] + chains * args)
+        total_chains = min(CHAIN_CAP, total_chains + chains)
+        attack_surface = min(CHAIN_CAP, attack_surface + chains * args)
+
+    metrics = {
+        "sensitive_sites": len(sites),
+        "chains": total_chains,
+        "attack_surface": attack_surface,
+        "per_syscall": {name: dict(v) for name, v in sorted(per_syscall.items())},
+    }
+    return diagnostics, metrics

@@ -1,0 +1,50 @@
+"""Pass-suite driver: compile (when needed), run every pass, build a report."""
+
+from repro.analyze.calltypes import audit_call_types
+from repro.analyze.completeness import check_completeness
+from repro.analyze.consistency import check_consistency
+from repro.analyze.diagnostics import AnalysisReport
+from repro.analyze.flowgraph import analyze_flow
+from repro.analyze.waivers import SHIPPED_WAIVERS, apply_waivers
+
+#: pass name -> runner(artifact) -> (diagnostics, metrics), in report order
+PASS_ORDER = ("completeness", "call-type", "flow", "consistency")
+
+
+def analyze_artifact(artifact, waivers=SHIPPED_WAIVERS, program=None):
+    """Run the full pass suite over a compiled :class:`BastionArtifact`."""
+    if program is None:
+        program = artifact.metadata.program
+    runners = {
+        "completeness": lambda: check_completeness(artifact),
+        "call-type": lambda: audit_call_types(artifact.module, artifact.metadata),
+        "flow": lambda: analyze_flow(artifact),
+        "consistency": lambda: check_consistency(
+            artifact.module, artifact.metadata
+        ),
+    }
+    diagnostics = []
+    metrics = {}
+    for name in PASS_ORDER:
+        found, pass_metrics = runners[name]()
+        diagnostics.extend(found)
+        metrics[name] = pass_metrics
+    kept, waived = apply_waivers(program, diagnostics, waivers or ())
+    return AnalysisReport(
+        program=program, diagnostics=kept, waived=waived, metrics=metrics
+    )
+
+
+def analyze_module(module, sensitive=None, waivers=SHIPPED_WAIVERS):
+    """Compile ``module`` with the BASTION pipeline, then analyze it."""
+    from repro.compiler.pipeline import BastionCompiler
+
+    artifact = BastionCompiler(sensitive=sensitive).compile(module)
+    return analyze_artifact(artifact, waivers=waivers)
+
+
+def analyze_app(name, waivers=SHIPPED_WAIVERS):
+    """Build + compile + analyze one registered synthetic app."""
+    from repro.apps import build_app_module
+
+    return analyze_module(build_app_module(name), waivers=waivers)

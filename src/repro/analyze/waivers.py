@@ -1,0 +1,69 @@
+"""Waivers: documented, reviewed exceptions to analyzer findings.
+
+A waiver suppresses findings matching a (app, pass, code[, func][, syscall])
+pattern.  Every waiver must carry a human-readable ``reason`` — the waiver
+table is the audit trail for why a finding is tolerated, and docs/analyze.md
+documents the format.  ``--no-waivers`` on the CLI disables the table so the
+raw findings are always recoverable.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One documented exception."""
+
+    app: str  # program name the waiver applies to ('*' = any)
+    pass_name: str  # pass the finding comes from ('*' = any)
+    code: str  # diagnostic code ('*' = any)
+    reason: str  # mandatory justification, shown in reports
+    func: str = None  # optionally narrow to one function
+    syscall: str = None  # optionally narrow to one syscall
+
+    def matches(self, program, diag):
+        if self.app not in ("*", program):
+            return False
+        if self.pass_name not in ("*", diag.pass_name):
+            return False
+        if self.code not in ("*", diag.code):
+            return False
+        if self.func is not None and self.func != diag.func:
+            return False
+        if self.syscall is not None and self.syscall != diag.syscall:
+            return False
+        return True
+
+
+def apply_waivers(program, diagnostics, waivers):
+    """Split ``diagnostics`` into (kept, [(diagnostic, waiver), ...])."""
+    kept = []
+    waived = []
+    for diag in diagnostics:
+        hit = next(
+            (w for w in waivers if w.matches(program, diag)), None
+        )
+        if hit is None:
+            kept.append(diag)
+        else:
+            waived.append((diag, hit))
+    return kept, waived
+
+
+#: Waivers for the shipped synthetic apps.  Entries added here must explain
+#: *why* the finding is a non-issue, not just silence it.
+SHIPPED_WAIVERS = (
+    # libc's system() is linked into every binary but deliberately never
+    # called — it exists as the classic ret2libc surface (Table 6's ROP
+    # rows).  Its fork/execve callsites are unreachable under the emitted
+    # control-flow context *by design*: that is the property the paper's
+    # CF context exploits to stop ret2libc payloads, not a precision loss.
+    Waiver(
+        app="*",
+        pass_name="flow",
+        code="unreachable-site",
+        func="system",
+        reason="system() is the intentionally-uncalled ret2libc surface; "
+        "unreachable under the CF context by design (Table 6)",
+    ),
+)

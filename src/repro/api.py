@@ -205,3 +205,49 @@ def run(
         bench=bench,
         baseline=baseline,
     )
+
+
+def analyze(target, config=None, *, waivers=None, strict=False):
+    """Run the static-analysis pass suite; returns an ``AnalysisReport``.
+
+    Args:
+        target: a registered app name ('nginx', ...), an IR ``Module``, or
+            an already-compiled ``BastionArtifact``.
+        config: optional :class:`ProtectConfig` controlling the compile
+            (app-name and Module targets only).
+        waivers: iterable of :class:`repro.analyze.Waiver`; defaults to the
+            shipped table.  Pass ``()`` to disable waivers entirely.
+        strict: raise :class:`AnalysisFailure` unless the report is clean
+            (``False``: the report is returned regardless).
+    """
+    from repro.analyze import SHIPPED_WAIVERS, analyze_artifact
+    from repro.compiler.pipeline import BastionArtifact
+
+    if waivers is None:
+        waivers = SHIPPED_WAIVERS
+    if isinstance(target, BastionArtifact):
+        artifact = target
+    else:
+        if isinstance(target, str):
+            from repro.apps import build_app_module
+
+            module = build_app_module(target)
+        else:
+            module = target
+        cfg = config if config is not None else ProtectConfig()
+        artifact = BastionCompiler(
+            sensitive=cfg.sensitive,
+            extend_filesystem=cfg.extend_filesystem,
+        ).compile(module)
+    report = analyze_artifact(artifact, waivers=waivers)
+    if strict and not report.clean:
+        raise AnalysisFailure(report)
+    return report
+
+
+class AnalysisFailure(AssertionError):
+    """Raised by :func:`analyze(strict=True)` when findings survive waivers."""
+
+    def __init__(self, report):
+        super().__init__(report.render_text())
+        self.report = report

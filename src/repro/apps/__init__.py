@@ -15,7 +15,10 @@
   inject connections and pace requests.
 """
 
+from repro.apps.browser import build_browser, BrowserConfig
+from repro.apps.httpd import build_httpd, HttpdConfig
 from repro.apps.libc import build_libc, LIBC_WRAPPERS
+from repro.apps.mediasrv import build_mediasrv, MediaConfig
 from repro.apps.nginx import build_nginx, NginxConfig
 from repro.apps.sqlite import build_sqlite, SqliteConfig
 from repro.apps.vsftpd import build_vsftpd, VsftpdConfig
@@ -25,7 +28,35 @@ from repro.apps.workloads import (
     DkftpbenchWorkload,
 )
 
+#: Every shipped IR program, name -> zero-argument builder.  This is the
+#: registry the static analyzer (``python -m repro.analyze --all``) and the
+#: compiler CLI iterate: each entry must lint clean under the full pass
+#: suite or carry a documented waiver (docs/analyze.md).
+SYNTHETIC_APPS = {
+    "nginx": build_nginx,
+    "sqlite": build_sqlite,
+    "vsftpd": build_vsftpd,
+    "httpd": build_httpd,
+    "browser": build_browser,
+    "mediasrv": build_mediasrv,
+    "libc": build_libc,
+}
+
+
+def build_app_module(name):
+    """Build the registered app ``name``; raises ``KeyError`` when unknown."""
+    return SYNTHETIC_APPS[name]()
+
+
 __all__ = [
+    "SYNTHETIC_APPS",
+    "build_app_module",
+    "build_browser",
+    "BrowserConfig",
+    "build_httpd",
+    "HttpdConfig",
+    "build_mediasrv",
+    "MediaConfig",
     "build_libc",
     "LIBC_WRAPPERS",
     "build_nginx",

@@ -6,10 +6,11 @@ also be selected with ``--ablate cache`` / ``--ablate dfi``.
 """
 
 import argparse
+import json
 import sys
 import time
 
-from repro.bench.report import RENDERERS
+from repro.bench.report import RENDERERS, analysis_json
 
 _SCALED = {"figure3", "table3", "table4", "table7", "ablation_cache", "ablation_dfi"}
 
@@ -39,7 +40,18 @@ def main(argv=None):
         default=1.0,
         help="workload scale multiplier (smaller = faster, noisier)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (the 'analysis' experiment only)",
+    )
     args = parser.parse_args(argv)
+
+    if args.json:
+        if args.experiment != "analysis":
+            parser.error("--json is only supported for the analysis experiment")
+        print(json.dumps(analysis_json(), indent=2, sort_keys=True))
+        return 0
 
     names = []
     if args.experiment == "all":

@@ -312,6 +312,91 @@ def render_ablation_cache(scale=0.5):
     return "\n".join(lines)
 
 
+def analysis_data(apps=APPS):
+    """Static-analyzer reports for the bench apps: ``{app: AnalysisReport}``."""
+    from repro.analyze import analyze_app
+
+    return {app: analyze_app(app) for app in apps}
+
+
+def analysis_json(apps=APPS):
+    """JSON-ready analyzer summary: per-pass finding counts + precision.
+
+    This is the payload ``python -m repro.bench analysis --json`` prints and
+    what dashboards should consume; the full per-diagnostic detail lives in
+    ``python -m repro.analyze --format json``.
+    """
+    payload = {}
+    for app, report in analysis_data(apps).items():
+        flow = report.metrics.get("flow", {})
+        payload[app] = {
+            "program": report.program,
+            "ok": report.ok,
+            "clean": report.clean,
+            "findings_by_pass": report.counts_by_pass(),
+            "waived": len(report.waived),
+            "precision": {
+                "sensitive_sites": flow.get("sensitive_sites", 0),
+                "chains": flow.get("chains", 0),
+                "attack_surface": flow.get("attack_surface", 0),
+            },
+            "per_syscall_chains": {
+                name: row["chains"]
+                for name, row in flow.get("per_syscall", {}).items()
+            },
+        }
+    return payload
+
+
+def render_analysis():
+    """Static-analysis soundness + precision columns for the bench apps."""
+    data = analysis_data()
+    lines = [
+        "Static analysis: soundness findings and syscall-flow precision",
+        _rule(86),
+        "%-10s %6s %6s %6s %6s %7s %8s %8s %9s %8s"
+        % (
+            "app",
+            "compl",
+            "ctype",
+            "flow",
+            "consis",
+            "waived",
+            "sites",
+            "chains",
+            "surface",
+            "verdict",
+        ),
+        _rule(86),
+    ]
+    for app in data:
+        report = data[app]
+        counts = report.counts_by_pass()
+        flow = report.metrics.get("flow", {})
+        verdict = "clean" if report.clean else ("ok" if report.ok else "FAIL")
+        lines.append(
+            "%-10s %6d %6d %6d %6d %7d %8d %8d %9d %8s"
+            % (
+                app,
+                counts["completeness"],
+                counts["call-type"],
+                counts["flow"],
+                counts["consistency"],
+                len(report.waived),
+                flow.get("sensitive_sites", 0),
+                flow.get("chains", 0),
+                flow.get("attack_surface", 0),
+                verdict,
+            )
+        )
+    lines.append(_rule(86))
+    lines.append(
+        "surface = sum over sensitive sites of legitimate chains x verified "
+        "argument positions\n(smaller = tighter contexts; see docs/analyze.md)"
+    )
+    return "\n".join(lines)
+
+
 RENDERERS = {
     "figure3": render_figure3,
     "table3": render_table3,
@@ -323,4 +408,5 @@ RENDERERS = {
     "ablation_cache": render_ablation_cache,
     "ablation_dfi": render_ablation_dfi,
     "adaptive": render_adaptive,
+    "analysis": render_analysis,
 }

@@ -27,6 +27,18 @@ from repro.syscalls.sensitive import FILESYSTEM_EXTENSION, SENSITIVE_SYSCALLS
 from repro.vm.loader import Image
 
 
+#: pass-hook stage names, in execution order
+PASS_STAGES = (
+    "validate",
+    "callgraph",
+    "calltype",
+    "cfg",
+    "argint",
+    "instrument",
+    "metadata",
+)
+
+
 @dataclass
 class BastionArtifact:
     """A compiled, instrumented, metadata-equipped program."""
@@ -50,31 +62,52 @@ class BastionCompiler:
         sensitive: iterable of protected syscall names.  Defaults to the
             paper's 20-entry Table 1 set.
         extend_filesystem: add the §11.2 filesystem extension set (Table 7).
+        hooks: optional callable (or iterable of callables) invoked as
+            ``hook(stage, payload)`` after every pass, where ``stage`` is a
+            name from :data:`PASS_STAGES` and ``payload`` that pass's result
+            object.  The analysis tooling (:mod:`repro.analyze`) uses this to
+            observe intermediate pass products without re-running them.
     """
 
-    def __init__(self, sensitive=None, extend_filesystem=False):
+    def __init__(self, sensitive=None, extend_filesystem=False, hooks=None):
         names = tuple(sensitive if sensitive is not None else SENSITIVE_SYSCALLS)
         if extend_filesystem:
             names = names + tuple(
                 n for n in FILESYSTEM_EXTENSION if n not in names
             )
         self.sensitive_names = names
+        if hooks is None:
+            hooks = ()
+        elif callable(hooks):
+            hooks = (hooks,)
+        self.hooks = tuple(hooks)
+
+    def _emit(self, stage, payload):
+        for hook in self.hooks:
+            hook(stage, payload)
 
     def compile(self, module):
         """Run all analyses + instrumentation; returns a :class:`BastionArtifact`."""
         validate_module(module)
+        self._emit("validate", module)
         callgraph = build_callgraph(module)
+        self._emit("callgraph", callgraph)
         calltype_info = analyze_call_types(module, callgraph)
+        self._emit("calltype", calltype_info)
         cf_info = analyze_control_flow(
             module, callgraph, calltype_info, self.sensitive_names
         )
+        self._emit("cfg", cf_info)
         sensitive_sites = cf_info.sensitive_sites
         arg_info = analyze_argument_integrity(module, callgraph, sensitive_sites)
+        self._emit("argint", arg_info)
         result = instrument_module(module, arg_info)
+        self._emit("instrument", result)
 
         metadata = self._build_metadata(
             module, callgraph, calltype_info, cf_info, arg_info, result
         )
+        self._emit("metadata", metadata)
         return BastionArtifact(
             original=module, module=result.module, metadata=metadata
         )
@@ -144,6 +177,19 @@ class BastionCompiler:
         metadata.stats = self._table5_stats(
             module, callgraph, calltype_info, cf_info, result
         )
+        # Provenance: which passes produced this artifact and the shape of
+        # the module they saw, so downstream consumers (the static analyzer,
+        # the monitor's consistency check) can detect metadata that was not
+        # produced by this compiler for this program.
+        metadata.provenance = {
+            "tool": "repro.compiler",
+            "version": 1,
+            "passes": list(PASS_STAGES[:-1]),
+            "source_functions": len(module.functions),
+            "source_instructions": module.instruction_count(),
+            "instrumented_instructions": result.module.instruction_count(),
+            "sensitive_set_size": len(self.sensitive_names),
+        }
         return metadata
 
     def _table5_stats(self, module, callgraph, calltype_info, cf_info, result):

@@ -50,6 +50,13 @@ from repro.ir.validate import validate_module
 from repro.ir.printer import format_module, format_function
 from repro.ir.parser import parse_module, parse_instr
 from repro.ir.callgraph import CallGraph, build_callgraph
+from repro.ir.dataflow import (
+    BlockGraph,
+    build_block_graph,
+    def_use_chains,
+    definitely_assigned,
+    dominators,
+)
 
 __all__ = [
     "StructType",
@@ -87,4 +94,9 @@ __all__ = [
     "parse_instr",
     "CallGraph",
     "build_callgraph",
+    "BlockGraph",
+    "build_block_graph",
+    "def_use_chains",
+    "definitely_assigned",
+    "dominators",
 ]

@@ -5,6 +5,7 @@ instead of confusing interpreter faults later.
 """
 
 from repro.errors import IRValidationError
+from repro.ir.dataflow import build_block_graph, definitely_assigned
 from repro.ir.instructions import (
     AddrGlobal,
     BinOp,
@@ -118,3 +119,23 @@ def _validate_function(module, func):
             if not instr.args and instr.sig is None:
                 # fine — sig defaults by arity at CFI-check time
                 pass
+
+    _check_definite_assignment(func)
+
+
+def _check_definite_assignment(func):
+    """Reject uses of virtual registers undefined on some path from entry.
+
+    This is a whole-CFG check: a register defined only in one arm of a
+    branch (or only inside a loop body) is still undefined on the paths
+    that skip that block.  Parameters and address-taken locals (real frame
+    slots, initializable through memory) count as assigned at entry.
+    """
+    graph = build_block_graph(func)
+    violations = definitely_assigned(func, graph)
+    if violations:
+        first = violations[0]
+        raise IRValidationError(
+            "%s[%d] (block %d): instruction uses %%%s before any definition "
+            "reaches it" % (first.func, first.index, first.block, first.var)
+        )

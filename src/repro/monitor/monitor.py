@@ -129,6 +129,47 @@ class BastionMonitor:
         )
         return resolved
 
+    def check_metadata_consistency(self):
+        """Audit the loaded metadata against the program image and IR.
+
+        Runs the :mod:`repro.analyze` consistency pass over this monitor's
+        artifact and additionally confirms every ``SiteKey`` the monitor
+        resolved maps to a real code address in the loaded image.  Returns
+        the list of :class:`repro.analyze.Diagnostic` findings (empty when
+        the metadata is exactly the one the IR derives).  Intended for
+        launch-time self-checks and the ``repro.analyze`` CLI; the monitor
+        itself never calls it on the hot path.
+        """
+        # Imported lazily: repro.analyze depends on the compiler package,
+        # and the monitor must stay importable without it.
+        from repro.analyze.consistency import check_consistency, PASS_NAME
+        from repro.analyze.diagnostics import Diagnostic
+
+        diagnostics, _metrics = check_consistency(
+            self.artifact.module, self.metadata
+        )
+        image = self.image
+        for site in sorted(
+            {s for sites in self.metadata.valid_callers.values() for s in sites}
+            | set(self.metadata.indirect_sites)
+            | set(self.metadata.callsites)
+        ):
+            try:
+                image.addr_of(site.func, site.index)
+            except (KeyError, IndexError):
+                diagnostics.append(
+                    Diagnostic(
+                        PASS_NAME,
+                        "unresolvable-site",
+                        "error",
+                        "SiteKey does not resolve to a code address in the "
+                        "loaded image",
+                        func=site.func,
+                        index=site.index,
+                    )
+                )
+        return diagnostics
+
     def build_filter(self):
         """The seccomp-BPF program of §7.1.
 

@@ -1,0 +1,73 @@
+"""The intentionally-broken fixture app for the analyzer's own tests.
+
+``build_clean_artifact`` compiles a small but representative program (libc
+wrappers, a sensitive setuid callsite, a benign write loop) that lints
+clean.  ``build_broken_artifact`` then plants exactly two defects in the
+compiled artifact, chosen so each trips exactly one pass and nothing else:
+
+1. **missing ctx_bind** — the ``ctx_bind_*`` intrinsic guarding the
+   sensitive ``setuid`` callsite is *replaced in place* by a harmless
+   ``cycle_burn`` intrinsic.  Instruction indices (and so every SiteKey and
+   the provenance instruction count) are untouched; only the completeness
+   pass can notice the binding promised by the metadata is never
+   established.
+2. **mis-classified call type** — the metadata's ``call_types`` table is
+   edited to claim ``setuid`` is *indirectly*-callable even though its
+   wrapper's address is never taken.  Only the call-type audit consults
+   that table.
+
+The analyzer must report exactly these two findings — one
+``completeness/missing-bind`` error and one ``call-type/over-permissive``
+error — and nothing more.
+"""
+
+from repro.compiler.pipeline import BastionCompiler
+from repro.ir.builder import ModuleBuilder
+from repro.ir.instructions import (
+    Imm,
+    Intrinsic,
+    CTX_BIND_CONST,
+    CTX_BIND_MEM,
+)
+
+
+def build_module():
+    mb = ModuleBuilder("broken-fixture")
+    for name, arity in (("setuid", 1), ("write", 3)):
+        fb = mb.function(name, params=["a%d" % i for i in range(arity)])
+        rc = fb.syscall(name, [fb.p(p) for p in fb.func.params])
+        fb.ret(rc)
+        fb.func.is_wrapper = True
+
+    f = mb.function("main", params=[])
+    uid = f.const(0, dst="uid")
+    f.call("setuid", [uid])
+    fd = f.const(1, dst="fd")
+    n = f.const(16, dst="n")
+    f.call("write", [fd, fd, n], void=True)
+    f.ret(0)
+    return mb.build()
+
+
+def build_clean_artifact():
+    return BastionCompiler().compile(build_module())
+
+
+def build_broken_artifact():
+    artifact = build_clean_artifact()
+
+    # Defect 1: knock out the bind intrinsic ahead of the setuid callsite.
+    main = artifact.module.functions["main"]
+    bind_positions = [
+        idx
+        for idx, instr in enumerate(main.body)
+        if isinstance(instr, Intrinsic)
+        and instr.name in (CTX_BIND_CONST, CTX_BIND_MEM)
+    ]
+    assert bind_positions, "fixture expects an instrumented bind in main"
+    main.body[bind_positions[0]] = Intrinsic("cycle_burn", [Imm(0)])
+
+    # Defect 2: claim setuid is indirectly-callable (its wrapper is never
+    # address-taken, so no IR construct can issue it that way).
+    artifact.metadata.call_types["setuid"]["indirect"] = True
+    return artifact

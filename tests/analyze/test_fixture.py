@@ -1,0 +1,110 @@
+"""The broken fixture app must yield exactly its two seeded diagnostics."""
+
+import json
+
+from repro.analyze import Waiver, analyze_artifact, apply_waivers
+from tests.analyze.fixtures.broken_app import (
+    build_broken_artifact,
+    build_clean_artifact,
+)
+
+
+def test_clean_fixture_is_clean():
+    report = analyze_artifact(build_clean_artifact(), waivers=())
+    assert report.clean
+    assert report.counts_by_pass() == {
+        "completeness": 0,
+        "call-type": 0,
+        "flow": 0,
+        "consistency": 0,
+    }
+
+
+def test_broken_fixture_yields_exactly_two_diagnostics():
+    report = analyze_artifact(build_broken_artifact(), waivers=())
+    assert len(report.diagnostics) == 2
+    by_code = {d.code: d for d in report.diagnostics}
+    assert set(by_code) == {"missing-bind", "over-permissive"}
+
+    completeness = by_code["missing-bind"]
+    assert completeness.pass_name == "completeness"
+    assert completeness.severity == "error"
+    assert completeness.func == "main"
+    assert completeness.syscall == "setuid"
+
+    calltype = by_code["over-permissive"]
+    assert calltype.pass_name == "call-type"
+    assert calltype.severity == "error"
+    assert calltype.syscall == "setuid"
+
+    assert not report.ok
+    assert report.counts_by_pass() == {
+        "completeness": 1,
+        "call-type": 1,
+        "flow": 0,
+        "consistency": 0,
+    }
+
+
+def test_broken_fixture_text_format():
+    report = analyze_artifact(build_broken_artifact(), waivers=())
+    text = report.render_text()
+    assert "completeness/missing-bind" in text
+    assert "call-type/over-permissive" in text
+    assert "verdict: FAIL" in text
+    # both findings rendered, nothing else
+    finding_lines = [l for l in text.splitlines() if l.startswith("  error:")]
+    assert len(finding_lines) == 2
+
+
+def test_broken_fixture_json_format():
+    report = analyze_artifact(build_broken_artifact(), waivers=())
+    payload = json.loads(report.to_json())
+    assert payload["ok"] is False
+    assert payload["clean"] is False
+    codes = sorted(d["code"] for d in payload["diagnostics"])
+    assert codes == ["missing-bind", "over-permissive"]
+    assert payload["counts_by_pass"]["completeness"] == 1
+    assert payload["counts_by_pass"]["call-type"] == 1
+
+
+def test_waivers_can_suppress_fixture_findings():
+    artifact = build_broken_artifact()
+    waivers = (
+        Waiver(
+            app="broken-fixture",
+            pass_name="completeness",
+            code="missing-bind",
+            reason="unit test: known seeded defect",
+        ),
+    )
+    report = analyze_artifact(artifact, waivers=waivers)
+    assert [d.code for d in report.diagnostics] == ["over-permissive"]
+    assert len(report.waived) == 1
+    waived_diag, waiver = report.waived[0]
+    assert waived_diag.code == "missing-bind"
+    assert waiver.reason == "unit test: known seeded defect"
+    # the waiver and its reason appear in the rendered report
+    assert "unit test: known seeded defect" in report.render_text()
+
+
+def test_waiver_matching_is_narrow():
+    waiver = Waiver(
+        app="other-app",
+        pass_name="completeness",
+        code="missing-bind",
+        reason="scoped elsewhere",
+    )
+    report = analyze_artifact(build_broken_artifact(), waivers=(waiver,))
+    assert len(report.diagnostics) == 2  # wrong app: nothing suppressed
+
+
+def test_apply_waivers_wildcards():
+    report = analyze_artifact(build_broken_artifact(), waivers=())
+    kept, waived = apply_waivers(
+        "broken-fixture",
+        report.diagnostics,
+        (Waiver(app="*", pass_name="*", code="*", reason="silence all"),),
+    )
+    assert kept == []
+    assert len(waived) == 2

@@ -75,3 +75,20 @@ class TestCompilerCli:
         out = capsys.readouterr().out
         # sendfile becomes a protected syscall under the extension
         assert "sendfile" in out
+
+
+class TestAnalysisExperiment:
+    def test_analysis_text(self, capsys):
+        assert bench_main(["analysis"]) == 0
+        out = capsys.readouterr().out
+        assert "syscall-flow precision" in out
+
+    def test_analysis_json(self, capsys):
+        assert bench_main(["analysis", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"nginx", "sqlite", "vsftpd"}
+        assert payload["nginx"]["clean"] is True
+
+    def test_json_rejected_for_other_experiments(self):
+        with pytest.raises(SystemExit):
+            bench_main(["table5", "--json"])

@@ -94,4 +94,36 @@ def test_all_renderers_registered():
         "ablation_cache",
         "ablation_dfi",
         "adaptive",
+        "analysis",
     }
+
+
+def test_render_analysis_columns():
+    from repro.bench.report import render_analysis
+
+    text = render_analysis()
+    assert "syscall-flow precision" in text
+    for column in ("compl", "ctype", "flow", "consis", "chains", "surface"):
+        assert column in text
+    for app in ("nginx", "sqlite", "vsftpd"):
+        assert app in text
+    # shipped apps must lint clean in the bench report too
+    assert "FAIL" not in text
+
+
+def test_analysis_json_shape():
+    from repro.bench.report import analysis_json
+
+    payload = analysis_json()
+    assert set(payload) == {"nginx", "sqlite", "vsftpd"}
+    for app, row in payload.items():
+        assert row["ok"] is True
+        assert set(row["findings_by_pass"]) == {
+            "completeness",
+            "call-type",
+            "flow",
+            "consistency",
+        }
+        assert row["precision"]["sensitive_sites"] > 0
+        assert row["precision"]["attack_surface"] >= row["precision"]["chains"]
+        assert row["per_syscall_chains"]

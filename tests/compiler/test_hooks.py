@@ -1,0 +1,69 @@
+"""Compiler pass hooks and metadata provenance."""
+
+import pytest
+
+from repro.compiler.pipeline import PASS_STAGES, BastionCompiler
+from repro.ir.builder import ModuleBuilder
+from tests.conftest import make_wrapper
+
+
+def small_module():
+    mb = ModuleBuilder("app")
+    make_wrapper(mb, "setuid", 1)
+    f = mb.function("main", params=[])
+    f.call("setuid", [f.const(0)])
+    f.ret(0)
+    return mb.build()
+
+
+def test_hook_sees_every_stage_in_order():
+    seen = []
+    BastionCompiler(hooks=lambda stage, payload: seen.append(stage)).compile(
+        small_module()
+    )
+    assert seen == list(PASS_STAGES)
+
+
+def test_hook_payload_types():
+    payloads = {}
+    BastionCompiler(
+        hooks=lambda stage, payload: payloads.__setitem__(stage, payload)
+    ).compile(small_module())
+    from repro.compiler.calltype import CallTypeInfo
+    from repro.compiler.metadata import BastionMetadata
+    from repro.ir.callgraph import CallGraph
+
+    assert isinstance(payloads["callgraph"], CallGraph)
+    assert isinstance(payloads["calltype"], CallTypeInfo)
+    assert isinstance(payloads["metadata"], BastionMetadata)
+    assert payloads["validate"].name == "app"  # the validated input module
+
+
+def test_multiple_hooks_all_invoked():
+    a, b = [], []
+    BastionCompiler(
+        hooks=(lambda s, p: a.append(s), lambda s, p: b.append(s))
+    ).compile(small_module())
+    assert a == b == list(PASS_STAGES)
+
+
+def test_no_hooks_is_the_default():
+    compiler = BastionCompiler()
+    assert compiler.hooks == ()
+    compiler.compile(small_module())  # must not raise
+
+
+def test_provenance_block_shape():
+    module = small_module()
+    artifact = BastionCompiler().compile(module)
+    prov = artifact.metadata.provenance
+    assert prov["tool"] == "repro.compiler"
+    assert prov["passes"] == list(PASS_STAGES[:-1])
+    assert prov["source_functions"] == len(module.functions)
+    assert prov["source_instructions"] == module.instruction_count()
+    assert (
+        prov["instrumented_instructions"]
+        == artifact.module.instruction_count()
+    )
+    assert prov["instrumented_instructions"] > prov["source_instructions"]
+    assert prov["sensitive_set_size"] == len(artifact.metadata.sensitive_set)

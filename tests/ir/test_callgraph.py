@@ -78,3 +78,136 @@ def test_reachable_excludes_dead_code():
     m.ret(0)
     graph = build_callgraph(mb.build())
     assert "dead" not in graph.reachable_from(["main"])
+
+
+# ---------------------------------------------------------------------------
+# edge cases: function-pointer tables, recursion, unreachable functions
+# ---------------------------------------------------------------------------
+
+
+def _fp_table_module():
+    """A vtable-style dispatch: handlers stored in a global table, fetched
+    and invoked through an indirect call in the dispatcher."""
+    mb = ModuleBuilder("fp")
+    for name in ("h_read", "h_write", "h_close"):
+        h = mb.function(name, params=["req"], sig="handler")
+        h.ret(h.p("req"))
+
+    mb.global_words("table", [0, 0, 0])
+
+    init = mb.function("init_table")
+    base = init.addr_global("table")
+    for slot, name in enumerate(("h_read", "h_write", "h_close")):
+        fp = init.funcaddr(name)
+        init.store(init.index(base, init.const(slot)), fp)
+    init.ret(0)
+
+    disp = mb.function("dispatch", params=["op", "req"])
+    base = disp.addr_global("table")
+    fp = disp.load(disp.index(base, disp.p("op")))
+    r = disp.icall(fp, [disp.p("req")], sig="handler")
+    disp.ret(r)
+
+    m = mb.function("main")
+    m.call("init_table", [])
+    m.call("dispatch", [m.const(0), m.const(7)])
+    m.ret(0)
+    return mb.build()
+
+
+def test_fp_table_all_handlers_address_taken():
+    graph = build_callgraph(_fp_table_module())
+    assert graph.address_taken == {"h_read", "h_write", "h_close"}
+    # no direct edge reaches any handler
+    for name in ("h_read", "h_write", "h_close"):
+        assert graph.callers_of(name) == ()
+
+
+def test_fp_table_indirect_site_recorded_with_signature():
+    graph = build_callgraph(_fp_table_module())
+    assert len(graph.indirect_sites) == 1
+    (site,) = graph.indirect_sites
+    assert site.caller == "dispatch"
+    assert graph.indirect_sigs[site] == "handler"
+
+
+def test_fp_table_handlers_reachable_via_address_taken_closure():
+    graph = build_callgraph(_fp_table_module())
+    reach = graph.reachable_from(["main"])
+    assert {"h_read", "h_write", "h_close"} <= reach
+
+
+def test_direct_recursion_self_edge():
+    mb = ModuleBuilder("rec")
+    f = mb.function("fact", params=["n"])
+    c = f.eq(f.p("n"), f.const(0))
+
+    def base():
+        f.ret(f.const(1))
+
+    def rec():
+        r = f.call("fact", [f.sub(f.p("n"), f.const(1))])
+        f.ret(f.mul(f.p("n"), r))
+
+    f.if_then(c, base, rec)
+    f.ret(0)
+    m = mb.function("main")
+    m.call("fact", [m.const(5)])
+    m.ret(0)
+    graph = build_callgraph(mb.build())
+    callers = [s.caller for s in graph.callers_of("fact")]
+    assert "fact" in callers and "main" in callers
+    # recursion must not break reachability
+    assert "fact" in graph.reachable_from(["main"])
+
+
+def test_mutual_recursion_edges_both_ways():
+    mb = ModuleBuilder("mrec")
+    even = mb.function("is_even", params=["n"])
+    r = even.call("is_odd", [even.sub(even.p("n"), even.const(1))])
+    even.ret(r)
+    odd = mb.function("is_odd", params=["n"])
+    r = odd.call("is_even", [odd.sub(odd.p("n"), odd.const(1))])
+    odd.ret(r)
+    m = mb.function("main")
+    m.call("is_even", [m.const(4)])
+    m.ret(0)
+    graph = build_callgraph(mb.build())
+    assert [s.caller for s in graph.callers_of("is_odd")] == ["is_even"]
+    assert "is_odd" in [s.caller for s in graph.callers_of("is_even")]
+    assert {"is_even", "is_odd"} <= graph.reachable_from(["main"])
+
+
+def test_unreachable_function_has_edges_but_not_reachable():
+    mb = ModuleBuilder("dead")
+    helper = mb.function("helper")
+    helper.syscall("getpid", [])
+    helper.ret(0)
+    dead = mb.function("dead_caller")  # nothing calls this
+    dead.call("helper", [])
+    dead.ret(0)
+    m = mb.function("main")
+    m.call("helper", [])
+    m.ret(0)
+    graph = build_callgraph(mb.build())
+    # the edge from the dead function exists in the graph...
+    assert "dead_caller" in [s.caller for s in graph.callers_of("helper")]
+    # ...but the function itself is not reachable from main
+    reach = graph.reachable_from(["main"])
+    assert "dead_caller" not in reach
+    assert "helper" in reach
+
+
+def test_callsite_indices_match_body_positions():
+    mb = ModuleBuilder("pos")
+    m = mb.function("main")
+    m.const(1, dst="x")
+    m.call("f", [])  # index 1
+    m.const(2, dst="y")
+    m.call("f", [])  # index 3
+    m.ret(0)
+    f = mb.function("f")
+    f.ret(0)
+    graph = build_callgraph(mb.build())
+    assert [s.index for s in graph.callers_of("f")] == [1, 3]
+    assert graph.callee_of[CallSite("main", 1)] == "f"

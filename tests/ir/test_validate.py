@@ -138,3 +138,64 @@ def test_bastion_intrinsics_allowed():
     f.intrinsic("ctx_bind_const", [7], pos=2, callsite_index=0)
     f.ret(0)
     validate_module(mb.build())
+
+
+# ---------------------------------------------------------------------------
+# definite assignment: uses of virtual registers undefined on some path
+# ---------------------------------------------------------------------------
+
+
+def test_use_before_def_rejected_with_location():
+    from repro.ir.instructions import Move, Var
+
+    mb = ModuleBuilder("m")
+    f = mb.function("main", params=[])
+    f.func.body.append(Move("y", Var("ghost")))
+    f.ret(0)
+    with pytest.raises(IRValidationError, match=r"main\[0\] \(block 0\).*%ghost"):
+        validate_module(mb.build())
+
+
+def test_cross_block_partial_definition_rejected():
+    from repro.ir.instructions import Move, Var
+
+    mb = ModuleBuilder("m")
+    f = mb.function("main", params=["c"])
+    f.branch(f.p("c"), "then", "join")
+    f.label("then")
+    f.const(1, dst="x")
+    f.jump("join")
+    f.label("join")
+    f.func.body.append(Move("out", Var("x")))
+    f.ret(0)
+    with pytest.raises(IRValidationError, match="uses %x before any definition"):
+        validate_module(mb.build())
+
+
+def test_cross_block_full_definition_accepted():
+    from repro.ir.instructions import Move, Var
+
+    mb = ModuleBuilder("m")
+    f = mb.function("main", params=["c"])
+    f.branch(f.p("c"), "then", "else")
+    f.label("then")
+    f.const(1, dst="x")
+    f.jump("join")
+    f.label("else")
+    f.const(2, dst="x")
+    f.jump("join")
+    f.label("join")
+    f.func.body.append(Move("out", Var("x")))
+    f.ret(0)
+    validate_module(mb.build())  # must not raise
+
+
+def test_address_taken_local_accepted():
+    from repro.ir.instructions import Move, Var
+
+    mb = ModuleBuilder("m")
+    f = mb.function("main", params=[])
+    f.func.body.append(Move("out", Var("r")))
+    f.addr_local("r")
+    f.ret(0)
+    validate_module(mb.build())  # memory-backed local: may be stored through

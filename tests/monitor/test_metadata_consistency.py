@@ -1,0 +1,58 @@
+"""BastionMonitor.check_metadata_consistency: launch-time metadata audit."""
+
+from repro.compiler.metadata import SiteKey
+from repro.compiler.pipeline import BastionCompiler
+from repro.ir.builder import ModuleBuilder
+from repro.monitor.monitor import BastionMonitor
+from tests.conftest import make_wrapper
+
+
+def build_artifact():
+    mb = ModuleBuilder("app")
+    make_wrapper(mb, "setuid", 1)
+    f = mb.function("main", params=[])
+    f.call("setuid", [f.const(0)])
+    f.ret(0)
+    return BastionCompiler().compile(mb.build())
+
+
+def test_clean_artifact_has_no_findings():
+    monitor = BastionMonitor(build_artifact())
+    assert monitor.check_metadata_consistency() == []
+
+
+def test_shipped_apps_pass_the_monitor_self_check():
+    from repro.apps import build_app_module
+
+    artifact = BastionCompiler().compile(build_app_module("vsftpd"))
+    monitor = BastionMonitor(artifact)
+    assert monitor.check_metadata_consistency() == []
+
+
+def test_mistyped_site_reported():
+    artifact = build_artifact()
+    callee = next(iter(artifact.metadata.valid_callers))
+    # index 0 of main is a Const — resolvable in the image, but not a call
+    artifact.metadata.valid_callers[callee] += (SiteKey("main", 0),)
+    monitor = BastionMonitor(artifact)
+    diags = monitor.check_metadata_consistency()
+    assert any(d.code == "edge-not-derivable" for d in diags)
+
+
+def test_out_of_range_site_reported_as_unresolvable_or_dangling():
+    artifact = build_artifact()
+    callee = next(iter(artifact.metadata.valid_callers))
+    artifact.metadata.valid_callers[callee] += (SiteKey("main", 500),)
+    monitor = BastionMonitor(artifact)
+    codes = {d.code for d in monitor.check_metadata_consistency()}
+    # the IR-level check flags it; the image may still produce an address
+    # (addresses are base + stride * index), so dangling-site is the floor
+    assert "dangling-site" in codes
+
+
+def test_provenance_mismatch_reported():
+    artifact = build_artifact()
+    artifact.metadata.provenance["instrumented_instructions"] = 3
+    monitor = BastionMonitor(artifact)
+    codes = {d.code for d in monitor.check_metadata_consistency()}
+    assert codes == {"provenance-mismatch"}

@@ -178,8 +178,12 @@ class TestCallsAndFrames:
         writer.const(1234, dst="w")
         writer.ret(0)
         reader = mb.function("reader")
-        # 'r' is never written; slot 0 aliases writer's slot 0
+        # 'r' is never written; slot 0 aliases writer's slot 0.  Taking its
+        # address marks it a real frame slot (initializable through memory),
+        # which is what exempts it from the validator's definite-assignment
+        # check — the C idiom for a deliberately uninitialized read.
         reader.intrinsic("trace", [reader.var("r")])
+        reader.addr_local("r")
         reader.ret(0)
         f = mb.function("main")
         f.call("writer", [])
