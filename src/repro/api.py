@@ -22,7 +22,13 @@ Usage::
 
 from dataclasses import dataclass, field
 
-from repro.bench.harness import CONFIGS, DefenseConfig, SIM_HZ, _run_app
+from repro.bench.harness import (
+    CONFIGS,
+    DefenseConfig,
+    SIM_HZ,
+    _run_app,
+    run_app_scheduled,
+)
 from repro.compiler.pipeline import BastionCompiler
 from repro.monitor.monitor import SyscallIntegrityViolation
 from repro.monitor.policy import ContextPolicy
@@ -97,12 +103,19 @@ class RunResult:
     init_cycles: int
     steady_cycles: int
     total_cycles: int
+    #: scheduled runs only: per-request latency summary in cycles
+    #: (``{'count', 'p50', 'p95', 'p99', 'mean', 'max'}``), else empty
+    latency: dict = field(default_factory=dict)
     bench: object = field(repr=False, default=None)
     baseline: object = field(repr=False, default=None)
 
     @property
     def steady_seconds(self):
         return self.steady_cycles / SIM_HZ
+
+    def latency_ms(self, which="p99"):
+        """A latency percentile ('p50'|'p95'|'p99'|'mean') in milliseconds."""
+        return 1000.0 * self.latency.get(which, 0) / SIM_HZ
 
     def throughput_mbps(self):
         return self.bench.throughput_mbps()
@@ -153,6 +166,8 @@ def run(
     app_config=None,
     compare_baseline=True,
     raise_on_violation=False,
+    scheduled=False,
+    quantum=None,
 ):
     """Run ``app`` under ``config`` and return a :class:`RunResult`.
 
@@ -169,15 +184,39 @@ def run(
             ``overhead_pct`` is populated.
         raise_on_violation: re-raise the monitor's verdict as
             :class:`~repro.monitor.monitor.SyscallIntegrityViolation`.
+        scheduled: drive the run with the :mod:`repro.sched` preemptive
+            scheduler — clone()d children run interleaved with the parent,
+            blocking syscalls park their process, and ``RunResult.latency``
+            is populated when the workload samples per-request latency
+            (``quantum`` implies ``scheduled=True``).
+        quantum: preemption quantum in cycles (default
+            ``repro.sched.DEFAULT_QUANTUM``).
     """
     defense = _resolve_config(config)
-    bench = _run_app(
-        app, config=defense, scale=scale, app_config=app_config, workload=workload
-    )
+    if quantum is not None:
+        scheduled = True
+    if scheduled:
+        bench = run_app_scheduled(
+            app,
+            config=defense,
+            scale=scale,
+            app_config=app_config,
+            workload=workload,
+            quantum=quantum,
+        )
+    else:
+        bench = _run_app(
+            app, config=defense, scale=scale, app_config=app_config, workload=workload
+        )
 
     baseline = None
     overhead = None
-    if compare_baseline and workload is None and defense.name != "vanilla":
+    if (
+        compare_baseline
+        and workload is None
+        and not scheduled
+        and defense.name != "vanilla"
+    ):
         key = (app, scale, app_config)
         if key not in _baseline_cache:
             _baseline_cache[key] = _run_app(
@@ -202,6 +241,7 @@ def run(
         init_cycles=bench.init_cycles,
         steady_cycles=bench.steady_cycles,
         total_cycles=bench.total_cycles,
+        latency=dict(bench.latency),
         bench=bench,
         baseline=baseline,
     )

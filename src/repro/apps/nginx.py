@@ -44,6 +44,13 @@ class NginxConfig:
 
     ``workers``/``pools``/``guards`` shape the Table 4 init profile;
     ``request_burn`` models the per-request C work not expressed in IR.
+
+    ``master_serves`` selects the process model: True (default, the seed's
+    paper-faithful single-process shape) has the master run the accept
+    loop itself; False is the real master+workers deployment — the master
+    only spawns workers and reaps them with ``wait4`` while the clone()d
+    workers serve, which requires a :class:`repro.sched.Scheduler` to
+    interleave them.
     """
 
     workers: int = 4
@@ -53,6 +60,7 @@ class NginxConfig:
     var_slots: int = 8  # allocated entries (OOB space for Listing 2 attack)
     request_burn: int = 60_000
     init_burn: int = 20_000
+    master_serves: bool = True
 
 
 def build_nginx(config=NginxConfig()):
@@ -471,7 +479,16 @@ def _build_main(mb, config):
     flag_p = f.addr_global("g_upgrade_flag")
     flag = f.load(flag_p)
     f.if_then(flag, lambda: f.call("ngx_upgrade_binary", [0], void=True))
-    f.call("ngx_worker_cycle", [], void=True)
+    if config.master_serves:
+        f.call("ngx_worker_cycle", [], void=True)
+    else:
+        # master+workers mode: the clone()d workers (scheduled by
+        # repro.sched) run the accept loop; the master sits in the real
+        # NGINX master posture — blocked in wait4 reaping each worker.
+        f.loop_range(
+            f.const(config.workers),
+            lambda i: f.call("wait4", [-1, 0, 0, 0], void=True),
+        )
     f.ret(0)
 
     f = mb.function("main", params=[])

@@ -16,33 +16,79 @@ from dataclasses import dataclass
 from repro.apps.nginx import NGINX_PORT, PAGE_BYTES
 from repro.apps.sqlite import SQLITE_PORT
 from repro.apps.vsftpd import FTP_PORT
-from repro.kernel.net import Connection
+from repro.kernel.net import BACKLOG_WAIT, Connection
 
 
 class Workload:
     """Base: provider wiring + steady-state marker."""
 
     def __init__(self):
+        self.kernel = None
         self.proc = None
         self.steady_start_cycles = None
         self.accepted = 0
 
     def attach(self, kernel, proc):
         """Install this workload as the kernel's backlog provider."""
+        self.kernel = kernel
         self.proc = proc
         kernel.net.backlog_provider = self._provide
         return self
 
+    def now(self):
+        """Current cycle timestamp: the scheduler's global clock when one
+        is driving, else the attached process's own ledger."""
+        if self.kernel is not None:
+            clock = self.kernel.clock()
+            if clock is not None:
+                return clock
+        return self.proc.ledger.cycles if self.proc is not None else 0
+
     def _provide(self, sock):
-        if self.steady_start_cycles is None and self.proc is not None:
-            self.steady_start_cycles = self.proc.ledger.cycles
+        if self.steady_start_cycles is None:
+            self.steady_start_cycles = self.now()
         conn = self.next_connection(sock)
-        if conn is not None:
+        if conn is not None and conn is not BACKLOG_WAIT:
             self.accepted += 1
         return conn
 
     def next_connection(self, sock):  # pragma: no cover - interface
         raise NotImplementedError
+
+
+class LatencyStats:
+    """Per-request latency samples (cycles) with percentile summaries."""
+
+    def __init__(self):
+        self.samples = []
+
+    def record(self, cycles):
+        self.samples.append(cycles)
+
+    def __len__(self):
+        return len(self.samples)
+
+    def percentile(self, p):
+        """Nearest-rank percentile over the recorded samples (cycles)."""
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        rank = int(round((p / 100.0) * (len(ordered) - 1)))
+        return ordered[min(max(rank, 0), len(ordered) - 1)]
+
+    @property
+    def mean(self):
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def summary(self):
+        return {
+            "count": len(self.samples),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "mean": self.mean,
+            "max": max(self.samples) if self.samples else 0,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -269,6 +315,143 @@ class DkftpbenchWorkload(Workload):
         left = self._files_left.get(id(conn), 0)
         if left > 0:
             self._files_left[id(conn)] = left - 1
+            conn.deliver(FTP_RETR)
+        else:
+            conn.deliver(FTP_QUIT)
+
+
+# ---------------------------------------------------------------------------
+# concurrent variants (scheduler-driven multi-worker benches)
+# ---------------------------------------------------------------------------
+
+
+class ConcurrentWrkWorkload(Workload):
+    """wrk with many connections genuinely in flight.
+
+    The sequential :class:`WrkWorkload` hands the server a connection
+    whenever it asks, so one accept loop drains the whole run.  This
+    variant keeps at most ``max_inflight`` connections open and answers
+    ``BACKLOG_WAIT`` while the cap is reached — parked accept loops in
+    *other* workers wake as connections finish, which is what spreads the
+    load across a scheduled worker pool.  Per-request latency is sampled
+    on the global scheduler clock from request delivery to the
+    response-*body* write (>= half the static page).
+    """
+
+    def __init__(
+        self,
+        connections=40,
+        requests_per_connection=58,
+        max_inflight=8,
+        port=NGINX_PORT,
+    ):
+        super().__init__()
+        self.connections = connections
+        self.requests_per_connection = requests_per_connection
+        self.max_inflight = max_inflight
+        self.port = port
+        self.stats = WrkStats()
+        self.latency = LatencyStats()
+        self._remaining = connections
+        self._inflight = 0
+        self._pending = {}
+        self._sent_at = {}
+
+    def next_connection(self, sock):
+        if sock.bound_port != self.port or self._remaining <= 0:
+            return None
+        if self._inflight >= self.max_inflight:
+            return BACKLOG_WAIT
+        self._remaining -= 1
+        self._inflight += 1
+        self.stats.connections += 1
+        conn = Connection(peer_port=40000 + self._remaining)
+        self._pending[id(conn)] = self.requests_per_connection - 1
+        conn.on_server_write = self._on_write
+        self._send(conn)
+        return conn
+
+    def _send(self, conn):
+        self._sent_at[id(conn)] = self.now()
+        self.stats.requests_sent += 1
+        conn.deliver(HTTP_REQUEST)
+
+    def _on_write(self, conn, data_len, prefix):
+        if data_len < PAGE_BYTES // 2:
+            return  # headers / small writes
+        self.stats.responses += 1
+        sent = self._sent_at.pop(id(conn), None)
+        if sent is not None:
+            self.latency.record(max(self.now() - sent, 0))
+        left = self._pending.get(id(conn), 0)
+        if left > 0:
+            self._pending[id(conn)] = left - 1
+            self._send(conn)
+        else:
+            conn.closed = True
+            self._inflight -= 1
+
+
+class ConcurrentDkftpbenchWorkload(Workload):
+    """dkftpbench with a bounded pool of concurrent FTP sessions.
+
+    Same pacing as :class:`DkftpbenchWorkload` (230 starts the first RETR,
+    each 226 the next), but at most ``max_inflight`` control sessions are
+    live at once and further sessions wait in ``BACKLOG_WAIT`` until one
+    QUITs.  Latency is one full transfer: RETR delivery to the ``226``
+    completion reply.
+    """
+
+    def __init__(self, sessions=12, files_per_session=6, max_inflight=4, port=FTP_PORT):
+        super().__init__()
+        self.sessions = sessions
+        self.files_per_session = files_per_session
+        self.max_inflight = max_inflight
+        self.port = port
+        self.stats = FtpStats()
+        self.latency = LatencyStats()
+        self._remaining = sessions
+        self._inflight = 0
+        self._files_left = {}
+        self._retr_at = {}
+
+    def next_connection(self, sock):
+        if sock.bound_port == self.port:
+            if self._remaining <= 0:
+                return None
+            if self._inflight >= self.max_inflight:
+                return BACKLOG_WAIT
+            self._remaining -= 1
+            self._inflight += 1
+            self.stats.sessions += 1
+            conn = Connection(peer_port=62000 + self._remaining)
+            self._files_left[id(conn)] = self.files_per_session
+            conn.deliver(FTP_LOGIN)
+            conn.on_server_write = self._on_control_write
+            return conn
+        # PASV data port: hand over a fresh data connection
+        self.stats.data_connections += 1
+        return Connection(peer_port=63000 + self.stats.data_connections)
+
+    def _on_control_write(self, conn, data_len, prefix):
+        code = prefix[:3]
+        if code == b"230":
+            self._send_next(conn)
+        elif code == b"226":
+            self.stats.transfers += 1
+            started = self._retr_at.pop(id(conn), None)
+            if started is not None:
+                self.latency.record(max(self.now() - started, 0))
+            self._send_next(conn)
+        elif code == b"221":
+            conn.closed = True
+            self._inflight -= 1
+
+    def _send_next(self, conn):
+        left = self._files_left.get(id(conn), 0)
+        if left > 0:
+            self._files_left[id(conn)] = left - 1
+            self._retr_at[id(conn)] = self.now()
             conn.deliver(FTP_RETR)
         else:
             conn.deliver(FTP_QUIT)

@@ -1,8 +1,8 @@
 """CLI entry point: ``python -m repro.bench <experiment> [--scale S]``.
 
 Experiments: figure3, table3, table4, table5, table6, table7,
-security_baselines, ablation_cache, ablation_dfi, all.  Ablations can
-also be selected with ``--ablate cache`` / ``--ablate dfi``.
+security_baselines, ablation_cache, ablation_dfi, scheduler, all.
+Ablations can also be selected with ``--ablate cache`` / ``--ablate dfi``.
 """
 
 import argparse
@@ -12,7 +12,15 @@ import time
 
 from repro.bench.report import RENDERERS, analysis_json
 
-_SCALED = {"figure3", "table3", "table4", "table7", "ablation_cache", "ablation_dfi"}
+_SCALED = {
+    "figure3",
+    "table3",
+    "table4",
+    "table7",
+    "ablation_cache",
+    "ablation_dfi",
+    "scheduler",
+}
 
 #: short names accepted by ``--ablate``
 _ABLATIONS = {"cache": "ablation_cache", "dfi": "ablation_dfi"}

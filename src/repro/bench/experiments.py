@@ -9,7 +9,12 @@ from dataclasses import dataclass, field
 
 from repro.attacks.catalog import CATALOG
 from repro.attacks.runner import run_attack, table6_matrix
-from repro.bench.harness import FIGURE3_LADDER, build_app, run_app
+from repro.bench.harness import (
+    FIGURE3_LADDER,
+    build_app,
+    run_app,
+    run_app_scheduled,
+)
 from repro.compiler.pipeline import BastionCompiler
 from repro.syscalls.sensitive import SENSITIVE_SYSCALLS
 from repro.vm.cpu import CPUOptions
@@ -91,6 +96,40 @@ def table3(scale=1.0):
         for config in FIGURE3_LADDER:
             rows[app][config] = sweep.raw_metric(config)
     return rows, sweeps
+
+
+# ---------------------------------------------------------------------------
+# Scheduler sweep: multi-worker NGINX under concurrent load
+# ---------------------------------------------------------------------------
+
+SCHEDULER_WORKERS = (1, 2, 4)
+SCHEDULER_CONFIGS = ("vanilla", "cet_ct_cf_ai")
+
+
+def scheduler_sweep(scale=1.0, workers=SCHEDULER_WORKERS, configs=SCHEDULER_CONFIGS):
+    """Multi-worker NGINX (master + N clone()d workers) under concurrent wrk.
+
+    For each worker count, runs the unprotected and full-BASTION builds on
+    the preemptive scheduler with a fresh :class:`ConcurrentWrkWorkload`
+    (workloads are stateful, so each run gets its own instance).  Returns
+    ``{workers: {config: RunResult}}`` with latency percentiles populated.
+    """
+    from repro.apps.nginx import NginxConfig
+    from repro.apps.workloads import ConcurrentWrkWorkload
+
+    connections = max(int(round(40 * scale)), 4)
+    sweep = {}
+    for count in workers:
+        sweep[count] = {}
+        for config in configs:
+            workload = ConcurrentWrkWorkload(connections=connections)
+            sweep[count][config] = run_app_scheduled(
+                "nginx",
+                config=config,
+                app_config=NginxConfig(workers=count, master_serves=False),
+                workload=workload,
+            )
+    return sweep
 
 
 # ---------------------------------------------------------------------------

@@ -152,6 +152,16 @@ class RunResult:
     metadata_stats: dict = field(default_factory=dict)
     #: MonitorStats.as_dict() plus seccomp action-cache counters
     monitor_stats: dict = field(default_factory=dict)
+    #: scheduled runs only: LatencyStats.summary() (p50/p95/p99 in cycles)
+    latency: dict = field(default_factory=dict)
+    #: scheduled runs only: SchedStats.as_dict()
+    sched_stats: dict = field(default_factory=dict)
+    #: scheduled runs only: pid -> ExitStatus.kind for every task
+    statuses: dict = field(default_factory=dict)
+
+    def latency_ms(self, which):
+        """A latency percentile ('p50'|'p95'|'p99'|'mean') in milliseconds."""
+        return 1000.0 * self.latency.get(which, 0) / SIM_HZ
 
     @property
     def ok(self):
@@ -321,10 +331,9 @@ def run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
     )
 
 
-def _run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
-    """Internal, warning-free implementation behind :func:`run_app`."""
+def _prepare(app, defense, app_config):
+    """Shared launch plumbing: kernel + env + (monitor?) + root proc/cpu."""
     entry = _APPS[app]
-    defense = CONFIGS[config] if isinstance(config, str) else config
     module = build_app(app, app_config)
 
     kernel = Kernel()
@@ -342,6 +351,25 @@ def _run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
         image = Image(target)
         proc = kernel.create_process(app, image)
         cpu = CPU(image, proc, kernel, defense.cpu_options())
+    return entry, kernel, monitor, proc, cpu
+
+
+def _attach_monitor_stats(result, monitor, proc):
+    result.hook_counts = dict(monitor.hook_counts)
+    result.hook_total = monitor.hook_count
+    result.violations = list(monitor.violations)
+    result.avg_unwind_depth = monitor.average_unwind_depth
+    result.max_unwind_depth = monitor.max_unwind_depth
+    result.metadata_stats = dict(monitor.metadata.stats)
+    result.monitor_stats = monitor.stats.as_dict()
+    result.monitor_stats["seccomp_cache_hits"] = proc.seccomp_cache_hits
+    result.monitor_stats["seccomp_cache_misses"] = proc.seccomp_cache_misses
+
+
+def _run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
+    """Internal, warning-free implementation behind :func:`run_app`."""
+    defense = CONFIGS[config] if isinstance(config, str) else config
+    entry, kernel, monitor, proc, cpu = _prepare(app, defense, app_config)
 
     wl = workload or entry["workload"](scale)
     wl.attach(kernel, proc)
@@ -362,13 +390,69 @@ def _run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
         ledger_breakdown=dict(proc.ledger.by_category),
     )
     if monitor is not None:
-        result.hook_counts = dict(monitor.hook_counts)
-        result.hook_total = monitor.hook_count
-        result.violations = list(monitor.violations)
-        result.avg_unwind_depth = monitor.average_unwind_depth
-        result.max_unwind_depth = monitor.max_unwind_depth
-        result.metadata_stats = dict(monitor.metadata.stats)
-        result.monitor_stats = monitor.stats.as_dict()
-        result.monitor_stats["seccomp_cache_hits"] = proc.seccomp_cache_hits
-        result.monitor_stats["seccomp_cache_misses"] = proc.seccomp_cache_misses
+        _attach_monitor_stats(result, monitor, proc)
+    return result
+
+
+def run_app_scheduled(
+    app,
+    config="vanilla",
+    scale=1.0,
+    app_config=None,
+    workload=None,
+    quantum=None,
+):
+    """Run one (app, defense) pair under the preemptive scheduler.
+
+    The root process is enqueued on a :class:`repro.sched.Scheduler`;
+    clone()d children run interleaved with it, blocking syscalls park
+    their task, and time is the scheduler's global cycle clock.  Use a
+    concurrent workload (e.g. ``ConcurrentWrkWorkload``) plus a
+    ``master_serves=False`` app config to exercise a real worker pool.
+
+    Returns a :class:`RunResult` whose ``latency`` (when the workload
+    samples it), ``sched_stats``, and per-pid ``statuses`` are filled in;
+    cycle totals are global-clock based and syscall counts / ledger
+    breakdowns aggregate over the whole process tree.
+    """
+    from repro.sched import DEFAULT_QUANTUM, Scheduler
+
+    defense = CONFIGS[config] if isinstance(config, str) else config
+    entry, kernel, monitor, proc, cpu = _prepare(app, defense, app_config)
+
+    wl = workload or entry["workload"](scale)
+    wl.attach(kernel, proc)
+
+    sched = Scheduler(kernel, quantum=quantum or DEFAULT_QUANTUM)
+    sched.add(proc, cpu)
+    statuses = sched.run()
+    status = statuses[proc.pid]
+
+    total = sched.now()
+    steady_start = wl.steady_start_cycles or 0
+    syscall_counts = {}
+    breakdown = {}
+    for p in kernel.processes.values():
+        for name, count in p.syscall_counts.items():
+            syscall_counts[name] = syscall_counts.get(name, 0) + count
+        for category, cycles in p.ledger.by_category.items():
+            breakdown[category] = breakdown.get(category, 0) + cycles
+    result = RunResult(
+        app=app,
+        config=defense.name,
+        status=status,
+        total_cycles=total,
+        steady_cycles=total - steady_start,
+        init_cycles=steady_start,
+        work_units=entry["work_units"](wl),
+        bytes_sent=kernel.net.bytes_sent,
+        syscall_counts=syscall_counts,
+        ledger_breakdown=breakdown,
+        sched_stats=sched.stats.as_dict(),
+        statuses={pid: st.kind for pid, st in statuses.items()},
+    )
+    if getattr(wl, "latency", None) is not None:
+        result.latency = wl.latency.summary()
+    if monitor is not None:
+        _attach_monitor_stats(result, monitor, proc)
     return result

@@ -3,11 +3,13 @@
 from repro.bench.experiments import (
     APPS,
     _TABLE5_ROWS,
+    SCHEDULER_CONFIGS,
     TABLE7_ROWS,
     ablation_cache,
     ablation_dfi,
     figure3,
     perf_sweep,
+    scheduler_sweep,
     security_baseline_comparison,
     table4,
     table5,
@@ -312,6 +314,48 @@ def render_ablation_cache(scale=0.5):
     return "\n".join(lines)
 
 
+def render_scheduler(scale=1.0):
+    """Multi-worker NGINX latency/throughput under the preemptive scheduler."""
+    sweep = scheduler_sweep(scale)
+    lines = [
+        "Scheduler: multi-worker NGINX under concurrent wrk",
+        "(master + N clone()d workers, preemptive round-robin)",
+        _rule(92),
+        "%-8s %-16s %9s %9s %9s %9s %11s %6s"
+        % ("workers", "config", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean", "MB/s", "resp"),
+        _rule(92),
+    ]
+    for count in sorted(sweep):
+        for config in SCHEDULER_CONFIGS:
+            result = sweep[count][config]
+            lines.append(
+                "%-8d %-16s %9.3f %9.3f %9.3f %9.3f %11.2f %6d"
+                % (
+                    count,
+                    _CONFIG_LABELS.get(config, config),
+                    result.latency_ms("p50"),
+                    result.latency_ms("p95"),
+                    result.latency_ms("p99"),
+                    result.latency_ms("mean"),
+                    result.throughput_mbps(),
+                    result.work_units,
+                )
+            )
+        vanilla = sweep[count]["vanilla"]
+        bastion = sweep[count]["cet_ct_cf_ai"]
+        lines.append(
+            "         -> full BASTION: %+.2f%% p99 latency, %.2fx throughput"
+            % (
+                100.0
+                * (bastion.latency_ms("p99") - vanilla.latency_ms("p99"))
+                / max(vanilla.latency_ms("p99"), 1e-9),
+                bastion.throughput_mbps() / max(vanilla.throughput_mbps(), 1e-9),
+            )
+        )
+    lines.append(_rule(92))
+    return "\n".join(lines)
+
+
 def analysis_data(apps=APPS):
     """Static-analyzer reports for the bench apps: ``{app: AnalysisReport}``."""
     from repro.analyze import analyze_app
@@ -409,4 +453,5 @@ RENDERERS = {
     "ablation_dfi": render_ablation_dfi,
     "adaptive": render_adaptive,
     "analysis": render_analysis,
+    "scheduler": render_scheduler,
 }

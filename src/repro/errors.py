@@ -57,6 +57,25 @@ class ProcessKilled(ReproError):
         self.reason = reason
 
 
+class WouldBlock(ReproError):
+    """A syscall cannot complete yet; the scheduler should park the process.
+
+    Raised by the kernel dispatcher *before* seccomp runs (so a restarted
+    syscall stops into the monitor exactly once, when it can complete) and
+    only while a :class:`repro.sched.Scheduler` is driving the kernel.  The
+    CPU leaves ``rip`` on the syscall instruction, ERESTARTSYS-style: the
+    syscall re-executes when the wake predicate turns true.
+    """
+
+    def __init__(self, kind, wake, detail=""):
+        super().__init__("%s would block%s" % (kind, ": " + detail if detail else ""))
+        #: what the process waits on: 'accept' | 'read' | 'child'
+        self.kind = kind
+        #: zero-argument predicate: True once the syscall can make progress
+        self.wake = wake
+        self.detail = detail
+
+
 class KernelError(ReproError):
     """Internal kernel invariant violation (a bug in the simulation)."""
 

@@ -16,9 +16,10 @@ relevant actions are recorded in ``kernel.events``; the attack catalog uses
 that log as its success oracle.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import ProcessKilled
+from repro.errors import ProcessKilled, WouldBlock
 from repro.kernel import errno
 from repro.kernel.mm import (
     PROT_EXEC,
@@ -91,16 +92,64 @@ class KernelEvent:
     details: dict = field(default_factory=dict)
 
 
+class KernelEventLog:
+    """A bounded ring of :class:`KernelEvent` — newest ``capacity`` kept.
+
+    Long concurrent benches emit events at every accept/clone/reap; the
+    seed's plain list grew without bound.  The ring keeps ``events_of()``
+    semantics over the retained window and counts what it sheds in
+    ``dropped`` so oracles can tell a quiet run from a truncated one.
+    """
+
+    def __init__(self, capacity=65536):
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+        #: events evicted by the cap (total recorded = len(self) + dropped)
+        self.dropped = 0
+        self.total = 0
+
+    def append(self, event):
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        self.total += 1
+
+    def __len__(self):
+        return len(self._ring)
+
+    def __iter__(self):
+        return iter(self._ring)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._ring)[index]
+        return self._ring[index]
+
+    def __bool__(self):
+        return bool(self._ring)
+
+    def clear(self):
+        self._ring.clear()
+
+
 class Kernel:
     """The simulated kernel: processes, VFS, network, dispatcher."""
 
-    def __init__(self, costs=DEFAULT_COSTS):
+    def __init__(self, costs=DEFAULT_COSTS, events_capacity=65536):
         self.costs = costs
         self.vfs = FileSystem()
         self.net = NetStack()
         self.processes = {}
         self._next_pid = 1000
-        self.events = []
+        self.events = KernelEventLog(events_capacity)
+        #: set by repro.sched.Scheduler when it takes over clone/blocking
+        self.scheduler = None
+        #: collision-checked child stack regions (slot 0 = root at STACK_TOP)
+        from repro.sched.stackalloc import StackSlotAllocator
+
+        self.stacks = StackSlotAllocator()
         #: every path passed to open/openat/creat (information-disclosure
         #: oracle for the AOCR-style attacks)
         self.open_log = []
@@ -217,15 +266,16 @@ class Kernel:
         """Run a clone()d child at its start routine, to completion.
 
         Scheduling is cooperative and sequential (the parent is stopped
-        while the child runs — DESIGN.md §6).  The child shares the
+        while the child runs — DESIGN.md §6; use :class:`repro.sched.
+        Scheduler` for preemptive interleaving).  The child shares the
         parent's memory and address space, and critically carries the
         parent's seccomp filters and tracer, so a BASTION monitor protects
-        it identically (§7.1).  The child gets a disjoint stack region.
+        it identically (§7.1).  The child gets a disjoint stack region
+        from the collision-checked slot allocator, released when it exits.
         """
         from repro.vm.cpu import CPU, CPUOptions
-        from repro.vm.loader import STACK_TOP
 
-        stack_base = STACK_TOP - (1 << 26) * ((child.pid % 64) + 1)
+        stack_base = self.stacks.allocate(child.pid)
         cpu = CPU(
             image,
             child,
@@ -235,7 +285,10 @@ class Kernel:
             entry_args=args,
             stack_base=stack_base,
         )
-        return cpu.run()
+        try:
+            return cpu.run()
+        finally:
+            self.stacks.release(child.pid)
 
     def record(self, kind, proc, **details):
         self.events.append(KernelEvent(kind, proc.pid, details))
@@ -243,12 +296,22 @@ class Kernel:
     def events_of(self, kind):
         return [event for event in self.events if event.kind == kind]
 
+    def clock(self):
+        """Global cycle clock while a scheduler drives this kernel.
+
+        Returns ``None`` in the legacy single-process mode, where each
+        process's own ledger is the only meaningful timeline.
+        """
+        return self.scheduler.now() if self.scheduler is not None else None
+
     # ------------------------------------------------------------------
     # dispatcher
     # ------------------------------------------------------------------
 
     def dispatch(self, proc, name, args):
         """Run seccomp, maybe stop into the tracer, then the handler."""
+        if self.scheduler is not None and not self.scheduler.draining:
+            self._maybe_block(proc, name, args)
         proc.count_syscall(name)
         if proc.seccomp_filters:
             nr = nr_of(name)
@@ -317,6 +380,54 @@ class Kernel:
         if handler is None:
             return -errno.ENOSYS
         return handler(proc, args)
+
+    def _maybe_block(self, proc, name, args):
+        """Raise :class:`WouldBlock` for a syscall that cannot complete yet.
+
+        Runs *before* syscall counting and seccomp so that a parked-and-
+        restarted syscall is counted, filtered, and trace-stopped exactly
+        once — when it completes.  That single-stop property is what makes
+        monitor verdicts independent of the scheduler's quantum.
+        """
+        if name in ("accept", "accept4"):
+            sock = proc.fdtable.get(self._arg(args, 0))
+            if (
+                isinstance(sock, Socket)
+                and sock.listening
+                and self.net.poll_backlog(sock) == "later"
+            ):
+                raise WouldBlock(
+                    "accept",
+                    lambda: self.net.poll_backlog(sock) != "later",
+                    "pid %d port %d" % (proc.pid, sock.bound_port),
+                )
+        elif name in ("read", "recvfrom"):
+            sock = proc.fdtable.get(self._arg(args, 0))
+            if (
+                isinstance(sock, Socket)
+                and sock.connection is not None
+                and not sock.connection.inbox
+                and not sock.connection.closed
+            ):
+                conn = sock.connection
+                raise WouldBlock(
+                    "read",
+                    lambda: bool(conn.inbox) or conn.closed,
+                    "pid %d fd %d" % (proc.pid, self._arg(args, 0)),
+                )
+        elif name == "wait4":
+            children = proc.children
+            if children and not any(
+                not child.alive and not child.reaped for child in children
+            ) and any(child.alive for child in children):
+                raise WouldBlock(
+                    "child",
+                    lambda: any(
+                        not child.alive and not child.reaped
+                        for child in children
+                    ),
+                    "pid %d" % proc.pid,
+                )
 
     # ------------------------------------------------------------------
     # helpers
@@ -782,6 +893,9 @@ class Kernel:
         child.creds = proc.creds.clone()
         child.mm = proc.mm
         child.memory = proc.memory
+        # fd numbers carry over (the worker's inherited listen fd); the
+        # open file descriptions behind them are shared, fork(2)-style
+        child.fdtable = proc.fdtable.fork()
         # seccomp filters, the tracer, and the (shared-shadow-region)
         # BASTION runtime are inherited (§7.1)
         child.seccomp_filters = list(proc.seccomp_filters)
@@ -795,7 +909,21 @@ class Kernel:
         return child.pid
 
     def _sys_clone(self, proc, args):
-        return self._spawn_child(proc, "clone")
+        child_pid = self._spawn_child(proc, "clone")
+        if self.scheduler is not None:
+            # glibc clone convention in our apps: args[2] is the start
+            # routine, args[3] its argument.  Under a scheduler the child
+            # is *enqueued* — it runs interleaved with the parent instead
+            # of being driven to completion by run_child.
+            fn_addr = self._arg(args, 2)
+            if fn_addr:
+                self.scheduler.spawn(
+                    proc,
+                    self.processes[child_pid],
+                    fn_addr,
+                    self._arg(args, 3),
+                )
+        return child_pid
 
     def _sys_fork(self, proc, args):
         return self._spawn_child(proc, "fork")
@@ -826,9 +954,34 @@ class Kernel:
         return 0
 
     def _sys_wait4(self, proc, args):
-        if proc.children:
-            return proc.children[-1].pid
-        return -errno.ESRCH
+        if self.scheduler is None:
+            # Legacy mode: children run synchronously, so by wait4 time the
+            # last child has already finished — report its pid.
+            if proc.children:
+                return proc.children[-1].pid
+            return -errno.ESRCH
+        # Scheduler mode: reap the first unreaped zombie, POSIX-style.
+        status_ptr = self._arg(args, 1)
+        for child in proc.children:
+            if not child.alive and not child.reaped:
+                child.reaped = True
+                child.state = "reaped"
+                if status_ptr:
+                    # wstatus word: exit code in bits 8..15, signal in 0..6
+                    word = (
+                        (child.exit_code & 0xFF) << 8 if child.exited else 137
+                    )
+                    proc.memory.write(status_ptr, word)
+                    self._refresh_shadow(proc, status_ptr, 1)
+                self.record(
+                    "reap", proc, child_pid=child.pid, exit_code=child.exit_code
+                )
+                return child.pid
+        if not proc.children:
+            return -errno.ECHILD
+        # Children exist but are still running (only reachable in drain
+        # mode, where blocking is disabled): report "try again".
+        return -errno.EAGAIN
 
     def _sys_setuid(self, proc, args):
         uid = self._arg(args, 0)

@@ -7,11 +7,28 @@ for the next pending connection on that listening socket.  Byte counters on
 the stack are the ground truth for the throughput numbers in Table 3.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 AF_INET = 2
 SOCK_STREAM = 1
 SOCK_DGRAM = 2
+
+
+class _BacklogWait:
+    """Sentinel a backlog provider returns to mean "no connection *yet*".
+
+    ``None`` keeps its historical meaning — the workload is exhausted and
+    accept should fail — while ``BACKLOG_WAIT`` tells a scheduling kernel
+    to park the accepting process until the provider has more to give
+    (e.g. a concurrency-capped workload waiting for in-flight requests to
+    finish).
+    """
+
+    def __repr__(self):
+        return "BACKLOG_WAIT"
+
+
+BACKLOG_WAIT = _BacklogWait()
 
 
 @dataclass
@@ -65,6 +82,9 @@ class Socket:
     backlog: int = 0
     connection: Connection = None  # set on accepted-connection sockets
     connected_port: int = 0  # set by connect()
+    #: connections pulled from the provider while probing readiness but not
+    #: yet returned by accept (the listen backlog proper)
+    pending: list = field(default_factory=list)
 
 
 class NetStack:
@@ -93,12 +113,34 @@ class NetStack:
 
     def next_connection(self, sock):
         """Ask the workload for the next pending connection (or None)."""
+        if sock.pending:
+            self.accepted += 1
+            return sock.pending.pop(0)
         if self.backlog_provider is None:
             return None
         conn = self.backlog_provider(sock)
-        if conn is not None:
-            self.accepted += 1
+        if conn is None or conn is BACKLOG_WAIT:
+            return None
+        self.accepted += 1
         return conn
+
+    def poll_backlog(self, sock):
+        """Probe the backlog without consuming it: 'ready'|'later'|'done'.
+
+        A pulled connection is stashed on ``sock.pending`` so the following
+        ``accept`` returns exactly what the poll saw.
+        """
+        if sock.pending:
+            return "ready"
+        if self.backlog_provider is None:
+            return "done"
+        conn = self.backlog_provider(sock)
+        if conn is BACKLOG_WAIT:
+            return "later"
+        if conn is None:
+            return "done"
+        sock.pending.append(conn)
+        return "ready"
 
     def account_send(self, nbytes):
         self.bytes_sent += nbytes

@@ -87,6 +87,13 @@ class FDTable:
             return -errno.EBADF
         return self.install(obj)
 
+    def fork(self):
+        """fork(2) semantics: same fd numbers, shared open descriptions."""
+        table = FDTable()
+        table._table = dict(self._table)
+        table._next = self._next
+        return table
+
     def __len__(self):
         return len(self._table)
 
@@ -119,6 +126,10 @@ class Process:
     exited: bool = False
     exit_code: int = 0
     kill_reason: str = None
+    #: scheduler lifecycle: runnable | running | blocked | zombie | reaped
+    state: str = "runnable"
+    #: set once a wait4 has collected this process's exit status
+    reaped: bool = False
 
     #: cycle accounting for this run (CPU + kernel + monitor all charge here)
     ledger: CycleLedger = field(default_factory=CycleLedger)

@@ -158,9 +158,16 @@ class VerdictCache:
         return len(self._entries)
 
     @staticmethod
-    def key_for(syscall_name, regs):
-        """The lookup key: trapped site + frame + exact argument registers."""
-        return (syscall_name, regs.rip, regs.rbp, regs.syscall_args())
+    def key_for(syscall_name, regs, pid=0):
+        """The lookup key: tracee + trapped site + frame + exact argument
+        registers.
+
+        The pid matters once a scheduler multiplexes tracees: stack slots
+        are recycled on process exit, so two different workers can trap at
+        the *same* ``(rip, rbp, args)`` over their lifetimes — a verdict
+        memoized for one pid must never shortcut verification for another.
+        """
+        return (pid, syscall_name, regs.rip, regs.rbp, regs.syscall_args())
 
     def lookup(self, key):
         return self._entries.get(key)

@@ -63,6 +63,31 @@ class SyscallIntegrityViolation(ProcessKilled):
 
 
 @dataclass
+class MonitorSession:
+    """Per-tracee monitor state (one per pid, created at its first stop).
+
+    The paper's monitor ptrace-attaches to every process the application
+    forks (§7.1) and fields stops from whichever tracee the kernel
+    schedules next.  Policy, metadata, and the verdict cache are shared
+    across the whole tree; what is *per-tracee* is the bookkeeping below —
+    the shadow state itself lives in the (shared) address space, and the
+    unwinder always walks the stopped pid's own stack because registers
+    and stack slots are per-process.
+    """
+
+    pid: int
+    stops: int = 0
+    stop_counts: dict = field(default_factory=dict)
+    fast_hits: int = 0
+    violations: list = field(default_factory=list)
+    killed: bool = False
+
+    def count_stop(self, syscall_name):
+        self.stops += 1
+        self.stop_counts[syscall_name] = self.stop_counts.get(syscall_name, 0) + 1
+
+
+@dataclass
 class _ResolvedMetadata:
     """Metadata with program points resolved to code addresses."""
 
@@ -95,6 +120,8 @@ class BastionMonitor:
 
         self.stats = MonitorStats()
         self.violations = []
+        #: pid -> MonitorSession, created lazily at each tracee's first stop
+        self.sessions = {}
         #: the fast path only memoizes *enforced* ALLOW verdicts — the
         #: fetch-state/hook-only accounting ablations never produce one
         self.cache = (
@@ -222,6 +249,8 @@ class BastionMonitor:
         context-switch cost instead of charging a full round trip.
         """
         self.stats.count_hook(syscall_name)
+        session = self.session_of(proc.pid)
+        session.count_stop(syscall_name)
         policy = self.policy
         if policy.mode == "hook_only":
             return False
@@ -232,7 +261,7 @@ class BastionMonitor:
         # -- fast path: memoized ALLOW verdict (cache.py) ------------------
         key = None
         if self.cache is not None:
-            key = VerdictCache.key_for(syscall_name, regs)
+            key = VerdictCache.key_for(syscall_name, regs, proc.pid)
             pt.proc.ledger.charge(self.costs.verdict_cache_lookup, "monitor")
             entry = self.cache.lookup(key)
             if entry is not None and self.cache.probe_ok(entry, pt, regs):
@@ -248,6 +277,7 @@ class BastionMonitor:
                 if resident is None:
                     self.stats.cache_hits += 1
                     self.stats.trap_stops_batched += 1
+                    session.fast_hits += 1
                     return True
                 self.cache.invalidate_key(key)
                 self._verdict(pt, resident)
@@ -329,10 +359,24 @@ class BastionMonitor:
         if self.cache is not None:
             self.cache.invalidate_callsite(callsite_addr)
 
+    def session_of(self, pid):
+        """The per-tracee session for ``pid`` (created on first use)."""
+        session = self.sessions.get(pid)
+        if session is None:
+            session = self.sessions[pid] = MonitorSession(pid)
+        return session
+
     def _verdict(self, pt, violation):
-        """Record the violation and kill the protected application (§7.2)."""
+        """Record the violation and kill the *stopped tracee* (§7.2).
+
+        Only the offending pid dies: siblings sharing the same filters and
+        monitor keep running (asserted by the inheritance tests).
+        """
         self.violations.append(violation)
         self.stats.violation_count += 1
+        session = self.session_of(pt.proc.pid)
+        session.violations.append(violation)
+        session.killed = True
         pt.proc.pending_exception = SyscallIntegrityViolation(violation)
         pt.kill_tracee(str(violation))
 

@@ -1,0 +1,38 @@
+"""repro.sched — deterministic preemptive scheduling for the simulated OS.
+
+Public surface:
+
+- :class:`Scheduler` — round-robin over Process PCBs by cycle quantum,
+  with blocking ``accept``/``read``/``wait4`` and clone()d children
+  enqueued instead of run inline;
+- :class:`StackSlotAllocator` — collision-checked child stack regions
+  (replaces the seed's pid-modulo placement that aliased past 64 pids);
+- :data:`DEFAULT_QUANTUM` — the default preemption quantum in cycles.
+"""
+
+from repro.sched.scheduler import (
+    BLOCKED,
+    DEFAULT_QUANTUM,
+    REAPED,
+    RUNNABLE,
+    RUNNING,
+    SchedStats,
+    Scheduler,
+    Task,
+    ZOMBIE,
+)
+from repro.sched.stackalloc import STACK_SLOT_BYTES, StackSlotAllocator
+
+__all__ = [
+    "BLOCKED",
+    "DEFAULT_QUANTUM",
+    "REAPED",
+    "RUNNABLE",
+    "RUNNING",
+    "STACK_SLOT_BYTES",
+    "SchedStats",
+    "Scheduler",
+    "StackSlotAllocator",
+    "Task",
+    "ZOMBIE",
+]

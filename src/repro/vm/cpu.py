@@ -26,8 +26,10 @@ from dataclasses import dataclass, field
 from repro.errors import (
     CFIFault,
     ExecutionFault,
+    KernelError,
     ProcessKilled,
     VMFault,
+    WouldBlock,
 )
 from repro.ir.instructions import (
     AddrGlobal,
@@ -146,6 +148,7 @@ class CPU:
         #: hook-point name -> callable(cpu); fired by the ``hook`` intrinsic.
         self.hooks = {}
         self._halted = None
+        self._entered = False
         proc.cpu = self
 
     # ------------------------------------------------------------------
@@ -175,8 +178,27 @@ class CPU:
 
     def run(self):
         """Run to completion; returns an :class:`ExitStatus`."""
-        self._enter_main()
+        status = self.run_slice(None)
+        if not isinstance(status, ExitStatus):
+            raise KernelError(
+                "run() interrupted without a scheduler: %r" % (status,)
+            )
+        return status
+
+    def run_slice(self, quantum=None):
+        """Run until done, blocked, or preempted.
+
+        Returns an :class:`ExitStatus` when the process finishes (exit,
+        return from entry, fault, kill), the :class:`WouldBlock` instance
+        when a syscall parks it (``rip`` still points at the syscall, so
+        the next slice restarts it), or ``None`` once ``quantum`` cycles
+        of its ledger have been consumed.  ``quantum=None`` never preempts.
+        """
+        if not self._entered:
+            self._enter_main()
+            self._entered = True
         opts = self.options
+        limit = None if quantum is None else self.ledger.cycles + quantum
         try:
             while True:
                 if not self.proc.alive:
@@ -187,6 +209,8 @@ class CPU:
                     return self._halted
                 if self.stats.steps >= opts.max_steps:
                     return ExitStatus("fault", 124, "step budget exhausted")
+                if limit is not None and self.ledger.cycles >= limit:
+                    return None
                 self.stats.steps += 1
                 func, idx = self.image.resolve_code(self.rip)
                 self._cur_func = func
@@ -199,6 +223,8 @@ class CPU:
                 status = self._step(func.body[idx])
                 if status is not None:
                     return status
+        except WouldBlock as blocked:
+            return blocked
         except ProcessKilled as killed:
             return ExitStatus("killed", 137, str(killed))
         except VMFault as fault:
@@ -426,7 +452,14 @@ class CPU:
         )
         self.proc.set_registers(instr.name, args, self.rip, self.fp, self.sp)
         self.ledger.charge(self.costs.syscall_base, "kernel")
-        result = self.kernel.dispatch(self.proc, instr.name, args)
+        try:
+            result = self.kernel.dispatch(self.proc, instr.name, args)
+        except WouldBlock:
+            # The syscall will restart: un-count this attempt so the stats
+            # reflect completed dispatches regardless of interleaving.
+            self.stats.syscalls -= 1
+            self.stats.syscall_counts[instr.name] -= 1
+            raise
         if instr.dst is not None:
             self._set_var(instr.dst, result)
 

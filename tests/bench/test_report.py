@@ -95,7 +95,18 @@ def test_all_renderers_registered():
         "ablation_dfi",
         "adaptive",
         "analysis",
+        "scheduler",
     }
+
+
+def test_render_scheduler():
+    from repro.bench.report import render_scheduler
+
+    text = render_scheduler(0.1)
+    assert "multi-worker NGINX" in text
+    assert "p99 (ms)" in text
+    assert "CET+CT+CF+AI" in text
+    assert "full BASTION" in text
 
 
 def test_render_analysis_columns():

@@ -1,0 +1,55 @@
+"""The bounded kernel event ring: capacity, drop accounting, log semantics."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel, KernelEvent, KernelEventLog
+
+
+class TestKernelEventLog:
+    def test_caps_and_counts_drops(self):
+        log = KernelEventLog(capacity=4)
+        for i in range(10):
+            log.append(KernelEvent("tick", i))
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert log.total == 10
+        # newest events are retained
+        assert [event.pid for event in log] == [6, 7, 8, 9]
+
+    def test_indexing_and_slicing(self):
+        log = KernelEventLog(capacity=8)
+        for i in range(5):
+            log.append(KernelEvent("tick", i))
+        assert log[0].pid == 0
+        assert log[-1].pid == 4
+        assert [event.pid for event in log[1:3]] == [1, 2]
+        assert bool(log)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            KernelEventLog(0)
+
+    def test_clear_empties_ring_but_keeps_totals(self):
+        log = KernelEventLog(capacity=2)
+        for i in range(3):
+            log.append(KernelEvent("tick", i))
+        log.clear()
+        assert len(log) == 0
+        assert not log
+        assert log.total == 3
+
+    def test_events_of_over_retained_window(self):
+        """``events_of()`` keeps its semantics over what the ring retains;
+        ``dropped`` tells a quiet run from a truncated one."""
+
+        class _P:
+            pid = 1
+
+        kernel = Kernel(events_capacity=2)
+        kernel.record("first", _P)
+        kernel.record("second", _P)
+        kernel.record("third", _P)
+        assert kernel.events_of("first") == []
+        assert [event.kind for event in kernel.events] == ["second", "third"]
+        assert kernel.events.dropped == 1
+        assert kernel.events.total == 3

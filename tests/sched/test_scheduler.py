@@ -1,0 +1,224 @@
+"""Scheduler semantics: preemption, blocking, reaping, drain, determinism."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import errno
+from repro.kernel.kernel import Kernel
+from repro.kernel.net import BACKLOG_WAIT, Connection
+from repro.sched import Scheduler
+from repro.vm.cpu import CPU, CPUOptions
+from repro.vm.loader import Image
+from repro.ir.builder import ModuleBuilder
+from tests.conftest import make_wrapper
+
+
+def _launch(module, quantum=1000):
+    kernel = Kernel()
+    image = Image(module)
+    proc = kernel.create_process(module.name, image)
+    cpu = CPU(image, proc, kernel, CPUOptions())
+    sched = Scheduler(kernel, quantum=quantum)
+    sched.add(proc, cpu)
+    return kernel, sched, proc, image
+
+
+def _read_global(proc, image, name):
+    return proc.memory.read(image.global_addr[name])
+
+
+def _workers_module(workers=2, burn=40_000):
+    """main clones ``workers`` spinning children, then wait4()s each."""
+    mb = ModuleBuilder("sched-workers")
+    make_wrapper(mb, "clone", 5)
+    make_wrapper(mb, "wait4", 4)
+
+    w = mb.function("worker_start", params=["arg"])
+    w.burn(burn)
+    g = w.addr_global("g_done")
+    w.store(g, w.add(w.load(g), 1))
+    w.ret(w.p("arg"))
+
+    f = mb.function("main")
+    fn = f.funcaddr("worker_start")
+    for i in range(workers):
+        f.call("clone", [0, 0, fn, 10 + i, 0])
+    wst = f.addr_global("g_wstatus")
+    for i in range(workers):
+        pid = f.call("wait4", [-1, wst, 0, 0])
+        f.store(f.addr_global("g_reaped%d" % i), pid)
+    f.ret(0)
+
+    mb.global_var("g_done", init=0)
+    mb.global_var("g_wstatus", init=0)
+    for i in range(workers):
+        mb.global_var("g_reaped%d" % i, init=0)
+    return mb.build()
+
+
+class TestPreemptionAndReaping:
+    def test_workers_interleave_and_all_complete(self):
+        kernel, sched, proc, image = _launch(_workers_module(), quantum=500)
+        statuses = sched.run()
+        assert all(status.kind == "returned" for status in statuses.values())
+        assert len(statuses) == 3  # main + 2 workers
+        assert _read_global(proc, image, "g_done") == 2
+        # Workers burn many quanta, so both were preempted mid-run, and the
+        # parent's wait4 parked at least once while they still ran.
+        assert sched.stats.preemptions > 0
+        assert sched.stats.blocks >= 1
+        assert sched.stats.spawned == 2
+
+    def test_wait4_reaps_every_child_and_writes_wstatus(self):
+        kernel, sched, proc, image = _launch(_workers_module(), quantum=500)
+        sched.run()
+        reaped = {
+            _read_global(proc, image, "g_reaped0"),
+            _read_global(proc, image, "g_reaped1"),
+        }
+        assert reaped == {child.pid for child in proc.children}
+        assert all(child.reaped for child in proc.children)
+        assert all(child.state == "reaped" for child in proc.children)
+        # Children are reaped in list order; the last wstatus word carries
+        # the second worker's exit code (its clone arg) in bits 8..15.
+        assert _read_global(proc, image, "g_wstatus") == 11 << 8
+        assert [e.details["child_pid"] for e in kernel.events_of("reap")] == [
+            child.pid for child in proc.children
+        ]
+
+    def test_deterministic_across_runs(self):
+        def once():
+            kernel, sched, proc, image = _launch(_workers_module(), quantum=700)
+            statuses = sched.run()
+            return (
+                {pid: s.kind for pid, s in statuses.items()},
+                sched.stats.as_dict(),
+                sched.now(),
+            )
+
+        assert once() == once()
+
+    def test_stack_slots_released_on_exit(self):
+        kernel, sched, proc, image = _launch(_workers_module(), quantum=500)
+        sched.run()
+        assert kernel.stacks.allocated == 2
+        assert kernel.stacks.released == 2
+        assert len(kernel.stacks) == 0
+        # Both workers were alive at once, so both slots were held together.
+        assert kernel.stacks.high_water == 2
+
+    def test_clock_advances_with_any_task(self):
+        kernel, sched, proc, image = _launch(_workers_module(), quantum=500)
+        assert kernel.clock() == 0
+        sched.run()
+        total = sched.now()
+        assert total > 0
+        assert kernel.clock() == total
+        # The clock is the union of per-process timelines.
+        assert total == sum(
+            p.ledger.cycles for p in kernel.processes.values()
+        )
+
+    def test_legacy_kernel_has_no_clock(self):
+        assert Kernel().clock() is None
+
+
+class TestAdmission:
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(KernelError):
+            Scheduler(Kernel(), quantum=0)
+
+    def test_duplicate_add_rejected(self):
+        kernel, sched, proc, image = _launch(_workers_module())
+        with pytest.raises(KernelError):
+            sched.add(proc, None)
+
+    def test_corrupt_clone_entry_faults_child_only(self):
+        """A clone() start routine that is not a function base faults the
+        child (SIGSEGV-style) without taking down the parent."""
+        mb = ModuleBuilder("bad-entry")
+        make_wrapper(mb, "clone", 5)
+        f = mb.function("main")
+        f.call("clone", [0, 0, 0xBAD_BAD, 0, 0])
+        f.ret(0)
+        kernel, sched, proc, image = _launch(mb.build())
+        statuses = sched.run()
+        (child,) = proc.children
+        assert statuses[proc.pid].kind == "returned"
+        assert statuses[child.pid].kind == "fault"
+        assert statuses[child.pid].code == 139
+        assert not child.alive
+
+
+def _accept_module():
+    mb = ModuleBuilder("acceptor")
+    make_wrapper(mb, "socket", 3)
+    make_wrapper(mb, "listen", 2)
+    make_wrapper(mb, "accept4", 4)
+    f = mb.function("main")
+    fd = f.call("socket", [2, 1, 0])
+    f.call("listen", [fd, 16], void=True)
+    rc = f.call("accept4", [fd, 0, 0, 0])
+    f.store(f.addr_global("g_rc"), rc)
+    f.ret(0)
+    mb.global_var("g_rc", init=0)
+    return mb.build()
+
+
+class TestBlockingSyscalls:
+    def test_accept_blocks_then_drains_to_eagain(self):
+        """A lone acceptor with a never-ready backlog parks once, then the
+        drain pass force-wakes it and accept fails with EAGAIN."""
+        kernel, sched, proc, image = _launch(_accept_module())
+        kernel.net.backlog_provider = lambda sock: BACKLOG_WAIT
+        statuses = sched.run()
+        assert statuses[proc.pid].kind == "returned"
+        assert sched.draining
+        assert sched.stats.blocks == 1
+        assert sched.stats.forced_wakes == 1
+        assert _read_global(proc, image, "g_rc") == -errno.EAGAIN
+
+    def test_accept_wakes_when_connection_arrives(self):
+        kernel, sched, proc, image = _launch(_accept_module())
+        polls = [0]
+
+        def provider(sock):
+            polls[0] += 1
+            if polls[0] >= 2:
+                return Connection(peer_port=40000)
+            return BACKLOG_WAIT
+
+        kernel.net.backlog_provider = provider
+        statuses = sched.run()
+        assert statuses[proc.pid].kind == "returned"
+        assert not sched.draining
+        assert sched.stats.blocks == 1
+        assert sched.stats.wakes == 1
+        assert sched.stats.forced_wakes == 0
+        assert _read_global(proc, image, "g_rc") >= 3  # a real fd
+
+    def test_read_on_empty_connection_drains_to_eof(self):
+        mb = ModuleBuilder("reader")
+        make_wrapper(mb, "socket", 3)
+        make_wrapper(mb, "listen", 2)
+        make_wrapper(mb, "accept4", 4)
+        make_wrapper(mb, "read", 3)
+        f = mb.function("main")
+        fd = f.call("socket", [2, 1, 0])
+        f.call("listen", [fd, 16], void=True)
+        cfd = f.call("accept4", [fd, 0, 0, 0])
+        rc = f.call("read", [cfd, f.addr_global("g_buf"), 4])
+        f.store(f.addr_global("g_rc"), rc)
+        f.ret(0)
+        mb.global_var("g_buf", size=8, init=0)
+        mb.global_var("g_rc", init=-1)
+        module = mb.build()
+
+        kernel, sched, proc, image = _launch(module)
+        served = [Connection(peer_port=40000)]  # empty inbox, never closed
+        kernel.net.backlog_provider = lambda sock: served.pop() if served else None
+        statuses = sched.run()
+        assert statuses[proc.pid].kind == "returned"
+        assert sched.draining
+        assert sched.stats.blocks == 1  # parked on read, not on accept
+        assert _read_global(proc, image, "g_rc") == 0  # EOF under drain

@@ -1,0 +1,67 @@
+"""Tests for the collision-checked child stack-slot allocator."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.sched import STACK_SLOT_BYTES, StackSlotAllocator
+from repro.vm.loader import STACK_TOP
+
+
+class TestAllocation:
+    def test_slot_zero_reserved_for_root(self):
+        alloc = StackSlotAllocator()
+        assert alloc.allocate(1001) == STACK_TOP - STACK_SLOT_BYTES
+
+    def test_bases_distinct_and_descending(self):
+        alloc = StackSlotAllocator()
+        bases = [alloc.allocate(1000 + i) for i in range(8)]
+        assert len(set(bases)) == 8
+        assert bases == sorted(bases, reverse=True)
+        assert all((STACK_TOP - base) % STACK_SLOT_BYTES == 0 for base in bases)
+
+    def test_idempotent_per_pid(self):
+        alloc = StackSlotAllocator()
+        assert alloc.allocate(1001) == alloc.allocate(1001)
+        assert alloc.allocated == 1
+
+    def test_release_recycles_lowest_slot_first(self):
+        alloc = StackSlotAllocator()
+        first = alloc.allocate(1001)
+        alloc.allocate(1002)
+        assert alloc.release(1001)
+        # The freed (lower-numbered, higher-addressed) slot is reused first.
+        assert alloc.allocate(1003) == first
+        assert alloc.slot_of(1003) == 1
+        assert alloc.owner(1) == 1003
+
+    def test_release_unknown_pid_is_noop(self):
+        alloc = StackSlotAllocator()
+        assert not alloc.release(42)
+        assert alloc.released == 0
+
+    def test_pid_reuse_cannot_alias_live_stack(self):
+        """The seed's ``pid % 64`` scheme aliased pids 64 apart; here pids
+        that would have collided get disjoint regions."""
+        alloc = StackSlotAllocator()
+        base_a = alloc.allocate(1001)
+        base_b = alloc.allocate(1001 + 64)
+        assert base_a != base_b
+
+    def test_exhaustion_raises_instead_of_aliasing(self):
+        alloc = StackSlotAllocator(max_slots=4)
+        for i in range(3):  # slots 1..3 (slot 0 is the root's)
+            alloc.allocate(1001 + i)
+        with pytest.raises(KernelError):
+            alloc.allocate(2000)
+
+    def test_counters(self):
+        alloc = StackSlotAllocator()
+        for i in range(4):
+            alloc.allocate(1000 + i)
+        alloc.release(1001)
+        alloc.release(1002)
+        alloc.allocate(2000)
+        assert alloc.allocated == 5
+        assert alloc.released == 2
+        assert alloc.high_water == 4
+        assert len(alloc) == 3
