@@ -17,7 +17,6 @@ SQLite is the one app where plain LLVM CFI costs more than full BASTION.
 import pytest
 
 from repro.bench.harness import FIGURE3_LADDER, run_app
-from benchmarks.conftest import BENCH_SCALE
 
 
 @pytest.mark.parametrize("app", ("nginx", "sqlite", "vsftpd"))

@@ -13,7 +13,6 @@ transfer-bound one; the in-kernel ablation (§11.2's proposed fix) removes
 most of the collapse.
 """
 
-import pytest
 
 
 def _loss(table7_data, app, config):

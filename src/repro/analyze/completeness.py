@@ -25,7 +25,6 @@ from repro.ir.instructions import (
     AddrLocal,
     BinOp,
     Call,
-    Const,
     Gep,
     Index,
     Intrinsic,

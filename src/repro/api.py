@@ -106,6 +106,9 @@ class RunResult:
     #: scheduled runs only: per-request latency summary in cycles
     #: (``{'count', 'p50', 'p95', 'p99', 'mean', 'max'}``), else empty
     latency: dict = field(default_factory=dict)
+    #: telemetry-bus per-stage cycle attribution ('seccomp', 'trace_stop',
+    #: 'verify.unwind', ... — see docs/telemetry.md), else empty
+    stage_cycles: dict = field(default_factory=dict)
     bench: object = field(repr=False, default=None)
     baseline: object = field(repr=False, default=None)
 
@@ -242,6 +245,7 @@ def run(
         steady_cycles=bench.steady_cycles,
         total_cycles=bench.total_cycles,
         latency=dict(bench.latency),
+        stage_cycles=dict(bench.stage_cycles),
         bench=bench,
         baseline=baseline,
     )

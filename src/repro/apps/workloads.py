@@ -33,6 +33,9 @@ class Workload:
         self.kernel = kernel
         self.proc = proc
         kernel.net.backlog_provider = self._provide
+        latency = getattr(self, "latency", None)
+        if latency is not None:
+            latency.bind(kernel.telemetry)
         return self
 
     def now(self):
@@ -57,13 +60,38 @@ class Workload:
 
 
 class LatencyStats:
-    """Per-request latency samples (cycles) with percentile summaries."""
+    """Per-request latency samples (cycles) with percentile summaries.
 
-    def __init__(self):
+    When :meth:`bind`-ed to a telemetry bus, every sample is published as
+    a ``('latency', <source>)`` event and the stats collect their samples
+    back through a bus subscription — i.e. the stats become a *view*: any
+    other producer emitting latency events for the same source is
+    aggregated identically.  Unbound (unit tests), samples are kept
+    locally and nothing else changes.
+    """
+
+    def __init__(self, source="request"):
         self.samples = []
+        self.source = source
+        self._bus = None
+
+    def bind(self, bus):
+        """Publish future samples on ``bus`` and collect them back."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_event)
+        self._bus = bus
+        bus.subscribe(self._on_event)
+        return self
+
+    def _on_event(self, record):
+        if record.kind == "latency" and record.event == self.source:
+            self.samples.append(record.cycles)
 
     def record(self, cycles):
-        self.samples.append(cycles)
+        if self._bus is not None:
+            self._bus.emit("latency", self.source, cycles=cycles)
+        else:
+            self.samples.append(cycles)
 
     def __len__(self):
         return len(self.samples)

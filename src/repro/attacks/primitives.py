@@ -126,6 +126,18 @@ class AttackEnv:
     # -- oracles -------------------------------------------------------------------
 
     def events(self, kind):
+        """Security-event oracle: refuses to answer over a truncated log.
+
+        An attack verdict derived from a ring that shed events would be
+        silently wrong (a recorded-then-evicted ``execve`` reads as "the
+        attack failed"), so a dropped event here is an assertion failure,
+        not a warning.
+        """
+        assert self.kernel.events.dropped == 0, (
+            "kernel event ring dropped %d events — the attack oracle would "
+            "be unsound; raise Kernel(events_capacity=...)"
+            % self.kernel.events.dropped
+        )
         return self.kernel.events_of(kind)
 
     def execve_paths(self):

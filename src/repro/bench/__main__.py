@@ -10,7 +10,7 @@ import json
 import sys
 import time
 
-from repro.bench.report import RENDERERS, analysis_json
+from repro.bench.report import RENDERERS, analysis_json, stages_json
 
 _SCALED = {
     "figure3",
@@ -20,6 +20,14 @@ _SCALED = {
     "ablation_cache",
     "ablation_dfi",
     "scheduler",
+    "stages",
+}
+
+#: experiments with a machine-readable payload; keys sorted + stable
+#: formatting make the output byte-stable for a given run
+_JSON_PAYLOADS = {
+    "analysis": lambda args: analysis_json(),
+    "stages": lambda args: stages_json(args.scale),
 }
 
 #: short names accepted by ``--ablate``
@@ -51,14 +59,19 @@ def main(argv=None):
     parser.add_argument(
         "--json",
         action="store_true",
-        help="machine-readable output (the 'analysis' experiment only)",
+        help="machine-readable output (experiments: %s)"
+        % ", ".join(sorted(_JSON_PAYLOADS)),
     )
     args = parser.parse_args(argv)
 
     if args.json:
-        if args.experiment != "analysis":
-            parser.error("--json is only supported for the analysis experiment")
-        print(json.dumps(analysis_json(), indent=2, sort_keys=True))
+        payload = _JSON_PAYLOADS.get(args.experiment)
+        if payload is None:
+            parser.error(
+                "--json is only supported for: %s"
+                % ", ".join(sorted(_JSON_PAYLOADS))
+            )
+        print(json.dumps(payload(args), indent=2, sort_keys=True))
         return 0
 
     names = []

@@ -312,3 +312,37 @@ def ablation_unwind_depth(scale=0.5):
     """Stack-depth statistics for the §9.2 call-depth observation."""
     _columns, depth_stats = table4(scale)
     return depth_stats
+
+
+# ---------------------------------------------------------------------------
+# dispatch-stage cycle attribution (telemetry bus)
+# ---------------------------------------------------------------------------
+
+#: the configs whose contrast shows where BASTION's overhead goes:
+#: plain seccomp filtering, the full monitor (re-verify everything), and
+#: the monitor fast path
+STAGES_CONFIGS = ("vanilla", "seccomp_allowlist", "cet_ct_cf_ai", "cache_on")
+
+
+def stages(scale=1.0, app="nginx", configs=STAGES_CONFIGS):
+    """Per-stage cycle attribution for one app, from the telemetry bus.
+
+    Every run's dispatch pipeline attributes each stage's ledger delta to
+    ``stage.cycles.*`` counters on the kernel's bus (the monitor adds the
+    ``verify.*`` drill-down inside its trace stop); this experiment
+    snapshots those counters per config, decomposing where a defense's
+    cycles go — seccomp filtering vs stack unwinding vs argument
+    integrity.
+
+    Returns ``{config: {'work_units', 'total_cycles', 'stage_cycles'}}``.
+    """
+    app_scale = DEFAULT_SCALES[app] * scale
+    rows = {}
+    for config in configs:
+        result = run_app(app, config, scale=app_scale)
+        rows[config] = {
+            "work_units": result.work_units,
+            "total_cycles": result.total_cycles,
+            "stage_cycles": dict(result.stage_cycles),
+        }
+    return rows

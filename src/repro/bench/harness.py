@@ -21,12 +21,9 @@ from repro.apps.nginx import (
 from repro.apps.sqlite import DB_PATH, JOURNAL_PATH, SqliteConfig, build_sqlite
 from repro.apps.vsftpd import FILE_PATH, VsftpdConfig, build_vsftpd
 from repro.apps.workloads import Dbt2Workload, DkftpbenchWorkload, WrkWorkload
-from repro.compiler.pipeline import BastionCompiler
 from repro.kernel.kernel import Kernel
-from repro.monitor.monitor import BastionMonitor
 from repro.monitor.policy import ContextPolicy
-from repro.vm.cpu import CPU, CPUOptions
-from repro.vm.loader import Image
+from repro.vm.cpu import CPUOptions
 
 #: simulated clock used to convert cycles into seconds for display
 SIM_HZ = 3_000_000_000
@@ -52,9 +49,18 @@ class DefenseConfig:
     instrumented: bool = False
     #: compile/monitor with the §11.2 filesystem extension set
     extend_filesystem: bool = False
+    #: non-BASTION software baseline: 'seccomp_allowlist' | 'temporal'
+    #: | 'debloat' (None = static CPU flags only)
+    baseline: str = None
 
     def cpu_options(self):
         return CPUOptions(cet=self.cet, llvm_cfi=self.llvm_cfi, dfi=self.dfi)
+
+    def mechanism(self):
+        """The :class:`ProtectionMechanism` implementing this config."""
+        from repro.mechanisms import mechanism_for
+
+        return mechanism_for(self)
 
 
 def _full():
@@ -124,6 +130,12 @@ CONFIGS = {
     ),
     # DFI baseline (related-work overhead contrast)
     "dfi": DefenseConfig("dfi", dfi=True),
+    # software syscall-surface baselines (Table 6 contrasts)
+    "seccomp_allowlist": DefenseConfig(
+        "seccomp_allowlist", baseline="seccomp_allowlist"
+    ),
+    "temporal": DefenseConfig("temporal", baseline="temporal"),
+    "debloat": DefenseConfig("debloat", baseline="debloat"),
 }
 
 #: the Figure 3 x-axis, in order
@@ -158,6 +170,9 @@ class RunResult:
     sched_stats: dict = field(default_factory=dict)
     #: scheduled runs only: pid -> ExitStatus.kind for every task
     statuses: dict = field(default_factory=dict)
+    #: telemetry-bus per-stage cycle attribution ('seccomp', 'trace_stop',
+    #: 'verify.unwind', ... — see docs/telemetry.md)
+    stage_cycles: dict = field(default_factory=dict)
 
     def latency_ms(self, which):
         """A latency percentile ('p50'|'p95'|'p99'|'mean') in milliseconds."""
@@ -282,7 +297,6 @@ _APPS = {
 }
 
 _module_cache = {}
-_artifact_cache = {}
 
 
 def build_app(app, app_config=None):
@@ -293,15 +307,6 @@ def build_app(app, app_config=None):
     if key not in _module_cache:
         _module_cache[key] = entry["build"](config)
     return _module_cache[key]
-
-
-def _artifact_for(app, module, extend_filesystem):
-    key = (app, id(module), extend_filesystem)
-    if key not in _artifact_cache:
-        _artifact_cache[key] = BastionCompiler(
-            extend_filesystem=extend_filesystem
-        ).compile(module)
-    return _artifact_cache[key]
 
 
 def run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
@@ -332,26 +337,20 @@ def run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
 
 
 def _prepare(app, defense, app_config):
-    """Shared launch plumbing: kernel + env + (monitor?) + root proc/cpu."""
+    """Shared launch plumbing: kernel + env + mechanism + root proc/cpu.
+
+    Defense-agnostic by construction: every config — BASTION and all the
+    baselines — launches through its :class:`ProtectionMechanism`.
+    """
     entry = _APPS[app]
     module = build_app(app, app_config)
 
     kernel = Kernel()
     entry["env"](kernel)
 
-    monitor = None
-    if defense.policy is not None:
-        artifact = _artifact_for(app, module, defense.extend_filesystem)
-        monitor = BastionMonitor(artifact, policy=defense.policy)
-        proc, cpu = monitor.launch(kernel, cpu_options=defense.cpu_options())
-    else:
-        target = module
-        if defense.instrumented:
-            target = _artifact_for(app, module, defense.extend_filesystem).module
-        image = Image(target)
-        proc = kernel.create_process(app, image)
-        cpu = CPU(image, proc, kernel, defense.cpu_options())
-    return entry, kernel, monitor, proc, cpu
+    mechanism = defense.mechanism()
+    proc, cpu = mechanism.launch(kernel, app, module)
+    return entry, kernel, mechanism.monitor, proc, cpu
 
 
 def _attach_monitor_stats(result, monitor, proc):
@@ -388,6 +387,7 @@ def _run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
         bytes_sent=kernel.net.bytes_sent,
         syscall_counts=dict(proc.syscall_counts),
         ledger_breakdown=dict(proc.ledger.by_category),
+        stage_cycles=kernel.telemetry.stage_cycles(),
     )
     if monitor is not None:
         _attach_monitor_stats(result, monitor, proc)
@@ -450,6 +450,7 @@ def run_app_scheduled(
         ledger_breakdown=breakdown,
         sched_stats=sched.stats.as_dict(),
         statuses={pid: st.kind for pid, st in statuses.items()},
+        stage_cycles=kernel.telemetry.stage_cycles(),
     )
     if getattr(wl, "latency", None) is not None:
         result.latency = wl.latency.summary()

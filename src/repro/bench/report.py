@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     perf_sweep,
     scheduler_sweep,
     security_baseline_comparison,
+    stages,
     table4,
     table5,
     table6,
@@ -32,6 +33,9 @@ _CONFIG_LABELS = {
     "fs_full_inkernel": "+fs syscalls (in-kernel monitor, §11.2)",
     "cache_on": "BASTION + verdict cache",
     "cache_off": "BASTION (re-verify every stop)",
+    "seccomp_allowlist": "seccomp allowlist",
+    "temporal": "temporal filter",
+    "debloat": "debloated binary",
 }
 
 
@@ -441,6 +445,90 @@ def render_analysis():
     return "\n".join(lines)
 
 
+#: stages-table display order: pipeline order, with the monitor's verify.*
+#: drill-down (charged inside its trace stop) indented beneath it
+_STAGE_DISPLAY = (
+    ("block", "block"),
+    ("count", "count"),
+    ("seccomp", "seccomp (BPF filter)"),
+    ("trace_stop", "trace_stop (monitor)"),
+    ("verify.cache", "  > verdict cache"),
+    ("verify.unwind", "  > stack unwind"),
+    ("verify.call_type", "  > call-type check"),
+    ("verify.control_flow", "  > control-flow check"),
+    ("verify.arg_integrity", "  > arg-integrity check"),
+    ("verify", "verify (kill verdicts)"),
+    ("execute", "execute (handler)"),
+    ("account", "account"),
+)
+
+#: top-level pipeline stages (the verify.* rows are subsets of trace_stop)
+_TOP_STAGES = ("block", "count", "seccomp", "trace_stop", "verify", "execute", "account")
+
+
+def stages_json(scale=1.0):
+    """JSON-ready payload of :func:`repro.bench.experiments.stages`.
+
+    ``{config: {work_units, total_cycles, stage_cycles}}`` — exactly the
+    ``stage.cycles.*`` counters each run's telemetry bus accumulated.
+    """
+    return stages(scale)
+
+
+def render_stages(scale=1.0):
+    """Where the cycles go: per-stage attribution for nginx + wrk."""
+    data = stages(scale)
+    configs = list(data)
+    width = 24 + 19 * len(configs)
+
+    def row(label, values):
+        return "%-24s" % label + "".join("%19s" % v for v in values)
+
+    def mcyc(cycles):
+        return "%.1f" % (cycles / 1e3)
+
+    lines = [
+        "Dispatch-stage cycle attribution: nginx + wrk (telemetry-bus data, kcycles)",
+        _rule(width),
+        row("stage", configs),
+        _rule(width),
+    ]
+    for key, label in _STAGE_DISPLAY:
+        values = [data[c]["stage_cycles"].get(key, 0) for c in configs]
+        if not any(values):
+            continue
+        lines.append(row(label, [mcyc(v) for v in values]))
+    lines.append(_rule(width))
+    pipeline_totals = {
+        c: sum(data[c]["stage_cycles"].get(s, 0) for s in _TOP_STAGES)
+        for c in configs
+    }
+    lines.append(
+        row("pipeline total", [mcyc(pipeline_totals[c]) for c in configs])
+    )
+    lines.append(row("run total", [mcyc(data[c]["total_cycles"]) for c in configs]))
+    lines.append(
+        row(
+            "pipeline share",
+            [
+                "%.1f%%" % (100.0 * pipeline_totals[c] / data[c]["total_cycles"])
+                if data[c]["total_cycles"]
+                else "0.0%"
+                for c in configs
+            ],
+        )
+    )
+    lines.append(row("work units", [data[c]["work_units"] for c in configs]))
+    lines.append(_rule(width))
+    lines.append(
+        "'>' rows break down the monitor's trace stop (they are included in\n"
+        "the trace_stop row): BASTION's overhead = BPF filtering + stack\n"
+        "unwinding + the three context checks; the verdict cache trades the\n"
+        "unwind+check columns for one cache probe per stop."
+    )
+    return "\n".join(lines)
+
+
 RENDERERS = {
     "figure3": render_figure3,
     "table3": render_table3,
@@ -454,4 +542,5 @@ RENDERERS = {
     "adaptive": render_adaptive,
     "analysis": render_analysis,
     "scheduler": render_scheduler,
+    "stages": render_stages,
 }

@@ -1,0 +1,178 @@
+"""The explicit syscall dispatch pipeline (``repro.kernel.dispatch``).
+
+The seed threaded the syscall hot path ad-hoc through ``Kernel.dispatch``:
+scheduler blocking, counting, seccomp, the trace stop, verdict enforcement,
+the handler, and accounting were interleaved inline, and every protection
+mechanism hooked in through its own special case.  This module makes the
+path explicit: an ordered sequence of **stages**,
+
+    block -> count -> seccomp -> trace_stop -> verify -> execute -> account
+
+each a plain callable over one :class:`SyscallContext`.  The kernel
+installs its canonical handlers; a :class:`~repro.mechanisms.base.
+ProtectionMechanism` adds hooks with :meth:`DispatchPipeline.insert`
+(rank-ordered, so a mechanism can never scramble the sequence), and the
+pipeline attributes every stage's cycle delta to the kernel's telemetry
+bus — the ``python -m repro.bench stages`` breakdown falls out of that for
+free.
+
+Stage semantics (behavior-identical to the seed's inline path):
+
+- **block** — under a scheduler, raise ``WouldBlock`` for a syscall that
+  cannot complete yet; runs *before* count/seccomp so a parked-and-
+  restarted syscall is counted, filtered, and trace-stopped exactly once.
+- **count** — per-process and bus-global syscall counters.
+- **seccomp** — evaluate the attached filters; KILL raises, ERRNO
+  short-circuits (``ctx.done``), TRACE/TRAP marks ``ctx.trace``.
+- **trace_stop** — stop into the tracer and charge the context-switch
+  round trip (batched on the monitor fast path).
+- **verify** — enforce the tracer's verdict: re-raise the pending
+  ``SyscallIntegrityViolation`` of a tracee the monitor killed.
+- **execute** — run the syscall handler; sets ``ctx.result``.
+- **account** — emit the structured per-dispatch telemetry event.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+
+#: canonical stage sequence; install order must respect these ranks
+STAGE_ORDER = (
+    "block",
+    "count",
+    "seccomp",
+    "trace_stop",
+    "verify",
+    "execute",
+    "account",
+)
+
+_RANK = {name: index for index, name in enumerate(STAGE_ORDER)}
+
+
+class StageOrderError(KernelError):
+    """A stage was installed out of canonical order (or is unknown)."""
+
+
+@dataclass
+class SyscallContext:
+    """Everything one in-flight syscall dispatch carries between stages."""
+
+    proc: object
+    name: str
+    args: object
+    #: seccomp said TRACE/TRAP: the trace_stop stage must fire
+    trace: bool = False
+    #: the tracer resolved the stop on its fast path (batched trap cost)
+    fast: bool = False
+    #: the syscall's return value once decided
+    result: object = None
+    #: short-circuit: skip every remaining stage except account
+    done: bool = False
+    #: dispatch outcome ('allow' | 'errno' | 'kill' | 'violation')
+    verdict: str = "allow"
+    #: ledger cycle count when the dispatch entered the pipeline
+    start_cycles: int = 0
+    #: scratch space for mechanism hooks
+    extra: dict = field(default_factory=dict)
+
+    def short_circuit(self, result, verdict):
+        """Decide the syscall here; remaining stages (bar account) skip."""
+        self.result = result
+        self.verdict = verdict
+        self.done = True
+        return result
+
+
+class DispatchPipeline:
+    """Ordered, pluggable syscall stages with per-stage cycle telemetry."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self._stages = []  # [(stage_name, callable), ...] in rank order
+
+    def __len__(self):
+        return len(self._stages)
+
+    @property
+    def stages(self):
+        """The installed ``(stage, callable)`` sequence, in run order."""
+        return tuple(self._stages)
+
+    def stage_names(self):
+        return tuple(stage for stage, _fn in self._stages)
+
+    @staticmethod
+    def _rank_of(stage):
+        rank = _RANK.get(stage)
+        if rank is None:
+            raise StageOrderError(
+                "unknown stage %r (expected one of %s)"
+                % (stage, ", ".join(STAGE_ORDER))
+            )
+        return rank
+
+    def install(self, stage, fn):
+        """Append a stage handler; raises unless canonical order is kept.
+
+        This is the strict builder the kernel uses for its own stages:
+        installing ``verify`` and then ``seccomp`` is a programming error
+        and raises :class:`StageOrderError`.
+        """
+        rank = self._rank_of(stage)
+        if self._stages:
+            last_stage = self._stages[-1][0]
+            if rank < _RANK[last_stage]:
+                raise StageOrderError(
+                    "cannot install %r after %r: pipeline order is %s"
+                    % (stage, last_stage, " -> ".join(STAGE_ORDER))
+                )
+        self._stages.append((stage, fn))
+        return fn
+
+    def insert(self, stage, fn):
+        """Insert a hook at its canonical position (mechanism entry point).
+
+        The hook runs *after* every already-installed handler of the same
+        stage (and of earlier stages), keeping the sequence valid no
+        matter when a mechanism attaches.
+        """
+        rank = self._rank_of(stage)
+        index = len(self._stages)
+        for i, (existing, _fn) in enumerate(self._stages):
+            if _RANK[existing] > rank:
+                index = i
+                break
+        self._stages.insert(index, (stage, fn))
+        return fn
+
+    def remove(self, fn):
+        """Uninstall a previously-installed handler (by identity)."""
+        self._stages = [(s, f) for s, f in self._stages if f is not fn]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, ctx):
+        """Drive ``ctx`` through every stage; returns the syscall result.
+
+        Each stage's ledger delta is attributed to the bus under
+        ``stage.cycles.<stage>`` — including when the stage raises (a
+        seccomp KILL's cycles still land on the seccomp stage).  A stage
+        that sets ``ctx.done`` skips everything after it except account.
+        """
+        ledger = ctx.proc.ledger
+        bus = self.bus
+        ctx.start_cycles = ledger.cycles
+        for stage, fn in self._stages:
+            if ctx.done and stage != "account":
+                continue
+            before = ledger.cycles
+            try:
+                fn(ctx)
+            finally:
+                delta = ledger.cycles - before
+                if delta:
+                    bus.count("stage.cycles." + stage, delta)
+        return ctx.result

@@ -1,25 +1,36 @@
 """The syscall dispatcher and handler table.
 
-``dispatch`` is the single entry point the CPU calls at a ``syscall``
-instruction.  Order of operations matches Linux:
+``Kernel.syscall`` (aliased ``dispatch``) is the single entry point the
+CPU calls at a ``syscall`` instruction.  It drives one
+:class:`~repro.kernel.dispatch.SyscallContext` through the explicit
+dispatch pipeline (``repro.kernel.dispatch``), whose stage order matches
+Linux:
 
-1. every attached seccomp filter runs (cycle cost scales with BPF length);
-2. the strictest action wins: KILL terminates, ERRNO short-circuits,
-   TRACE stops the process into its tracer (two context switches) and the
-   monitor may kill it;
-3. otherwise the handler executes.
+1. **block/count** — scheduler blocking, then syscall accounting;
+2. **seccomp** — every attached filter runs (cycle cost scales with BPF
+   length); the strictest action wins: KILL terminates, ERRNO
+   short-circuits;
+3. **trace_stop/verify** — TRACE stops the process into its tracer (two
+   context switches) and the monitor may kill it;
+4. **execute/account** — the handler runs, then telemetry is emitted.
+
+Protection mechanisms hook extra behavior into the pipeline via
+``kernel.pipeline.insert`` instead of special cases here.
 
 Handlers implement real (simulated) semantics — files change, sockets move
 bytes, regions change protection, credentials change — so both the
 legitimate workloads and the attack payloads behave faithfully.  Security-
-relevant actions are recorded in ``kernel.events``; the attack catalog uses
-that log as its success oracle.
+relevant actions are emitted on ``kernel.telemetry`` and mirrored into the
+``kernel.events`` ring; the attack catalog uses that log as its success
+oracle.
 """
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ProcessKilled, WouldBlock
+from repro.kernel.dispatch import DispatchPipeline, SyscallContext
 from repro.kernel import errno
 from repro.kernel.mm import (
     PROT_EXEC,
@@ -42,6 +53,7 @@ from repro.kernel.seccomp import (
 )
 from repro.kernel.vfs import FileSystem, O_APPEND, O_CREAT, O_TRUNC, OpenFile, S_IFDIR, S_IFREG
 from repro.syscalls.table import SYSCALLS, nr_of
+from repro.telemetry import TelemetryBus
 from repro.vm.costs import DEFAULT_COSTS
 from repro.vm.memory import WORD
 
@@ -99,9 +111,14 @@ class KernelEventLog:
     seed's plain list grew without bound.  The ring keeps ``events_of()``
     semantics over the retained window and counts what it sheds in
     ``dropped`` so oracles can tell a quiet run from a truncated one.
+
+    The log is a *view* over the telemetry bus: when constructed with a
+    ``bus`` it subscribes to ``kind='kernel'`` events and mirrors them as
+    :class:`KernelEvent` records; standalone construction (plus direct
+    :meth:`append`) still works for unit tests.
     """
 
-    def __init__(self, capacity=65536):
+    def __init__(self, capacity=65536, bus=None):
         if capacity < 1:
             raise ValueError("event log capacity must be >= 1")
         self.capacity = capacity
@@ -109,12 +126,40 @@ class KernelEventLog:
         #: events evicted by the cap (total recorded = len(self) + dropped)
         self.dropped = 0
         self.total = 0
+        self._warned_dropped = False
+        if bus is not None:
+            bus.subscribe(self._on_telemetry)
+
+    def _on_telemetry(self, record):
+        if record.kind == "kernel":
+            self.append(KernelEvent(record.event, record.pid, record.data))
 
     def append(self, event):
         if len(self._ring) == self.capacity:
             self.dropped += 1
         self._ring.append(event)
         self.total += 1
+
+    def events_of(self, kind, allow_dropped=False):
+        """Events of ``kind`` in the retained window, oldest first.
+
+        After the ring has shed events this answer is silently incomplete,
+        which corrupts oracles that count occurrences.  Callers that can
+        tolerate a truncated window opt in with ``allow_dropped=True``;
+        everyone else gets a one-time warning telling them to either
+        assert ``dropped == 0`` or raise ``events_capacity``.
+        """
+        if self.dropped and not allow_dropped and not self._warned_dropped:
+            self._warned_dropped = True
+            warnings.warn(
+                "KernelEventLog dropped %d events; events_of(%r) sees only "
+                "the newest %d. Assert `kernel.events.dropped == 0` in "
+                "oracles, raise events_capacity, or pass allow_dropped=True."
+                % (self.dropped, kind, self.capacity),
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return [event for event in self._ring if event.kind == kind]
 
     def __len__(self):
         return len(self._ring)
@@ -143,7 +188,11 @@ class Kernel:
         self.net = NetStack()
         self.processes = {}
         self._next_pid = 1000
-        self.events = KernelEventLog(events_capacity)
+        #: the telemetry spine — every subsystem's counters/events land here
+        self.telemetry = TelemetryBus(capacity=events_capacity)
+        self.events = KernelEventLog(events_capacity, bus=self.telemetry)
+        #: the staged syscall path; mechanisms hook in via pipeline.insert
+        self.pipeline = self._build_pipeline()
         #: set by repro.sched.Scheduler when it takes over clone/blocking
         self.scheduler = None
         #: collision-checked child stack regions (slot 0 = root at STACK_TOP)
@@ -291,10 +340,21 @@ class Kernel:
             self.stacks.release(child.pid)
 
     def record(self, kind, proc, **details):
-        self.events.append(KernelEvent(kind, proc.pid, details))
+        """Publish a security-relevant action on the telemetry bus.
 
-    def events_of(self, kind):
-        return [event for event in self.events if event.kind == kind]
+        The ``kernel.events`` ring mirrors these via its bus subscription,
+        so the attack oracles keep reading the log they always read.
+        """
+        self.telemetry.emit(
+            "kernel",
+            kind,
+            pid=proc.pid,
+            syscall=details.get("syscall"),
+            data=details,
+        )
+
+    def events_of(self, kind, allow_dropped=False):
+        return self.events.events_of(kind, allow_dropped=allow_dropped)
 
     def clock(self):
         """Global cycle clock while a scheduler drives this kernel.
@@ -305,81 +365,141 @@ class Kernel:
         return self.scheduler.now() if self.scheduler is not None else None
 
     # ------------------------------------------------------------------
-    # dispatcher
+    # dispatcher (the staged syscall pipeline)
     # ------------------------------------------------------------------
 
-    def dispatch(self, proc, name, args):
-        """Run seccomp, maybe stop into the tracer, then the handler."""
+    def syscall(self, proc, name, args):
+        """Dispatch one syscall through the staged pipeline."""
+        return self.pipeline.run(SyscallContext(proc, name, args))
+
+    #: historical name for the entry point; also what ``strace`` wraps
+    dispatch = syscall
+
+    def _build_pipeline(self):
+        pipeline = DispatchPipeline(self.telemetry)
+        pipeline.install("block", self._stage_block)
+        pipeline.install("count", self._stage_count)
+        pipeline.install("seccomp", self._stage_seccomp)
+        pipeline.install("trace_stop", self._stage_trace_stop)
+        pipeline.install("verify", self._stage_verify)
+        pipeline.install("execute", self._stage_execute)
+        pipeline.install("account", self._stage_account)
+        return pipeline
+
+    def _stage_block(self, ctx):
+        """Under a scheduler, park a syscall that cannot complete yet."""
         if self.scheduler is not None and not self.scheduler.draining:
-            self._maybe_block(proc, name, args)
-        proc.count_syscall(name)
-        if proc.seccomp_filters:
-            nr = nr_of(name)
-            cache = proc.seccomp_action_cache
-            if cache is not None and cache.allows(nr):
-                # Linux's per-nr action bitmap: an always-ALLOW syscall
-                # never enters the BPF engine — one bit test and go.
-                proc.seccomp_cache_hits += 1
-                proc.ledger.charge(self.costs.seccomp_cache_hit, "seccomp")
-            else:
-                if cache is not None:
-                    proc.seccomp_cache_misses += 1
-                action, insns = evaluate_filters(
-                    proc.seccomp_filters,
-                    nr,
-                    ip=proc.regs.rip,
-                    args=tuple(args) + (0,) * (6 - len(args)),
-                )
-                proc.ledger.charge(
-                    insns * self.costs.seccomp_per_bpf_instr_millicycles // 1000,
-                    "seccomp",
-                )
-                base = action & SECCOMP_RET_ACTION_FULL
-                if base in (SECCOMP_RET_KILL_PROCESS, SECCOMP_RET_KILL_THREAD):
-                    proc.kill("seccomp: %s not callable" % name)
-                    self.record("seccomp_kill", proc, syscall=name)
-                    raise ProcessKilled(
-                        "seccomp killed pid %d on %s" % (proc.pid, name),
-                        reason="seccomp",
-                    )
-                if base == SECCOMP_RET_ERRNO:
-                    return -(action & SECCOMP_RET_DATA)
-                if base in (SECCOMP_RET_TRACE, SECCOMP_RET_TRAP):
-                    fast = False
-                    if proc.tracer is not None:
-                        fast = bool(proc.tracer.on_syscall_stop(proc, name))
-                    # A trace stop costs two context switches — unless the
-                    # tracer is in hook-only accounting mode (Table 7 row 1
-                    # measures the seccomp hook without the stop) or runs
-                    # inside the kernel (§11.2: in-kernel execution
-                    # "completely resolves overhead incurred from context
-                    # switching").  A fast-path stop (memoized verdict) is
-                    # resumed in a batched continuation, amortizing the
-                    # round trip over ``costs.trace_stop_batch`` stops.
-                    if getattr(proc.tracer, "stops_at_trace", True) and not getattr(
-                        proc.tracer, "in_kernel", False
-                    ):
-                        full_trap = 2 * self.costs.context_switch
-                        proc.ledger.charge(
-                            full_trap // self.costs.trace_stop_batch
-                            if fast
-                            else full_trap,
-                            "trap",
-                        )
-                    if proc.tracer is not None and not proc.alive:
-                        pending, proc.pending_exception = (
-                            proc.pending_exception,
-                            None,
-                        )
-                        raise pending or ProcessKilled(
-                            "monitor killed pid %d on %s: %s"
-                            % (proc.pid, name, proc.kill_reason),
-                            reason=proc.kill_reason,
-                        )
-        handler = self._handlers.get(name)
+            self._maybe_block(ctx.proc, ctx.name, ctx.args)
+
+    def _stage_count(self, ctx):
+        ctx.proc.count_syscall(ctx.name)
+        bus = self.telemetry
+        bus.count("dispatch.syscalls")
+        bus.count("syscall." + ctx.name)
+
+    def _stage_seccomp(self, ctx):
+        proc = ctx.proc
+        if not proc.seccomp_filters:
+            return
+        name = ctx.name
+        nr = nr_of(name)
+        cache = proc.seccomp_action_cache
+        if cache is not None and cache.allows(nr):
+            # Linux's per-nr action bitmap: an always-ALLOW syscall
+            # never enters the BPF engine — one bit test and go.
+            proc.seccomp_cache_hits += 1
+            self.telemetry.count("seccomp.cache_hits")
+            proc.ledger.charge(self.costs.seccomp_cache_hit, "seccomp")
+            return
+        if cache is not None:
+            proc.seccomp_cache_misses += 1
+            self.telemetry.count("seccomp.cache_misses")
+        action, insns = evaluate_filters(
+            proc.seccomp_filters,
+            nr,
+            ip=proc.regs.rip,
+            args=tuple(ctx.args) + (0,) * (6 - len(ctx.args)),
+        )
+        proc.ledger.charge(
+            insns * self.costs.seccomp_per_bpf_instr_millicycles // 1000,
+            "seccomp",
+        )
+        base = action & SECCOMP_RET_ACTION_FULL
+        if base in (SECCOMP_RET_KILL_PROCESS, SECCOMP_RET_KILL_THREAD):
+            ctx.verdict = "kill"
+            self.telemetry.count("dispatch.verdict.kill")
+            proc.kill("seccomp: %s not callable" % name)
+            self.record("seccomp_kill", proc, syscall=name)
+            raise ProcessKilled(
+                "seccomp killed pid %d on %s" % (proc.pid, name),
+                reason="seccomp",
+            )
+        if base == SECCOMP_RET_ERRNO:
+            ctx.short_circuit(-(action & SECCOMP_RET_DATA), "errno")
+            return
+        if base in (SECCOMP_RET_TRACE, SECCOMP_RET_TRAP):
+            ctx.trace = True
+
+    def _stage_trace_stop(self, ctx):
+        if not ctx.trace:
+            return
+        proc = ctx.proc
+        fast = False
+        if proc.tracer is not None:
+            fast = bool(proc.tracer.on_syscall_stop(proc, ctx.name))
+        ctx.fast = fast
+        # A trace stop costs two context switches — unless the tracer is
+        # in hook-only accounting mode (Table 7 row 1 measures the seccomp
+        # hook without the stop) or runs inside the kernel (§11.2:
+        # in-kernel execution "completely resolves overhead incurred from
+        # context switching").  A fast-path stop (memoized verdict) is
+        # resumed in a batched continuation, amortizing the round trip
+        # over ``costs.trace_stop_batch`` stops.
+        if getattr(proc.tracer, "stops_at_trace", True) and not getattr(
+            proc.tracer, "in_kernel", False
+        ):
+            full_trap = 2 * self.costs.context_switch
+            proc.ledger.charge(
+                full_trap // self.costs.trace_stop_batch if fast else full_trap,
+                "trap",
+            )
+
+    def _stage_verify(self, ctx):
+        """Enforce the tracer's verdict: surface a monitor kill here."""
+        if not ctx.trace:
+            return
+        proc = ctx.proc
+        if proc.tracer is not None and not proc.alive:
+            ctx.verdict = "violation"
+            self.telemetry.count("dispatch.verdict.violation")
+            pending, proc.pending_exception = (
+                proc.pending_exception,
+                None,
+            )
+            raise pending or ProcessKilled(
+                "monitor killed pid %d on %s: %s"
+                % (proc.pid, ctx.name, proc.kill_reason),
+                reason=proc.kill_reason,
+            )
+
+    def _stage_execute(self, ctx):
+        handler = self._handlers.get(ctx.name)
         if handler is None:
-            return -errno.ENOSYS
-        return handler(proc, args)
+            ctx.result = -errno.ENOSYS
+            return
+        ctx.result = handler(ctx.proc, ctx.args)
+
+    def _stage_account(self, ctx):
+        bus = self.telemetry
+        bus.count("dispatch.verdict." + ctx.verdict)
+        bus.emit(
+            "dispatch",
+            "syscall",
+            pid=ctx.proc.pid,
+            syscall=ctx.name,
+            verdict=ctx.verdict,
+            cycles=ctx.proc.ledger.cycles - ctx.start_cycles,
+        )
 
     def _maybe_block(self, proc, name, args):
         """Raise :class:`WouldBlock` for a syscall that cannot complete yet.

@@ -1,0 +1,33 @@
+"""Protection mechanisms behind one interface (see ``docs/architecture.md``).
+
+``mechanism_for(defense)`` maps a :class:`~repro.bench.harness.
+DefenseConfig` to the :class:`ProtectionMechanism` that implements it;
+``mechanism.launch(kernel, app, module)`` is the entire launch path the
+bench harness uses, for BASTION and every baseline alike.
+"""
+
+from repro.mechanisms.base import (
+    ProtectionMechanism,
+    artifact_for,
+    mechanism_for,
+)
+from repro.mechanisms.bastion import BastionMechanism
+from repro.mechanisms.baselines import (
+    SERVING_ROOTS,
+    DebloatMechanism,
+    SeccompAllowlistMechanism,
+    StaticMechanism,
+    TemporalMechanism,
+)
+
+__all__ = [
+    "ProtectionMechanism",
+    "artifact_for",
+    "mechanism_for",
+    "BastionMechanism",
+    "StaticMechanism",
+    "SeccompAllowlistMechanism",
+    "TemporalMechanism",
+    "DebloatMechanism",
+    "SERVING_ROOTS",
+]

@@ -35,10 +35,16 @@ actions per syscall number for the same reason.
 
 ``MonitorStats`` aggregates the monitor's observability counters (hook
 counts, cache hits/misses/invalidations, unwind depths, trap batching) and
-is surfaced through the bench harness and ``repro.api.RunResult``.
+is surfaced through the bench harness and ``repro.api.RunResult``.  It is a
+*view* over the telemetry bus: standalone it carries a small private bus,
+and when the monitor attaches to a kernel the view is rebound onto
+``kernel.telemetry``, where the same numbers live under ``monitor.*``
+counter keys.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.telemetry import BusCounter, BusMax, BusView
 
 
 def chain_hash(frames):
@@ -50,39 +56,51 @@ def chain_hash(frames):
     return h
 
 
-@dataclass
-class MonitorStats:
-    """Counters describing one monitor's lifetime (surfaced by the harness)."""
+class MonitorStats(BusView):
+    """Counters describing one monitor's lifetime (surfaced by the harness).
 
-    hooks: int = 0
-    hook_counts: dict = field(default_factory=dict)
-    violation_count: int = 0
+    Every attribute is backed by a ``monitor.*`` counter on the telemetry
+    bus; reads and writes keep their historical shape while the storage
+    lives on the spine.
+    """
+
+    HOOK_PREFIX = "monitor.hook."
+
+    hooks = BusCounter("monitor.hooks")
+    violation_count = BusCounter("monitor.violations")
 
     # verdict cache
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_stores: int = 0
-    cache_evictions: int = 0
-    invalidations: int = 0
-    probe_failures: int = 0
+    cache_hits = BusCounter("monitor.cache_hits")
+    cache_misses = BusCounter("monitor.cache_misses")
+    cache_stores = BusCounter("monitor.cache_stores")
+    cache_evictions = BusCounter("monitor.cache_evictions")
+    invalidations = BusCounter("monitor.invalidations")
+    probe_failures = BusCounter("monitor.probe_failures")
 
     # unwinding (misses only: hits skip the walk)
-    unwind_samples: int = 0
-    unwind_depth_total: int = 0
-    max_unwind_depth: int = 0
+    unwind_samples = BusCounter("monitor.unwind_samples")
+    unwind_depth_total = BusCounter("monitor.unwind_depth_total")
+    max_unwind_depth = BusMax("monitor.max_unwind_depth")
 
     # trace-stop accounting (full round trips vs batched continuations)
-    trap_stops_full: int = 0
-    trap_stops_batched: int = 0
+    trap_stops_full = BusCounter("monitor.trap_stops_full")
+    trap_stops_batched = BusCounter("monitor.trap_stops_batched")
+
+    @property
+    def hook_counts(self):
+        """Per-syscall hook counts, assembled from ``monitor.hook.*``."""
+        return self._bus.counters_with_prefix(self.HOOK_PREFIX)
 
     def count_hook(self, syscall_name):
-        self.hooks += 1
-        self.hook_counts[syscall_name] = self.hook_counts.get(syscall_name, 0) + 1
+        bus = self._bus
+        bus.count("monitor.hooks")
+        bus.count(self.HOOK_PREFIX + syscall_name)
 
     def sample_unwind(self, depth):
-        self.unwind_samples += 1
-        self.unwind_depth_total += depth
-        self.max_unwind_depth = max(self.max_unwind_depth, depth)
+        bus = self._bus
+        bus.count("monitor.unwind_samples")
+        bus.count("monitor.unwind_depth_total", depth)
+        bus.record_max("monitor.max_unwind_depth", depth)
 
     @property
     def average_unwind_depth(self):

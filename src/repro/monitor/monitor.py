@@ -220,12 +220,14 @@ class BastionMonitor:
                 actions[entry.nr] = SECCOMP_RET_TRACE
         return build_action_filter(actions, label="bastion:%s" % self.metadata.program)
 
-    def launch(self, kernel, cpu_options=None):
-        """Fork + set up the protected application; returns ``(proc, cpu)``.
+    def attach(self, kernel, proc):
+        """Install this monitor on an existing process of ``kernel``.
 
-        The caller drives ``cpu.run()``; the monitor fields syscall stops.
+        Sets up the BASTION runtime and shadow globals, installs the
+        seccomp filter, registers as the process's tracer, and rebinds the
+        monitor's stats view onto the kernel's telemetry bus (so every
+        ``monitor.*`` counter lands on the one spine).
         """
-        proc = kernel.create_process(self.metadata.program, self.image)
         runtime = BastionRuntime(proc)
         runtime.initialize_globals(self.image, self.metadata.sensitive_globals)
         proc.bastion_runtime = runtime
@@ -233,6 +235,16 @@ class BastionMonitor:
             runtime.subscribe(self)
         kernel.install_seccomp(proc, self.build_filter())
         proc.tracer = self
+        self.stats.rebind(kernel.telemetry)
+        return proc
+
+    def launch(self, kernel, cpu_options=None):
+        """Fork + set up the protected application; returns ``(proc, cpu)``.
+
+        The caller drives ``cpu.run()``; the monitor fields syscall stops.
+        """
+        proc = kernel.create_process(self.metadata.program, self.image)
+        self.attach(kernel, proc)
         options = cpu_options or CPUOptions(cet=True)
         cpu = CPU(self.image, proc, kernel, options)
         return proc, cpu
@@ -257,31 +269,37 @@ class BastionMonitor:
 
         pt = PtraceHandle(proc, self.costs, transport=policy.transport)
         regs = pt.getregs()
+        bus = self.stats.bus
+        ledger = proc.ledger
 
         # -- fast path: memoized ALLOW verdict (cache.py) ------------------
         key = None
         if self.cache is not None:
-            key = VerdictCache.key_for(syscall_name, regs, proc.pid)
-            pt.proc.ledger.charge(self.costs.verdict_cache_lookup, "monitor")
-            entry = self.cache.lookup(key)
-            if entry is not None and self.cache.probe_ok(entry, pt, regs):
-                # resident check: sensitive global struct fields are
-                # compared in place on every hit — data-only corruption of
-                # a cached callsite's globals is invisible to the
-                # register fingerprint but not to this sweep.
-                resident = None
-                if policy.arg_integrity:
-                    resident = self.verifier.verify_global_fields(
-                        pt, regs, syscall_name, True
-                    )
-                if resident is None:
-                    self.stats.cache_hits += 1
-                    self.stats.trap_stops_batched += 1
-                    session.fast_hits += 1
-                    return True
-                self.cache.invalidate_key(key)
-                self._verdict(pt, resident)
-                return False
+            before = ledger.cycles
+            try:
+                key = VerdictCache.key_for(syscall_name, regs, proc.pid)
+                pt.proc.ledger.charge(self.costs.verdict_cache_lookup, "monitor")
+                entry = self.cache.lookup(key)
+                if entry is not None and self.cache.probe_ok(entry, pt, regs):
+                    # resident check: sensitive global struct fields are
+                    # compared in place on every hit — data-only corruption of
+                    # a cached callsite's globals is invisible to the
+                    # register fingerprint but not to this sweep.
+                    resident = None
+                    if policy.arg_integrity:
+                        resident = self.verifier.verify_global_fields(
+                            pt, regs, syscall_name, True
+                        )
+                    if resident is None:
+                        self.stats.cache_hits += 1
+                        self.stats.trap_stops_batched += 1
+                        session.fast_hits += 1
+                        return True
+                    self.cache.invalidate_key(key)
+                    self._verdict(pt, resident)
+                    return False
+            finally:
+                bus.charge_stage("verify.cache", ledger.cycles - before)
             self.stats.cache_misses += 1
         self.stats.trap_stops_full += 1
 
@@ -314,7 +332,9 @@ class BastionMonitor:
             max_frames = 64
         else:
             max_frames = 1
+        before = ledger.cycles
         frames = unwind_stack(pt, regs, self.image, max_frames=max_frames)
+        bus.charge_stage("verify.unwind", ledger.cycles - before)
         self.stats.sample_unwind(len(frames))
 
         enforce = policy.enforcing
@@ -322,23 +342,29 @@ class BastionMonitor:
         self.verifier.deps = deps
         try:
             if policy.call_type:
+                before = ledger.cycles
                 verdict = self.verifier.verify_call_type(
                     pt, regs, syscall_name, frames, inline
                 )
+                bus.charge_stage("verify.call_type", ledger.cycles - before)
                 if verdict is not None and enforce:
                     self._verdict(pt, verdict)
                     return False
             if policy.control_flow:
+                before = ledger.cycles
                 verdict = self.verifier.verify_control_flow(
                     pt, regs, syscall_name, frames
                 )
+                bus.charge_stage("verify.control_flow", ledger.cycles - before)
                 if verdict is not None and enforce:
                     self._verdict(pt, verdict)
                     return False
             if policy.arg_integrity:
+                before = ledger.cycles
                 verdict = self.verifier.verify_arg_integrity(
                     pt, regs, syscall_name, frames, inline, enforce
                 )
+                bus.charge_stage("verify.arg_integrity", ledger.cycles - before)
                 if verdict is not None and enforce:
                     self._verdict(pt, verdict)
                     return False

@@ -29,9 +29,10 @@ same verdicts for both.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import KernelError, WouldBlock
+from repro.telemetry import BusCounter, BusView
 from repro.vm.cpu import ExitStatus
 
 #: default preemption quantum, in cycles (~17 us of simulated time)
@@ -45,18 +46,22 @@ ZOMBIE = "zombie"
 REAPED = "reaped"
 
 
-@dataclass
-class SchedStats:
-    """Observability counters for one scheduler run."""
+class SchedStats(BusView):
+    """Observability counters for one scheduler run.
 
-    slices: int = 0
-    preemptions: int = 0
-    blocks: int = 0
-    wakes: int = 0
-    forced_wakes: int = 0
-    spawned: int = 0
-    completed: int = 0
-    switch_cycles: int = 0
+    A view over the telemetry bus (``sched.*`` counter keys): the
+    scheduler constructs it bound to its kernel's bus, so scheduler
+    observability shares the one spine with the kernel and monitor.
+    """
+
+    slices = BusCounter("sched.slices")
+    preemptions = BusCounter("sched.preemptions")
+    blocks = BusCounter("sched.blocks")
+    wakes = BusCounter("sched.wakes")
+    forced_wakes = BusCounter("sched.forced_wakes")
+    spawned = BusCounter("sched.spawned")
+    completed = BusCounter("sched.completed")
+    switch_cycles = BusCounter("sched.switch_cycles")
 
     def as_dict(self):
         return {
@@ -99,7 +104,7 @@ class Scheduler:
         self._runq = deque()
         self._blocked = []  # parked Tasks, in block order (deterministic)
         self.statuses = {}  # pid -> ExitStatus
-        self.stats = SchedStats()
+        self.stats = SchedStats(bus=kernel.telemetry)
         #: set when no task can progress; blocking is disabled from then on
         #: so parked syscalls complete via their non-blocking fallbacks
         self.draining = False

@@ -5,7 +5,6 @@ asserts the pass suite reports exactly that defect (and nothing else) —
 the same discipline the broken fixture app enforces end-to-end.
 """
 
-import pytest
 
 from repro.analyze import analyze_artifact
 from repro.analyze.calltypes import recompute_call_types

@@ -1,10 +1,9 @@
 """Tests for the three workload applications and their load generators."""
 
-import pytest
 
 from repro.apps.nginx import NginxConfig, PAGE_BYTES, build_nginx
 from repro.apps.sqlite import SqliteConfig, build_sqlite
-from repro.apps.vsftpd import VsftpdConfig, build_vsftpd
+from repro.apps.vsftpd import build_vsftpd
 from repro.apps.workloads import Dbt2Workload, DkftpbenchWorkload, WrkWorkload
 from repro.api import run
 from repro.bench.harness import run_app

@@ -1,11 +1,9 @@
 """Tests for the IR libc: wrappers, string/memory helpers, allocator."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.apps.libc import LIBC_WRAPPERS, build_libc
 from repro.ir.builder import ModuleBuilder
-from repro.vm.loader import Image
 from repro.vm.memory import WORD
 from tests.conftest import run_module
 

@@ -1,6 +1,5 @@
 """Tests for mini-NGINX's real request-line parsing (incl. the 404 path)."""
 
-import pytest
 
 from repro.apps.nginx import PAGE_BYTES, build_nginx
 from repro.apps.workloads import WrkWorkload

@@ -92,3 +92,23 @@ class TestAnalysisExperiment:
     def test_json_rejected_for_other_experiments(self):
         with pytest.raises(SystemExit):
             bench_main(["table5", "--json"])
+
+
+class TestStagesExperiment:
+    def test_stages_text(self, capsys):
+        assert bench_main(["stages", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace_stop (monitor)" in out
+        assert "stack unwind" in out
+
+    def test_stages_json_byte_stable(self, capsys):
+        assert bench_main(["stages", "--scale", "0.1", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert bench_main(["stages", "--scale", "0.1", "--json"]) == 0
+        assert capsys.readouterr().out == first  # identical bytes, rerun
+        payload = json.loads(first)
+        bastion = payload["cet_ct_cf_ai"]["stage_cycles"]
+        assert bastion["trace_stop"] > payload["vanilla"]["stage_cycles"].get(
+            "trace_stop", 0
+        )
+        assert "verify.arg_integrity" in bastion

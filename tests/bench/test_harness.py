@@ -1,6 +1,5 @@
 """Tests for the benchmark harness and experiment generators."""
 
-import pytest
 
 from repro.bench.harness import (
     CONFIGS,

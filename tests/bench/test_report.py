@@ -1,6 +1,5 @@
 """Tests for the report renderers (every experiment prints cleanly)."""
 
-import pytest
 
 from repro.bench.report import (
     render_ablation_cache,
@@ -8,6 +7,7 @@ from repro.bench.report import (
     render_adaptive,
     render_figure3,
     render_security_baselines,
+    render_stages,
     render_table3,
     render_table4,
     render_table5,
@@ -82,6 +82,14 @@ def test_render_adaptive():
     assert "REACHED" in text  # the §11.1 theoretical bypass is visible
 
 
+def test_render_stages():
+    text = render_stages(SCALE)
+    assert "trace_stop (monitor)" in text
+    assert "arg-integrity" in text  # the verify.* drill-down is visible
+    assert "pipeline total" in text
+    assert "cet_ct_cf_ai" in text
+
+
 def test_all_renderers_registered():
     assert set(RENDERERS) == {
         "figure3",
@@ -96,6 +104,7 @@ def test_all_renderers_registered():
         "adaptive",
         "analysis",
         "scheduler",
+        "stages",
     }
 
 

@@ -1,6 +1,5 @@
 """Compiler pass hooks and metadata provenance."""
 
-import pytest
 
 from repro.compiler.pipeline import PASS_STAGES, BastionCompiler
 from repro.ir.builder import ModuleBuilder

@@ -1,6 +1,5 @@
 """Tests for metadata serialization and the compiler pipeline facade."""
 
-import pytest
 
 from repro.compiler.metadata import (
     ArgBindingMeta,

@@ -1,0 +1,1 @@
+"""Recorded behavior pins (and the scripts that regenerate them)."""

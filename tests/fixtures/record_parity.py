@@ -1,0 +1,101 @@
+"""Regenerate ``parity_seed.json`` — the pre-refactor behavior pin.
+
+The fixture was recorded on the last commit *before* the dispatch-pipeline
+refactor, by running every protection mechanism through the harness (or,
+for the filtering baselines that predated their ``CONFIGS`` entries, a
+manual equivalent of what the mechanism now does).  The parity matrix test
+(``tests/test_mechanism_parity.py``) replays the same runs on the current
+code and asserts byte-identical verdicts, syscall counts, and cycle totals
+— proving the pipeline refactor is behavior- and cost-neutral.
+
+Only regenerate this fixture deliberately (a cost-model or workload change
+invalidates the pin)::
+
+    PYTHONPATH=src python tests/fixtures/record_parity.py
+"""
+
+import json
+import os
+
+from repro.bench.harness import CONFIGS, run_app
+
+SCALE = 0.05
+
+#: the (app, config) parity matrix; every mechanism appears at least once
+MATRIX = {
+    "nginx": (
+        "vanilla",
+        "llvm_cfi",
+        "cet",
+        "dfi",
+        "cet_ct",
+        "cet_ct_cf",
+        "cet_ct_cf_ai",
+        "cache_on",
+        "cache_off",
+        "fs_full",
+        "seccomp_allowlist",
+        "temporal",
+        "debloat",
+    ),
+    "sqlite": (
+        "vanilla",
+        "cet_ct_cf_ai",
+        "seccomp_allowlist",
+        "temporal",
+        "debloat",
+    ),
+    "vsftpd": (
+        "vanilla",
+        "cet_ct_cf_ai",
+        "seccomp_allowlist",
+        "debloat",
+    ),
+}
+
+FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "parity_seed.json")
+
+
+def snapshot(result):
+    """The pinned observable surface of one run."""
+    snap = {
+        "status": result.status.kind,
+        "work_units": result.work_units,
+        "total_cycles": result.total_cycles,
+        "steady_cycles": result.steady_cycles,
+        "hook_total": result.hook_total,
+        "violations": len(result.violations),
+        "syscall_counts": dict(sorted(result.syscall_counts.items())),
+    }
+    if result.monitor_stats:
+        snap["monitor_stats"] = {
+            key: result.monitor_stats[key]
+            for key in (
+                "hooks",
+                "violations",
+                "cache_hits",
+                "cache_misses",
+                "trap_stops_full",
+                "trap_stops_batched",
+            )
+        }
+    return snap
+
+
+def record():
+    fixture = {"scale": SCALE, "runs": {}}
+    for app, configs in sorted(MATRIX.items()):
+        for config in configs:
+            if config not in CONFIGS:
+                raise SystemExit("unknown config %r" % config)
+            result = run_app(app, config, scale=SCALE)
+            fixture["runs"]["%s/%s" % (app, config)] = snapshot(result)
+            print("recorded %s/%s: %s" % (app, config, result.summary()))
+    with open(FIXTURE_PATH, "w") as fh:
+        json.dump(fixture, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % FIXTURE_PATH)
+
+
+if __name__ == "__main__":
+    record()

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.errors import IRError
-from repro.ir.builder import FunctionBuilder, ModuleBuilder
+from repro.ir.builder import ModuleBuilder
 from repro.ir.function import Function
-from repro.ir.instructions import Branch, Call, Const, Label, Ret, Var
+from repro.ir.instructions import Const, Label, Ret, Var
 
 
 class TestFunctionLayout:

@@ -13,13 +13,12 @@ from repro.ir.instructions import (
     Label,
     Load,
     Move,
-    Ret,
     Store,
     Syscall,
     Var,
 )
 from repro.ir.parser import parse_instr, parse_module
-from repro.ir.printer import format_instr, format_module
+from repro.ir.printer import format_module
 from repro.ir.validate import validate_module
 
 

@@ -2,7 +2,7 @@
 
 from repro.ir.builder import ModuleBuilder
 from repro.ir.printer import format_function, format_instr, format_module
-from repro.ir.instructions import Const, Ret, Store, Imm, Var
+from repro.ir.instructions import Const, Store, Imm, Var
 
 
 def test_format_instr_samples():

@@ -4,7 +4,16 @@ import pytest
 
 from repro.errors import IRValidationError
 from repro.ir.builder import ModuleBuilder
-from repro.ir.instructions import BinOp, Branch, Call, Gep, Imm, Jump, Ret, Syscall, Var
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Gep,
+    Imm,
+    Jump,
+    Syscall,
+    Var,
+)
 from repro.ir.validate import validate_module
 
 

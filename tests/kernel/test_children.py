@@ -1,6 +1,5 @@
 """Tests for running clone()d children under inherited protection (§7.1)."""
 
-import pytest
 
 from repro.compiler.pipeline import protect
 from repro.ir.builder import ModuleBuilder

@@ -1,5 +1,7 @@
 """The bounded kernel event ring: capacity, drop accounting, log semantics."""
 
+import warnings
+
 import pytest
 
 from repro.kernel.kernel import Kernel, KernelEvent, KernelEventLog
@@ -40,7 +42,8 @@ class TestKernelEventLog:
 
     def test_events_of_over_retained_window(self):
         """``events_of()`` keeps its semantics over what the ring retains;
-        ``dropped`` tells a quiet run from a truncated one."""
+        ``dropped`` tells a quiet run from a truncated one, and querying a
+        truncated ring needs an explicit opt-in."""
 
         class _P:
             pid = 1
@@ -49,7 +52,31 @@ class TestKernelEventLog:
         kernel.record("first", _P)
         kernel.record("second", _P)
         kernel.record("third", _P)
-        assert kernel.events_of("first") == []
+        assert kernel.events_of("first", allow_dropped=True) == []
         assert [event.kind for event in kernel.events] == ["second", "third"]
         assert kernel.events.dropped == 1
         assert kernel.events.total == 3
+
+    def test_events_of_warns_once_after_drops(self):
+        """Without the opt-in, the first query over a truncated ring warns
+        (once); an intact ring never warns."""
+
+        class _P:
+            pid = 1
+
+        kernel = Kernel(events_capacity=2)
+        kernel.record("first", _P)
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            kernel.events_of("first")
+        assert captured == []
+
+        kernel.record("second", _P)
+        kernel.record("third", _P)
+        with pytest.warns(RuntimeWarning, match="dropped 1 events"):
+            kernel.events_of("first")
+        # one-time: the second query is silent
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            kernel.events_of("first")
+        assert captured == []

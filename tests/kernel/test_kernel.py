@@ -6,7 +6,6 @@ from repro.errors import ProcessKilled
 from repro.ir.builder import ModuleBuilder
 from repro.kernel import errno
 from repro.kernel.kernel import ELIDE_BYTES, Kernel
-from repro.kernel.mm import PROT_EXEC, PROT_READ, PROT_WRITE
 from repro.kernel.net import Connection
 from repro.kernel.seccomp import (
     SECCOMP_RET_ERRNO,

@@ -6,7 +6,6 @@ from repro.errors import MonitorError
 from repro.kernel.kernel import Kernel
 from repro.kernel.ptrace import PtraceHandle
 from repro.vm.costs import DEFAULT_COSTS
-from repro.vm.memory import WORD
 
 
 @pytest.fixture

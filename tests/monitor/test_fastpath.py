@@ -1,6 +1,5 @@
 """The monitor fast path: verdict cache, invalidation, and soundness."""
 
-import pytest
 
 from repro.compiler.pipeline import protect
 from repro.ir.builder import ModuleBuilder

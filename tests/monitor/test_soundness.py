@@ -15,7 +15,6 @@ from repro.ir.builder import ModuleBuilder
 from repro.kernel.kernel import Kernel
 from repro.monitor.monitor import BastionMonitor
 from repro.monitor.policy import ContextPolicy
-from repro.vm.cpu import CPUOptions
 from tests.conftest import make_wrapper
 
 LEGIT_ADDR = 0x10000000

@@ -1,7 +1,6 @@
 """Tests for the frame-pointer stack unwinder."""
 
 from repro.ir.builder import ModuleBuilder
-from repro.kernel.kernel import Kernel
 from repro.kernel.ptrace import PtraceHandle
 from repro.monitor.unwind import callee_param_slot, Frame, unwind_stack
 from repro.vm.costs import DEFAULT_COSTS

@@ -8,7 +8,7 @@ import repro
 from repro import api
 from repro.api import ProtectConfig, RunResult, protect, run
 from repro.apps.nginx import build_nginx
-from repro.bench.harness import CONFIGS, DefenseConfig, run_app
+from repro.bench.harness import CONFIGS, run_app
 from repro.apps.workloads import WrkWorkload
 from repro.errors import ProcessKilled
 from repro.monitor.monitor import SyscallIntegrityViolation

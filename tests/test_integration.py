@@ -1,9 +1,8 @@
 """Cross-stack integration tests: the README quickstart path and the
 paper's headline claims, end to end."""
 
-import pytest
 
-from repro import BastionCompiler, ContextPolicy, protect
+from repro import BastionCompiler, protect
 from repro.apps.nginx import build_nginx
 from repro.bench.harness import run_app
 from repro.bench.experiments import security_baseline_comparison

@@ -1,0 +1,149 @@
+"""Unit tests for the telemetry spine (bus, ring, counters, views)."""
+
+import pytest
+
+from repro.telemetry import (
+    STAGE_CYCLES_PREFIX,
+    BusCounter,
+    BusMax,
+    BusView,
+    TelemetryBus,
+)
+
+
+class TestCounters:
+    def test_count_and_get(self):
+        bus = TelemetryBus()
+        bus.count("x")
+        bus.count("x", 4)
+        assert bus.get("x") == 5
+        assert bus.get("missing") == 0
+
+    def test_record_max(self):
+        bus = TelemetryBus()
+        bus.record_max("depth", 3)
+        bus.record_max("depth", 9)
+        bus.record_max("depth", 5)
+        assert bus.max_of("depth") == 9
+
+    def test_counters_with_prefix(self):
+        bus = TelemetryBus()
+        bus.count("monitor.hook.open", 2)
+        bus.count("monitor.hook.mmap", 1)
+        bus.count("sched.slices", 7)
+        assert bus.counters_with_prefix("monitor.hook.") == {"open": 2, "mmap": 1}
+
+    def test_charge_stage(self):
+        bus = TelemetryBus()
+        bus.charge_stage("seccomp", 40)
+        bus.charge_stage("seccomp", 0)  # zero-cost deltas are not recorded
+        bus.charge_stage("verify.unwind", 10)
+        assert bus.stage_cycles() == {"seccomp": 40, "verify.unwind": 10}
+        assert STAGE_CYCLES_PREFIX + "seccomp" in bus.counters
+
+
+class TestEventRing:
+    def test_bounded_ring_counts_drops(self):
+        bus = TelemetryBus(capacity=3)
+        for i in range(5):
+            bus.emit("kind", "e%d" % i)
+        assert len(bus) == 3
+        assert bus.dropped == 2
+        assert bus.total == 5
+        assert [e.event for e in bus.events()] == ["e2", "e3", "e4"]
+
+    def test_query_filters(self):
+        bus = TelemetryBus()
+        bus.emit("kernel", "mmap_exec", pid=1)
+        bus.emit("kernel", "setuid", pid=2)
+        bus.emit("dispatch", "syscall", pid=1, syscall="open")
+        assert len(bus.query(kind="kernel")) == 2
+        assert len(bus.query(pid=1)) == 2
+        assert [e.syscall for e in bus.query(kind="dispatch")] == ["open"]
+
+    def test_subscribers_see_every_event_despite_eviction(self):
+        bus = TelemetryBus(capacity=2)
+        seen = []
+        bus.subscribe(lambda e: seen.append(e.event))
+        for i in range(10):
+            bus.emit("k", "e%d" % i)
+        assert len(seen) == 10  # the ring kept 2, the subscriber kept all
+        assert len(bus) == 2
+
+    def test_unsubscribe(self):
+        bus = TelemetryBus()
+        seen = []
+        cb = bus.subscribe(lambda e: seen.append(e))
+        bus.emit("k", "one")
+        bus.unsubscribe(cb)
+        bus.emit("k", "two")
+        assert len(seen) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryBus(capacity=0)
+
+
+class TestAbsorb:
+    def test_absorb_merges_counters_maxima_and_ring(self):
+        a, b = TelemetryBus(), TelemetryBus()
+        a.count("x", 1)
+        b.count("x", 2)
+        b.count("y", 3)
+        a.record_max("m", 5)
+        b.record_max("m", 4)
+        b.emit("k", "e")
+        a.absorb(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+        assert a.max_of("m") == 5
+        assert [e.event for e in a.events()] == ["e"]
+
+    def test_absorb_self_is_noop(self):
+        bus = TelemetryBus()
+        bus.count("x", 1)
+        bus.absorb(bus)
+        assert bus.get("x") == 1
+
+
+class _Stats(BusView):
+    hits = BusCounter("test.hits")
+    deepest = BusMax("test.deepest")
+
+
+class TestViews:
+    def test_counter_descriptor_reads_and_writes_the_bus(self):
+        stats = _Stats()
+        assert stats.hits == 0
+        stats.hits += 1
+        stats.hits += 1
+        assert stats.hits == 2
+        assert stats.bus.get("test.hits") == 2
+
+    def test_assignment_overwrites(self):
+        stats = _Stats()
+        stats.hits = 40
+        assert stats.hits == 40
+
+    def test_max_descriptor(self):
+        stats = _Stats()
+        stats.bus.record_max("test.deepest", 6)
+        assert stats.deepest == 6
+        stats.deepest = 2  # plain assignment, like the counters
+        assert stats.deepest == 2
+
+    def test_rebind_carries_accumulated_state(self):
+        stats = _Stats()
+        stats.hits = 7
+        shared = TelemetryBus()
+        shared.count("test.hits", 3)
+        stats.rebind(shared)
+        assert stats.bus is shared
+        assert stats.hits == 10  # absorbed 7 into the pre-existing 3
+
+    def test_two_views_one_bus_share_counters(self):
+        shared = TelemetryBus()
+        a = _Stats(bus=shared)
+        b = _Stats(bus=shared)
+        a.hits += 1
+        assert b.hits == 1

@@ -1,12 +1,11 @@
 """Tests for the interpreter CPU: semantics, frames, and attack surfaces."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import CFIFault
 from repro.ir.builder import ModuleBuilder
-from repro.vm.cpu import CPU, CPUOptions, _wrap
-from repro.vm.loader import Image, STACK_TOP
+from repro.vm.cpu import CPUOptions, _wrap
+from repro.vm.loader import STACK_TOP
 from repro.vm.memory import WORD
 from tests.conftest import run_main, run_module
 
