@@ -18,6 +18,14 @@ Usage::
 
     relaxed = ProtectConfig(policy=ContextPolicy.full().without("arg_integrity"))
     result = run("nginx", relaxed, scale=0.5)
+
+    # baselines are first-class: pick any repro.mechanisms name
+    result = run("nginx", ProtectConfig(mechanism="seccomp_allowlist"))
+    print(result.stages)  # per-stage cycle attribution
+
+:func:`bench` measures the pinned performance-trajectory matrix and
+returns exactly the records ``BENCH_<pr>.json`` serializes (see
+``docs/perf.md``).
 """
 
 from dataclasses import dataclass, field
@@ -40,6 +48,10 @@ class ProtectConfig:
 
     The default is full BASTION as shipped: all three contexts enforced,
     CET shadow stack on, and the monitor fast path (verdict cache) enabled.
+    ``mechanism`` selects a different protection mechanism entirely — any
+    name from :data:`repro.mechanisms.MECHANISM_NAMES` — so callers reach
+    the software baselines through the stable API instead of
+    ``bench.harness.CONFIGS``.
     """
 
     policy: ContextPolicy = field(default_factory=ContextPolicy.full)
@@ -50,13 +62,41 @@ class ProtectConfig:
     sensitive: tuple = None
     #: add the §11.2 filesystem-syscall extension set
     extend_filesystem: bool = False
-    #: display name used in results and reports
-    label: str = "bastion"
+    #: display name used in results and reports (defaults to the
+    #: mechanism's name)
+    label: str = None
+    #: which protection mechanism to run: 'bastion' (the default) or a
+    #: repro.mechanisms baseline ('seccomp_allowlist', 'temporal',
+    #: 'debloat', 'llvm_cfi', 'dfi')
+    mechanism: str = "bastion"
+
+    def __post_init__(self):
+        from repro.mechanisms import MECHANISM_NAMES
+
+        if self.mechanism not in MECHANISM_NAMES:
+            raise ValueError(
+                "unknown mechanism %r (expected one of %s)"
+                % (self.mechanism, ", ".join(MECHANISM_NAMES))
+            )
 
     def defense(self):
         """The equivalent bench-harness :class:`DefenseConfig`."""
+        if self.mechanism != "bastion":
+            if (
+                self.sensitive is not None
+                or self.extend_filesystem
+                or self.policy != ContextPolicy.full()
+            ):
+                raise ValueError(
+                    "policy/sensitive/extend_filesystem configure the "
+                    "BASTION mechanism; they do not apply to mechanism=%r"
+                    % (self.mechanism,)
+                )
+            from repro.mechanisms import defense_for_mechanism
+
+            return defense_for_mechanism(self.mechanism, self.label)
         return DefenseConfig(
-            self.label,
+            self.label or "bastion",
             cet=self.cet,
             policy=self.policy,
             instrumented=True,
@@ -111,6 +151,15 @@ class RunResult:
     stage_cycles: dict = field(default_factory=dict)
     bench: object = field(repr=False, default=None)
     baseline: object = field(repr=False, default=None)
+
+    @property
+    def stages(self):
+        """Per-stage cycle attribution: a dict view over the telemetry bus.
+
+        Keys are dispatch-pipeline stages ('seccomp', 'trace_stop', ...)
+        plus the monitor's 'verify.*' sub-stages — see docs/telemetry.md.
+        """
+        return self.stage_cycles
 
     @property
     def steady_seconds(self):
@@ -249,6 +298,45 @@ def run(
         bench=bench,
         baseline=baseline,
     )
+
+
+def bench(
+    *,
+    workers=None,
+    configs=None,
+    scale=None,
+    clock=None,
+    calibration=None,
+):
+    """Measure the pinned performance-trajectory matrix.
+
+    Returns the list of per-cell records that ``BENCH_<pr>.json``
+    serializes (``python -m repro.bench trajectory`` — see docs/perf.md):
+    deterministic cycle fields plus the spin-calibrated ``wall_index``.
+
+    Args:
+        workers: worker counts to sweep (default: the pinned matrix).
+        configs: config names from ``bench.harness.CONFIGS`` or
+            :class:`ProtectConfig` / DefenseConfig objects (default: the
+            pinned matrix).
+        scale: workload scale (default: the pinned trajectory scale).
+        clock: injectable timer (tests); defaults to CPU process time.
+        calibration: seconds-per-spin override (tests).
+    """
+    from repro.bench import trajectory
+
+    kwargs = {}
+    if workers is not None:
+        kwargs["workers"] = tuple(workers)
+    if configs is not None:
+        kwargs["configs"] = tuple(_resolve_config(c) for c in configs)
+    if scale is not None:
+        kwargs["scale"] = scale
+    if clock is not None:
+        kwargs["clock"] = clock
+    if calibration is not None:
+        kwargs["calibration"] = calibration
+    return trajectory.measure_cells(**kwargs)
 
 
 def analyze(target, config=None, *, waivers=None, strict=False):

@@ -309,6 +309,20 @@ def build_app(app, app_config=None):
     return _module_cache[key]
 
 
+def _warn_deprecated(message):
+    """The harness's single deprecation-warning emission point.
+
+    Every deprecated harness surface funnels through here so the message
+    format, category, and stacklevel stay consistent (and tests can pin
+    "exactly one emission site").  ``stacklevel=3`` attributes the warning
+    to the caller of the deprecated entry point, not to this helper.
+    Removal horizons are documented in docs/fastpath.md.
+    """
+    import warnings
+
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
 def run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
     """Run one (application, defense configuration) pair to completion.
 
@@ -323,13 +337,9 @@ def run_app(app, config="vanilla", scale=1.0, app_config=None, workload=None):
         :class:`RunResult`
     """
     if app_config is not None or workload is not None:
-        import warnings
-
-        warnings.warn(
+        _warn_deprecated(
             "run_app(app_config=..., workload=...) is deprecated; "
-            "use repro.api.run(app, workload=..., app_config=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
+            "use repro.api.run(app, workload=..., app_config=...) instead"
         )
     return _run_app(
         app, config=config, scale=scale, app_config=app_config, workload=workload

@@ -33,22 +33,30 @@ class Function:
         #: BASTION compiler treats calls *to* wrappers as the syscall
         #: callsites and does not instrument wrapper bodies themselves.
         self.is_wrapper = False
+        #: bumped on every structural change; the VM's predecode cache keys
+        #: on it so externally mutated bodies are re-decoded
+        self.version = 0
         self._labels = None
         self._locals = None
+        self._slots = None
 
     # -- structure -----------------------------------------------------
 
     def append(self, instr):
         """Append an instruction, invalidating cached layout info."""
         self.body.append(instr)
+        self.version += 1
         self._labels = None
         self._locals = None
+        self._slots = None
         return instr
 
     def invalidate(self):
         """Drop caches after external body mutation (e.g. instrumentation)."""
+        self.version += 1
         self._labels = None
         self._locals = None
+        self._slots = None
 
     @property
     def labels(self):
@@ -98,9 +106,14 @@ class Function:
 
     def local_slot(self, name):
         """Frame slot index of local ``name`` (0-based)."""
+        slots = self._slots
+        if slots is None:
+            slots = self._slots = {
+                n: i for i, n in enumerate(self.local_names())
+            }
         try:
-            return self.local_names().index(name)
-        except ValueError:
+            return slots[name]
+        except KeyError:
             raise IRError("unknown local %r in %s" % (name, self.name)) from None
 
     @property

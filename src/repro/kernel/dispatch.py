@@ -49,9 +49,25 @@ STAGE_ORDER = (
 
 _RANK = {name: index for index, name in enumerate(STAGE_ORDER)}
 
+#: the stage run the pipeline may collapse into one fused call
+_FUSED_PREFIX = ("block", "count", "seccomp")
+
 
 class StageOrderError(KernelError):
     """A stage was installed out of canonical order (or is unknown)."""
+
+
+def cycle_free(fn):
+    """Mark a stage handler as charging no ledger cycles.
+
+    Only handlers carrying this mark are eligible for the fused fast path:
+    the fused call attributes its whole ledger delta to the *last* fused
+    stage, which is only identical to the unfused walk when every earlier
+    fused handler is cycle-free.  The kernel's own ``block`` and ``count``
+    handlers qualify (telemetry counters are free in the cost model).
+    """
+    fn.cycle_free = True
+    return fn
 
 
 @dataclass
@@ -84,12 +100,30 @@ class SyscallContext:
         return result
 
 
+def _fuse(block_fn, count_fn, seccomp_fn):
+    """One callable running the fused head with the walk's done-checks."""
+
+    def fused(ctx):
+        block_fn(ctx)
+        if not ctx.done:
+            count_fn(ctx)
+        if not ctx.done:
+            seccomp_fn(ctx)
+
+    return fused
+
+
 class DispatchPipeline:
     """Ordered, pluggable syscall stages with per-stage cycle telemetry."""
 
     def __init__(self, bus):
         self.bus = bus
         self._stages = []  # [(stage_name, callable), ...] in rank order
+        #: wall-clock-only switch; False forces the unfused reference walk
+        self._fusion_enabled = True
+        #: [(stage, counter_key, callable)], possibly with a fused head
+        self._plan = []
+        self._fused = False
 
     def __len__(self):
         return len(self._stages)
@@ -128,6 +162,7 @@ class DispatchPipeline:
                     % (stage, last_stage, " -> ".join(STAGE_ORDER))
                 )
         self._stages.append((stage, fn))
+        self._rebuild_plan()
         return fn
 
     def insert(self, stage, fn):
@@ -144,11 +179,64 @@ class DispatchPipeline:
                 index = i
                 break
         self._stages.insert(index, (stage, fn))
+        self._rebuild_plan()
         return fn
 
     def remove(self, fn):
         """Uninstall a previously-installed handler (by identity)."""
         self._stages = [(s, f) for s, f in self._stages if f is not fn]
+        self._rebuild_plan()
+
+    # ------------------------------------------------------------------
+    # the fused fast path
+    # ------------------------------------------------------------------
+
+    @property
+    def fused(self):
+        """True when the block→count→seccomp head runs as one fused call."""
+        return self._fused
+
+    def set_fusion(self, enabled):
+        """Enable/disable fusion (tests use this to diff the two walks)."""
+        self._fusion_enabled = bool(enabled)
+        self._rebuild_plan()
+
+    def _rebuild_plan(self):
+        """Precompute the run plan: counter keys, and the fused head.
+
+        The head fuses exactly when the first three installed handlers are
+        the canonical ``block``, ``count``, ``seccomp`` singletons — i.e.
+        no mechanism hook sits between them (``insert`` lands a hook after
+        its stage's handlers, so a hook at ``block`` or ``count`` breaks
+        the prefix and de-fuses) — and the non-final fused handlers are
+        marked :func:`cycle_free`.  Attribution is unchanged: block and
+        count charge nothing, so the fused delta is the seccomp delta.
+        """
+        stages = self._stages
+        fused = False
+        if self._fusion_enabled and len(stages) >= 3:
+            head = tuple(stage for stage, _fn in stages[:3])
+            fused = (
+                head == _FUSED_PREFIX
+                and getattr(stages[0][1], "cycle_free", False)
+                and getattr(stages[1][1], "cycle_free", False)
+            )
+        plan = []
+        if fused:
+            plan.append(
+                (
+                    "block",
+                    "stage.cycles.seccomp",
+                    _fuse(stages[0][1], stages[1][1], stages[2][1]),
+                )
+            )
+            rest = stages[3:]
+        else:
+            rest = stages
+        for stage, fn in rest:
+            plan.append((stage, "stage.cycles." + stage, fn))
+        self._plan = plan
+        self._fused = fused
 
     # ------------------------------------------------------------------
     # execution
@@ -161,11 +249,16 @@ class DispatchPipeline:
         ``stage.cycles.<stage>`` — including when the stage raises (a
         seccomp KILL's cycles still land on the seccomp stage).  A stage
         that sets ``ctx.done`` skips everything after it except account.
+
+        Runs the precomputed plan: counter keys are interned at plan-build
+        time and the canonical block→count→seccomp head may be fused into
+        one call (see :meth:`_rebuild_plan`) — both wall-clock-only
+        optimizations with attribution identical to the reference walk.
         """
         ledger = ctx.proc.ledger
-        bus = self.bus
+        counters = self.bus.counters
         ctx.start_cycles = ledger.cycles
-        for stage, fn in self._stages:
+        for stage, key, fn in self._plan:
             if ctx.done and stage != "account":
                 continue
             before = ledger.cycles
@@ -174,5 +267,5 @@ class DispatchPipeline:
             finally:
                 delta = ledger.cycles - before
                 if delta:
-                    bus.count("stage.cycles." + stage, delta)
+                    counters[key] = counters.get(key, 0) + delta
         return ctx.result

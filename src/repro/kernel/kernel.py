@@ -30,7 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ProcessKilled, WouldBlock
-from repro.kernel.dispatch import DispatchPipeline, SyscallContext
+from repro.kernel.dispatch import DispatchPipeline, SyscallContext, cycle_free
 from repro.kernel import errno
 from repro.kernel.mm import (
     PROT_EXEC,
@@ -127,6 +127,12 @@ class KernelEventLog:
         self.dropped = 0
         self.total = 0
         self._warned_dropped = False
+        #: per-ring warnings registry: ``warnings.warn`` dedups through the
+        #: module-global ``__warningregistry__`` (same message/category/line),
+        #: which silently swallowed the truncation warning for every ring
+        #: after the first in a process.  ``warn_explicit`` against this
+        #: instance-owned registry keeps the once-only behavior *per ring*.
+        self._warn_registry = {}
         if bus is not None:
             bus.subscribe(self._on_telemetry)
 
@@ -151,13 +157,16 @@ class KernelEventLog:
         """
         if self.dropped and not allow_dropped and not self._warned_dropped:
             self._warned_dropped = True
-            warnings.warn(
+            warnings.warn_explicit(
                 "KernelEventLog dropped %d events; events_of(%r) sees only "
                 "the newest %d. Assert `kernel.events.dropped == 0` in "
                 "oracles, raise events_capacity, or pass allow_dropped=True."
                 % (self.dropped, kind, self.capacity),
                 RuntimeWarning,
-                stacklevel=3,
+                __file__,
+                0,
+                module=__name__,
+                registry=self._warn_registry,
             )
         return [event for event in self._ring if event.kind == kind]
 
@@ -179,6 +188,13 @@ class KernelEventLog:
         self._ring.clear()
 
 
+#: interned "dispatch.verdict.<verdict>" counter keys (account hot path)
+_VERDICT_KEYS = {
+    verdict: "dispatch.verdict." + verdict
+    for verdict in ("allow", "errno", "kill", "violation")
+}
+
+
 class Kernel:
     """The simulated kernel: processes, VFS, network, dispatcher."""
 
@@ -191,6 +207,8 @@ class Kernel:
         #: the telemetry spine — every subsystem's counters/events land here
         self.telemetry = TelemetryBus(capacity=events_capacity)
         self.events = KernelEventLog(events_capacity, bus=self.telemetry)
+        #: interned "syscall.<name>" counter keys (dispatch hot path)
+        self._syscall_keys = {}
         #: the staged syscall path; mechanisms hook in via pipeline.insert
         self.pipeline = self._build_pipeline()
         #: set by repro.sched.Scheduler when it takes over clone/blocking
@@ -386,16 +404,23 @@ class Kernel:
         pipeline.install("account", self._stage_account)
         return pipeline
 
+    @cycle_free
     def _stage_block(self, ctx):
         """Under a scheduler, park a syscall that cannot complete yet."""
         if self.scheduler is not None and not self.scheduler.draining:
             self._maybe_block(ctx.proc, ctx.name, ctx.args)
 
+    @cycle_free
     def _stage_count(self, ctx):
-        ctx.proc.count_syscall(ctx.name)
-        bus = self.telemetry
-        bus.count("dispatch.syscalls")
-        bus.count("syscall." + ctx.name)
+        name = ctx.name
+        ctx.proc.count_syscall(name)
+        counters = self.telemetry.counters
+        counters["dispatch.syscalls"] = counters.get("dispatch.syscalls", 0) + 1
+        keys = self._syscall_keys
+        key = keys.get(name)
+        if key is None:
+            key = keys[name] = "syscall." + name
+        counters[key] = counters.get(key, 0) + 1
 
     def _stage_seccomp(self, ctx):
         proc = ctx.proc
@@ -491,7 +516,8 @@ class Kernel:
 
     def _stage_account(self, ctx):
         bus = self.telemetry
-        bus.count("dispatch.verdict." + ctx.verdict)
+        key = _VERDICT_KEYS.get(ctx.verdict)
+        bus.count(key if key is not None else "dispatch.verdict." + ctx.verdict)
         bus.emit(
             "dispatch",
             "syscall",

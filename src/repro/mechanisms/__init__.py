@@ -4,6 +4,10 @@
 DefenseConfig` to the :class:`ProtectionMechanism` that implements it;
 ``mechanism.launch(kernel, app, module)`` is the entire launch path the
 bench harness uses, for BASTION and every baseline alike.
+
+:data:`MECHANISM_NAMES` / :func:`defense_for_mechanism` are the *named*
+registry behind ``repro.api.ProtectConfig(mechanism=...)`` — the stable
+way to pick a baseline without reaching into ``bench.harness.CONFIGS``.
 """
 
 from repro.mechanisms.base import (
@@ -11,6 +15,36 @@ from repro.mechanisms.base import (
     artifact_for,
     mechanism_for,
 )
+
+#: DefenseConfig kwargs for each named non-BASTION mechanism
+_MECHANISM_DEFENSES = {
+    "seccomp_allowlist": {"baseline": "seccomp_allowlist"},
+    "temporal": {"baseline": "temporal"},
+    "debloat": {"baseline": "debloat"},
+    "llvm_cfi": {"llvm_cfi": True},
+    "dfi": {"dfi": True},
+}
+
+#: every name ``ProtectConfig(mechanism=...)`` accepts
+MECHANISM_NAMES = ("bastion",) + tuple(sorted(_MECHANISM_DEFENSES))
+
+
+def defense_for_mechanism(name, label=None):
+    """The DefenseConfig for a *named* non-BASTION mechanism.
+
+    ``bastion`` is deliberately not served here: it carries a policy, so
+    :meth:`repro.api.ProtectConfig.defense` builds it from the full
+    config.  Unknown names raise ``ValueError`` listing the registry.
+    """
+    from repro.bench.harness import DefenseConfig
+
+    kwargs = _MECHANISM_DEFENSES.get(name)
+    if kwargs is None:
+        raise ValueError(
+            "unknown mechanism %r (expected one of %s)"
+            % (name, ", ".join(MECHANISM_NAMES))
+        )
+    return DefenseConfig(label or name, **kwargs)
 from repro.mechanisms.bastion import BastionMechanism
 from repro.mechanisms.baselines import (
     SERVING_ROOTS,
@@ -24,6 +58,8 @@ __all__ = [
     "ProtectionMechanism",
     "artifact_for",
     "mechanism_for",
+    "MECHANISM_NAMES",
+    "defense_for_mechanism",
     "BastionMechanism",
     "StaticMechanism",
     "SeccompAllowlistMechanism",

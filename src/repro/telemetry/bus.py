@@ -78,6 +78,10 @@ class TelemetryBus:
         #: max-merged gauges (e.g. deepest unwind seen)
         self.maxima = {}
         self._subscribers = []
+        #: interned "stage.cycles.<stage>" keys — charge_stage runs on the
+        #: monitor's per-hook path, so skip the string concat after the
+        #: first attribution of each stage
+        self._stage_keys = {}
 
     # ------------------------------------------------------------------
     # events
@@ -187,7 +191,12 @@ class TelemetryBus:
         already done that; this records *where* those cycles went.
         """
         if cycles:
-            self.count(STAGE_CYCLES_PREFIX + stage, cycles)
+            keys = self._stage_keys
+            key = keys.get(stage)
+            if key is None:
+                key = keys[stage] = STAGE_CYCLES_PREFIX + stage
+            counters = self.counters
+            counters[key] = counters.get(key, 0) + cycles
 
     def stage_cycles(self):
         """``{stage: cycles}`` for every attributed stage and sub-stage."""

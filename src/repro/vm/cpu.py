@@ -79,6 +79,10 @@ class CPUOptions:
     llvm_cfi: bool = False  # coarse-grained type-signature CFI
     dfi: bool = False  # DFI baseline: per-access tracking cost
     max_steps: int = 200_000_000
+    #: Use predecoded instruction closures (repro.vm.predecode).  Wall-clock
+    #: only — cycle semantics are identical either way; False forces the
+    #: classic interpreter loop (the reference the parity tests diff against).
+    predecode: bool = True
 
 
 @dataclass
@@ -149,6 +153,10 @@ class CPU:
         self.hooks = {}
         self._halted = None
         self._entered = False
+        #: function name -> (body, version, ops, base, end) predecode cache
+        self._decoded = {}
+        #: return address -> caller destination frame offset (or None)
+        self._ret_sites = {}
         proc.cpu = self
 
     # ------------------------------------------------------------------
@@ -197,38 +205,115 @@ class CPU:
         if not self._entered:
             self._enter_main()
             self._entered = True
-        opts = self.options
-        limit = None if quantum is None else self.ledger.cycles + quantum
         try:
-            while True:
-                if not self.proc.alive:
-                    if self.proc.exited:
-                        return ExitStatus("exit", self.proc.exit_code)
-                    return ExitStatus("killed", 137, self.proc.kill_reason or "")
-                if self._halted is not None:
-                    return self._halted
-                if self.stats.steps >= opts.max_steps:
-                    return ExitStatus("fault", 124, "step budget exhausted")
-                if limit is not None and self.ledger.cycles >= limit:
-                    return None
-                self.stats.steps += 1
-                func, idx = self.image.resolve_code(self.rip)
-                self._cur_func = func
-                if self.breakpoints:
-                    bp = self.breakpoints.get(self.rip)
-                    if bp is not None:
-                        bp(self)
-                        if not self.proc.alive or self._halted is not None:
-                            continue
-                status = self._step(func.body[idx])
-                if status is not None:
-                    return status
+            if self.options.predecode:
+                return self._run_loop_fast(quantum)
+            return self._run_loop_classic(quantum)
         except WouldBlock as blocked:
             return blocked
         except ProcessKilled as killed:
             return ExitStatus("killed", 137, str(killed))
         except VMFault as fault:
             return ExitStatus("fault", 139, "%s: %s" % (type(fault).__name__, fault))
+
+    def _run_loop_classic(self, quantum):
+        """The reference interpreter loop (`_step` per instruction)."""
+        opts = self.options
+        limit = None if quantum is None else self.ledger.cycles + quantum
+        while True:
+            if not self.proc.alive:
+                if self.proc.exited:
+                    return ExitStatus("exit", self.proc.exit_code)
+                return ExitStatus("killed", 137, self.proc.kill_reason or "")
+            if self._halted is not None:
+                return self._halted
+            if self.stats.steps >= opts.max_steps:
+                return ExitStatus("fault", 124, "step budget exhausted")
+            if limit is not None and self.ledger.cycles >= limit:
+                return None
+            self.stats.steps += 1
+            func, idx = self.image.resolve_code(self.rip)
+            self._cur_func = func
+            if self.breakpoints:
+                bp = self.breakpoints.get(self.rip)
+                if bp is not None:
+                    bp(self)
+                    if not self.proc.alive or self._halted is not None:
+                        continue
+            status = self._step(func.body[idx])
+            if status is not None:
+                return status
+
+    def _run_loop_fast(self, quantum):
+        """Predecoded loop: same semantics, far fewer Python operations.
+
+        ``rip`` stays within the current function between control transfers,
+        so the per-step bisect of ``resolve_code`` collapses to a range
+        check; the instruction itself is a predecoded closure (see
+        :mod:`repro.vm.predecode`).
+        """
+        proc = self.proc
+        stats = self.stats
+        ledger = self.ledger
+        max_steps = self.options.max_steps
+        limit = None if quantum is None else ledger.cycles + quantum
+        breakpoints = self.breakpoints
+        base = 0
+        end = 0
+        ops = None
+        while True:
+            if not proc.alive:
+                if proc.exited:
+                    return ExitStatus("exit", proc.exit_code)
+                return ExitStatus("killed", 137, proc.kill_reason or "")
+            if self._halted is not None:
+                return self._halted
+            if stats.steps >= max_steps:
+                return ExitStatus("fault", 124, "step budget exhausted")
+            if limit is not None and ledger.cycles >= limit:
+                return None
+            stats.steps += 1
+            rip = self.rip
+            if base <= rip < end:
+                if rip & 3:
+                    self.image.resolve_code(rip)  # raises misaligned fetch
+                idx = (rip - base) >> 2
+            else:
+                func, idx = self.image.resolve_code(rip)
+                self._cur_func = func
+                entry = self._decoded.get(func.name)
+                if (
+                    entry is None
+                    or entry[0] is not func.body
+                    or entry[1] != func.version
+                ):
+                    entry = self._decode(func)
+                ops = entry[2]
+                base = entry[3]
+                end = entry[4]
+            if breakpoints:
+                bp = breakpoints.get(rip)
+                if bp is not None:
+                    bp(self)
+                    if not proc.alive or self._halted is not None:
+                        continue
+            status = ops[idx]()
+            if status is not None:
+                return status
+
+    def _decode(self, func):
+        from repro.vm.predecode import decode_function
+
+        base = self.image.func_base[func.name]
+        entry = (
+            func.body,
+            func.version,
+            decode_function(self, func),
+            base,
+            base + len(func.body) * INSTR_STRIDE,
+        )
+        self._decoded[func.name] = entry
+        return entry
 
     def _enter_main(self):
         """Set up the entry frame with a sentinel return address of 0."""

@@ -21,11 +21,21 @@ class Memory:
 
     def read(self, addr):
         """Read the slot at ``addr`` (0 if never written)."""
+        # Fast path: a well-formed address needs no isinstance checks.
+        # ``True`` (a bool) fails the alignment test and falls through to
+        # ``_check``, which reproduces the exact fault for every bad input.
+        if type(addr) is int and addr >= 0 and not addr & 7:
+            return self._words.get(addr, 0)
         self._check(addr)
         return self._words.get(addr, 0)
 
     def write(self, addr, value):
         """Write one slot."""
+        if type(addr) is int and addr >= 0 and not addr & 7:
+            if not isinstance(value, int):
+                raise TypeError("memory stores ints, got %r" % (value,))
+            self._words[addr] = value
+            return
         self._check(addr)
         if not isinstance(value, int):
             raise TypeError("memory stores ints, got %r" % (value,))

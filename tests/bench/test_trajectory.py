@@ -1,0 +1,252 @@
+"""The persisted perf trajectory: determinism, stickiness, and the gate.
+
+Wall-clock is injectable (``clock`` + ``calibration``) so these tests are
+fully deterministic: a fake clock advancing a fixed amount per call makes
+``wall_index`` exact, and the sticky/diff/check logic is pure data.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import trajectory
+from repro.bench.trajectory import (
+    DEFAULT_TOLERANCE,
+    PR_NUMBER,
+    _apply_sticky,
+    _round_sig,
+    check_rows,
+    diff_payloads,
+    find_snapshots,
+    load_previous,
+    measure_cells,
+    render_diff,
+    serialize,
+)
+
+SCALE = 0.05
+
+
+def _fixed_clock(step=0.015):
+    state = [0.0]
+
+    def clock():
+        state[0] += step
+        return state[0]
+
+    return clock
+
+
+def _cell(config="vanilla", workers=1, wall=10.0, cycles=100.0, **extra):
+    cell = {
+        "config": config,
+        "workers": workers,
+        "status": "exit",
+        "work_units": 50,
+        "total_cycles": 1000,
+        "steady_cycles": 900,
+        "cycles_per_request": cycles,
+        "p99_latency_cycles": 7,
+        "syscalls": 200,
+        "wall_index": wall,
+    }
+    cell.update(extra)
+    return cell
+
+
+def _payload(cells, pr=PR_NUMBER):
+    return {"schema": trajectory.SCHEMA, "pr": pr, "cells": cells}
+
+
+class TestRounding:
+    def test_two_significant_digits(self):
+        assert _round_sig(71234.5) == 71000.0
+        assert _round_sig(14.7) == 15.0
+        assert _round_sig(0.0123) == 0.012
+        assert _round_sig(0.0) == 0.0
+
+
+class TestMeasureCells:
+    def test_deterministic_fields_and_injectable_wall(self):
+        cells = measure_cells(
+            workers=(1,),
+            configs=("vanilla",),
+            scale=SCALE,
+            clock=_fixed_clock(),
+            calibration=0.05,
+        )
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["config"] == "vanilla"
+        assert cell["workers"] == 1
+        assert cell["status"] == "returned"
+        assert cell["work_units"] > 0
+        assert cell["steady_cycles"] > 0
+        assert cell["cycles_per_request"] == round(
+            cell["steady_cycles"] / cell["work_units"], 1
+        )
+        # each repeat sees exactly one clock step: wall = 0.015s,
+        # calibration injected at 0.05s/spin -> index 0.3
+        assert cell["wall_index"] == 0.3
+
+    def test_byte_stable_across_two_runs(self):
+        kwargs = dict(
+            workers=(1,),
+            configs=("vanilla", "temporal"),
+            scale=SCALE,
+            calibration=0.05,
+        )
+        one = measure_cells(clock=_fixed_clock(), **kwargs)
+        two = measure_cells(clock=_fixed_clock(), **kwargs)
+        blob = json.dumps(one, sort_keys=True)
+        assert blob == json.dumps(two, sort_keys=True)
+
+
+class TestSticky:
+    def test_within_noise_keeps_committed_wall(self):
+        fresh = [_cell(wall=11.0)]
+        committed = [_cell(wall=10.0)]
+        out = _apply_sticky(fresh, committed, sticky_pct=25.0)
+        assert out[0]["wall_index"] == 10.0
+
+    def test_beyond_noise_refreshes(self):
+        fresh = [_cell(wall=30.0)]
+        committed = [_cell(wall=10.0)]
+        out = _apply_sticky(fresh, committed, sticky_pct=25.0)
+        assert out[0]["wall_index"] == 30.0
+
+    def test_changed_deterministic_fields_refresh(self):
+        fresh = [_cell(wall=11.0, steady_cycles=901)]
+        committed = [_cell(wall=10.0)]
+        out = _apply_sticky(fresh, committed, sticky_pct=25.0)
+        assert out[0]["wall_index"] == 11.0
+
+    def test_unknown_cell_passes_through(self):
+        fresh = [_cell(config="dfi", wall=11.0)]
+        out = _apply_sticky(fresh, [_cell(wall=10.0)], sticky_pct=25.0)
+        assert out[0]["wall_index"] == 11.0
+
+
+class TestDiffAndGate:
+    def test_regression_beyond_tolerance_fails(self):
+        old = _payload([_cell(wall=10.0)])
+        new = _payload([_cell(wall=10.6)])
+        rows = diff_payloads(old, new)
+        assert rows[0]["wall_pct"] == pytest.approx(6.0)
+        assert check_rows(rows, tolerance=DEFAULT_TOLERANCE) == rows
+
+    def test_improvement_and_small_noise_pass(self):
+        old = _payload([_cell(wall=10.0), _cell(config="dfi", wall=20.0)])
+        new = _payload([_cell(wall=10.3), _cell(config="dfi", wall=5.0)])
+        rows = diff_payloads(old, new)
+        assert check_rows(rows, tolerance=DEFAULT_TOLERANCE) == []
+
+    def test_added_and_removed_cells_are_annotated_not_failed(self):
+        old = _payload([_cell(config="gone", wall=9.0)])
+        new = _payload([_cell(config="fresh", wall=9.0)])
+        rows = diff_payloads(old, new)
+        notes = {row["config"]: row["note"] for row in rows}
+        assert notes == {"fresh": "new cell", "gone": "cell removed"}
+        assert check_rows(rows) == []
+
+    def test_render_diff_mentions_every_cell(self):
+        old = _payload([_cell(wall=10.0)])
+        new = _payload([_cell(wall=12.0), _cell(config="dfi", wall=3.0)])
+        text = render_diff(diff_payloads(old, new), old_pr=5)
+        assert "BENCH_5.json" in text
+        assert "vanilla" in text and "dfi" in text
+        assert "+20.0" in text
+
+
+class TestCheckRetry:
+    """--check re-measures regressed cells; the min estimator means a
+    noise spike retracts on retry while a true regression survives."""
+
+    def _patch_fresh(self, monkeypatch, fresh_cell):
+        calls = []
+
+        def fake_measure(workers, configs, scale, clock):
+            calls.append((workers, configs))
+            return [dict(fresh_cell, workers=workers[0], config=configs[0])]
+
+        monkeypatch.setattr(trajectory, "measure_cells", fake_measure)
+        return calls
+
+    def test_noise_spike_retracts_to_min(self, monkeypatch):
+        cells = [_cell(wall=19.0), _cell(config="dfi", wall=8.0)]
+        calls = self._patch_fresh(monkeypatch, _cell(wall=14.0))
+        out = trajectory.remeasure_cells(cells, {(1, "vanilla")}, scale=SCALE)
+        assert out[0]["wall_index"] == 14.0
+        # only the regressed cell is re-measured
+        assert calls == [((1,), ("vanilla",))]
+        assert out[1]["wall_index"] == 8.0
+
+    def test_true_regression_survives(self, monkeypatch):
+        cells = [_cell(wall=19.0)]
+        self._patch_fresh(monkeypatch, _cell(wall=21.0))
+        out = trajectory.remeasure_cells(cells, {(1, "vanilla")}, scale=SCALE)
+        assert out[0]["wall_index"] == 19.0  # min keeps the faster sample
+
+    def test_deterministic_drift_replaces_cell(self, monkeypatch):
+        cells = [_cell(wall=19.0)]
+        self._patch_fresh(monkeypatch, _cell(wall=14.0, steady_cycles=901))
+        out = trajectory.remeasure_cells(cells, {(1, "vanilla")}, scale=SCALE)
+        assert out[0]["wall_index"] == 14.0
+        assert out[0]["steady_cycles"] == 901
+
+
+class TestSnapshotFiles:
+    def test_find_and_load_previous(self, tmp_path):
+        for pr, wall in ((4, 1.0), (6, 2.0)):
+            path = tmp_path / ("BENCH_%d.json" % pr)
+            path.write_text(serialize(_payload([_cell(wall=wall)], pr=pr)))
+        (tmp_path / "BENCH_nope.json").write_text("{}")
+        found = find_snapshots(str(tmp_path))
+        assert [pr for pr, _path in found] == [4, 6]
+        assert load_previous(str(tmp_path))["pr"] == 6
+        assert load_previous(str(tmp_path), before=6)["pr"] == 4
+        assert load_previous(str(tmp_path), before=4) is None
+
+    def test_serialize_is_canonical(self):
+        payload = _payload([_cell()])
+        blob = serialize(payload)
+        assert blob == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        assert blob.endswith("\n")
+
+    def test_committed_snapshot_matches_schema(self):
+        """The repo-root BENCH_<pr>.json stays loadable and well-formed."""
+        committed = load_previous()
+        assert committed is not None, "BENCH_%d.json missing" % PR_NUMBER
+        assert committed["schema"] == trajectory.SCHEMA
+        assert committed["pr"] == PR_NUMBER
+        keys = {(c["workers"], c["config"]) for c in committed["cells"]}
+        assert keys == {
+            (w, c)
+            for w in trajectory.MATRIX_WORKERS
+            for c in trajectory.MATRIX_CONFIGS
+        }
+        for cell in committed["cells"]:
+            assert cell["wall_index"] > 0
+            assert cell["work_units"] > 0
+
+
+class TestApiBench:
+    def test_api_bench_returns_trajectory_records(self):
+        from repro.api import ProtectConfig, bench
+
+        cells = bench(
+            workers=(1,),
+            configs=("vanilla", ProtectConfig(mechanism="temporal")),
+            scale=SCALE,
+            clock=_fixed_clock(),
+            calibration=0.05,
+        )
+        assert [c["config"] for c in cells] == ["vanilla", "temporal"]
+        reference = measure_cells(
+            workers=(1,),
+            configs=("vanilla", "temporal"),
+            scale=SCALE,
+            clock=_fixed_clock(),
+            calibration=0.05,
+        )
+        assert cells == reference

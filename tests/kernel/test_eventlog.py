@@ -80,3 +80,35 @@ class TestKernelEventLog:
             warnings.simplefilter("always")
             kernel.events_of("first")
         assert captured == []
+
+    def test_truncation_warning_is_per_ring(self):
+        """Each truncated ring gets its own one-time warning.  The naive
+        ``warnings.warn`` dedups through the module-global
+        ``__warningregistry__`` — identical message + line — which
+        silently swallowed the warning for every ring after the first in
+        a process; ``warn_explicit`` against a per-instance registry keeps
+        the once-only behavior scoped to the ring."""
+
+        class _P:
+            pid = 1
+
+        def _truncated_kernel():
+            kernel = Kernel(events_capacity=2)
+            for kind in ("first", "second", "third"):
+                kernel.record(kind, _P)
+            return kernel
+
+        with warnings.catch_warnings(record=True) as captured:
+            # 'default' is the action that arms registry-based dedup —
+            # exactly the regime where the old code lost the 2nd warning
+            warnings.simplefilter("default")
+            first = _truncated_kernel()
+            first.events_of("first")
+            second = _truncated_kernel()
+            second.events_of("first")
+        assert len(captured) == 2
+        assert all(
+            issubclass(w.category, RuntimeWarning)
+            and "dropped 1 events" in str(w.message)
+            for w in captured
+        )

@@ -158,6 +158,72 @@ class TestViolationException:
         assert result.violations == [violation]
 
 
+class TestMechanismSelector:
+    """ProtectConfig(mechanism=...) — baselines through the stable API."""
+
+    def test_every_registered_mechanism_runs(self):
+        from repro.mechanisms import MECHANISM_NAMES
+
+        for name in MECHANISM_NAMES:
+            result = run(
+                "nginx",
+                ProtectConfig(mechanism=name),
+                scale=SCALE,
+                compare_baseline=False,
+            )
+            assert result.ok, name
+            assert result.config == name
+
+    @pytest.mark.parametrize(
+        "name", ["seccomp_allowlist", "temporal", "debloat", "llvm_cfi", "dfi"]
+    )
+    def test_selector_matches_configs_path(self, name):
+        """The mechanism selector must reproduce the CONFIGS verdicts and
+        cycles exactly — it is a spelling, not a different defense."""
+        via_api = run(
+            "nginx",
+            ProtectConfig(mechanism=name),
+            scale=SCALE,
+            compare_baseline=False,
+        )
+        via_configs = api._run_app("nginx", config=name, scale=SCALE)
+        assert via_api.total_cycles == via_configs.total_cycles
+        assert via_api.syscall_counts == via_configs.syscall_counts
+        assert via_api.violations == list(via_configs.violations)
+
+    def test_unknown_mechanism_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown mechanism"):
+            ProtectConfig(mechanism="grsecurity")
+
+    def test_non_bastion_mechanism_rejects_policy_customization(self):
+        for bad in (
+            ProtectConfig(mechanism="temporal", extend_filesystem=True),
+            ProtectConfig(mechanism="dfi", sensitive=("read",)),
+            ProtectConfig(
+                mechanism="debloat", policy=ContextPolicy.full().without("cache")
+            ),
+        ):
+            with pytest.raises(ValueError, match="BASTION"):
+                bad.defense()
+
+    def test_label_defaults_to_mechanism_name(self):
+        assert ProtectConfig().defense().name == "bastion"
+        assert ProtectConfig(mechanism="temporal").defense().name == "temporal"
+        assert (
+            ProtectConfig(mechanism="temporal", label="mine").defense().name
+            == "mine"
+        )
+
+
+class TestRunResultStages:
+    def test_stages_is_the_stage_cycles_view(self):
+        result = run("nginx", scale=SCALE, compare_baseline=False)
+        assert result.stages is result.stage_cycles
+        assert result.stages.get("seccomp", 0) > 0
+        # the monitor's verify sub-stages ride on the same bus
+        assert any(key.startswith("verify") for key in result.stages)
+
+
 class TestRunAppDeprecation:
     def test_workload_kwarg_warns(self):
         workload = WrkWorkload(connections=2, requests_per_connection=2)
@@ -168,3 +234,29 @@ class TestRunAppDeprecation:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             run_app("nginx", "vanilla", scale=SCALE)
+
+    def test_warning_attributed_to_caller(self):
+        """The shared emission helper uses stacklevel so the warning
+        points at the deprecated call site, not at the harness."""
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always", DeprecationWarning)
+            workload = WrkWorkload(connections=2, requests_per_connection=2)
+            run_app("nginx", "vanilla", workload=workload)
+        assert len(captured) == 1
+        assert captured[0].filename == __file__
+
+    def test_single_emission_point(self, monkeypatch):
+        """Every deprecated harness surface funnels through
+        _warn_deprecated — patching it silences the warning."""
+        from repro.bench import harness
+
+        calls = []
+        monkeypatch.setattr(
+            harness, "_warn_deprecated", lambda message: calls.append(message)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            workload = WrkWorkload(connections=2, requests_per_connection=2)
+            run_app("nginx", "vanilla", workload=workload)
+        assert len(calls) == 1
+        assert "repro.api.run" in calls[0]
