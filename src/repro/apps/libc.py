@@ -75,6 +75,16 @@ LIBC_WRAPPERS = {
     "setsid": 0,
 }
 
+#: extra wrappers for event-driven apps.  Kept *out* of LIBC_WRAPPERS on
+#: purpose: linking them unconditionally would shift every blocking-mode
+#: app image (and the pinned parity fixtures); event-loop builds pass
+#: ``wrappers=dict(LIBC_WRAPPERS, **EVENT_WRAPPERS)`` explicitly.
+EVENT_WRAPPERS = {
+    "epoll_create1": 1,
+    "epoll_ctl": 4,
+    "epoll_wait": 4,
+}
+
 
 def _add_wrapper(mb, name, arity):
     params = ["a%d" % i for i in range(arity)]

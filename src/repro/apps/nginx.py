@@ -21,9 +21,17 @@ cycle costs so the performance shape stays realistic.
 
 from dataclasses import dataclass
 
-from repro.apps.libc import build_libc
+from repro.apps.libc import EVENT_WRAPPERS, LIBC_WRAPPERS, build_libc
 from repro.ir.builder import ModuleBuilder
-from repro.kernel.vfs import O_APPEND, O_CREAT
+from repro.kernel import errno
+from repro.kernel.kernel import F_SETFL
+from repro.kernel.net import (
+    EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL,
+    EPOLLIN,
+    SOCK_NONBLOCK,
+)
+from repro.kernel.vfs import O_APPEND, O_CREAT, O_NONBLOCK
 
 #: HTTP port the server listens on.
 NGINX_PORT = 80
@@ -51,6 +59,14 @@ class NginxConfig:
     only spawns workers and reaps them with ``wait4`` while the clone()d
     workers serve, which requires a :class:`repro.sched.Scheduler` to
     interleave them.
+
+    ``event_loop`` selects the worker's serving model: False (default)
+    is the historical one-blocking-task-per-connection loop; True builds
+    the C10k worker instead — a nonblocking listener plus an epoll set,
+    one task multiplexing every in-flight keep-alive connection
+    (``max_events`` bounds one ``epoll_wait`` harvest).  The extra
+    epoll wrappers and globals are only linked in event mode, so
+    blocking-mode images are byte-identical to pre-event builds.
     """
 
     workers: int = 4
@@ -61,12 +77,17 @@ class NginxConfig:
     request_burn: int = 60_000
     init_burn: int = 20_000
     master_serves: bool = True
+    event_loop: bool = False
+    max_events: int = 64
 
 
 def build_nginx(config=NginxConfig()):
     """Build the mini-NGINX module (libc linked in)."""
     mb = ModuleBuilder("nginx")
-    mb.extend(build_libc())
+    if config.event_loop:
+        mb.extend(build_libc(wrappers=dict(LIBC_WRAPPERS, **EVENT_WRAPPERS)))
+    else:
+        mb.extend(build_libc())
 
     # -- types ----------------------------------------------------------
     mb.struct("ngx_exec_ctx_t", ["path", "argv", "envp"])
@@ -103,12 +124,19 @@ def build_nginx(config=NginxConfig()):
     mb.global_var("g_statbuf", size=8)
     mb.global_var("g_req_buf", size=600)
     mb.global_var("g_var_depth", init=0)
+    if config.event_loop:
+        # one epoll_event for epoll_ctl plus the epoll_wait harvest array
+        # (two slots per event: mask, data)
+        mb.global_var("g_ep_event", size=2)
+        mb.global_var("g_ep_events", size=2 * config.max_events)
 
     _build_handlers(mb)
     _build_listing1(mb, config)
     _build_listing2(mb, config)
     _build_init(mb, config)
     _build_serving(mb, config)
+    if config.event_loop:
+        _build_event_serving(mb, config)
     _build_main(mb, config)
     return mb.build()
 
@@ -304,9 +332,12 @@ def _build_init(mb, config):
     f.ret(0)
 
     f = mb.function("ngx_spawn_workers", params=[])
+    worker_fn = (
+        "ngx_event_worker_cycle" if config.event_loop else "ngx_worker_cycle"
+    )
 
     def spawn(i):
-        fn = f.funcaddr("ngx_worker_cycle")
+        fn = f.funcaddr(worker_fn)
         f.call("clone", [0, 0, fn, 0, 0], void=True)
         f.call("setuid", [33], void=True)
         f.call("setgid", [33], void=True)
@@ -473,6 +504,105 @@ def _build_serving(mb, config):
     f.ret(0)
 
 
+# ---------------------------------------------------------------------------
+# event-loop serving (the C10k worker: epoll + nonblocking sockets)
+# ---------------------------------------------------------------------------
+
+
+def _build_event_serving(mb, config):
+    """One task multiplexing every connection, real-NGINX event-module shape.
+
+    ``ngx_event_worker_cycle`` registers the nonblocking listener in an
+    epoll set and loops on ``epoll_wait``: listener events trigger an
+    accept *burst* (drain the backlog until EAGAIN, registering each new
+    connection), connection events trigger a read loop that serves every
+    pipelined request until the socket is drained (EAGAIN) or closed.
+    The worker exits when ``epoll_wait`` reports nothing at all — only
+    possible once the workload is exhausted and every connection has
+    hung up.
+    """
+    # register one fd: g_ep_event = {mask, fd-as-data}; EPOLL_CTL_ADD
+    f = mb.function("ngx_event_add", params=["epfd", "fd", "mask"])
+    ev = f.addr_global("g_ep_event")
+    f.store(ev, f.p("mask"))
+    data_slot = f.add(ev, 8)
+    f.store(data_slot, f.p("fd"))
+    rc = f.call(
+        "epoll_ctl", [f.p("epfd"), EPOLL_CTL_ADD, f.p("fd"), ev]
+    )
+    f.ret(rc)
+
+    f = mb.function("ngx_event_close", params=["epfd", "fd"])
+    f.call("epoll_ctl", [f.p("epfd"), EPOLL_CTL_DEL, f.p("fd"), 0], void=True)
+    f.call("close", [f.p("fd")], void=True)
+    f.ret(0)
+
+    # accept burst: pull the whole backlog, nonblocking, register each conn
+    f = mb.function("ngx_event_accept", params=["epfd", "lfd"])
+    f.label("burst")
+    sa = f.addr_global("g_client_sa")
+    salen = f.addr_global("g_salen")
+    c = f.call("accept4", [f.p("lfd"), sa, salen, SOCK_NONBLOCK])
+    drained = f.lt(c, 0)
+    f.branch(drained, "burst_done", "register")
+    f.label("register")
+    f.call("ngx_event_add", [f.p("epfd"), c, EPOLLIN], void=True)
+    f.jump("burst")
+    f.label("burst_done")
+    f.ret(0)
+
+    # connection I/O: serve pipelined requests until EAGAIN or hangup
+    f = mb.function("ngx_event_io", params=["epfd", "fd"])
+    f.label("read_more")
+    buf = f.addr_global("g_req_buf")
+    n = f.call("read", [f.p("fd"), buf, 4096])
+    parked = f.eq(n, -errno.EAGAIN)
+    f.branch(parked, "drained", "check_eof")
+    f.label("check_eof")
+    eof = f.binop("<=", n, 0)
+    f.branch(eof, "hangup", "handle")
+    f.label("handle")
+    f.call("ngx_handle_request", [f.p("fd"), buf, n], void=True)
+    f.jump("read_more")
+    f.label("hangup")
+    f.call("ngx_event_close", [f.p("epfd"), f.p("fd")], void=True)
+    f.label("drained")
+    f.ret(0)
+
+    f = mb.function("ngx_event_worker_cycle", params=[])
+    lfd_p = f.addr_global("g_listen_fd")
+    lfd = f.load(lfd_p, dst="lfd")
+    epfd = f.call("epoll_create1", [0], dst="epfd")
+    f.call("fcntl", [lfd, F_SETFL, O_NONBLOCK], void=True)
+    f.call("ngx_event_add", [epfd, lfd, EPOLLIN], void=True)
+    f.label("wait_loop")
+    evs = f.addr_global("g_ep_events")
+    n = f.call("epoll_wait", [epfd, evs, config.max_events, -1], dst="nev")
+    idle = f.binop("<=", n, 0)
+    f.branch(idle, "ev_shutdown", "dispatch")
+    f.label("dispatch")
+    f.const(0, dst="ev_i")
+    f.label("ev_loop")
+    more = f.binop("<", f.var("ev_i"), n)
+    f.branch(more, "ev_body", "wait_loop")
+    f.label("ev_body")
+    slot = f.index(evs, f.var("ev_i"), scale=2)
+    data = f.load(f.add(slot, 8))
+    f.move(f.add(f.var("ev_i"), 1), dst="ev_i")
+    is_listener = f.eq(data, lfd)
+    f.branch(is_listener, "do_accept", "do_io")
+    f.label("do_accept")
+    f.call("ngx_event_accept", [epfd, lfd], void=True)
+    f.jump("ev_loop")
+    f.label("do_io")
+    f.call("ngx_event_io", [epfd, data], void=True)
+    f.jump("ev_loop")
+    f.label("ev_shutdown")
+    f.call("ngx_event_close", [epfd, lfd], void=True)
+    f.call("close", [epfd], void=True)
+    f.ret(0)
+
+
 def _build_main(mb, config):
     f = mb.function("ngx_master_cycle", params=[])
     f.hook("ngx_master_cycle")
@@ -480,7 +610,12 @@ def _build_main(mb, config):
     flag = f.load(flag_p)
     f.if_then(flag, lambda: f.call("ngx_upgrade_binary", [0], void=True))
     if config.master_serves:
-        f.call("ngx_worker_cycle", [], void=True)
+        worker = (
+            "ngx_event_worker_cycle"
+            if config.event_loop
+            else "ngx_worker_cycle"
+        )
+        f.call(worker, [], void=True)
     else:
         # master+workers mode: the clone()d workers (scheduled by
         # repro.sched) run the accept loop; the master sits in the real

@@ -96,26 +96,35 @@ class LatencyStats:
     def __len__(self):
         return len(self.samples)
 
-    def percentile(self, p):
-        """Nearest-rank percentile over the recorded samples (cycles)."""
-        if not self.samples:
+    @staticmethod
+    def _nearest_rank(ordered, p):
+        if not ordered:
             return 0
-        ordered = sorted(self.samples)
         rank = int(round((p / 100.0) * (len(ordered) - 1)))
         return ordered[min(max(rank, 0), len(ordered) - 1)]
+
+    def percentile(self, p):
+        """Nearest-rank percentile over the recorded samples (cycles).
+
+        Defined for every sample count: zero samples yield 0, a single
+        sample is every percentile, and tied samples collapse to the tie
+        value.  ``p`` outside [0, 100] clamps to the extremes.
+        """
+        return self._nearest_rank(sorted(self.samples), p)
 
     @property
     def mean(self):
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
     def summary(self):
+        ordered = sorted(self.samples)
         return {
-            "count": len(self.samples),
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "count": len(ordered),
+            "p50": self._nearest_rank(ordered, 50),
+            "p95": self._nearest_rank(ordered, 95),
+            "p99": self._nearest_rank(ordered, 99),
             "mean": self.mean,
-            "max": max(self.samples) if self.samples else 0,
+            "max": ordered[-1] if ordered else 0,
         }
 
 
@@ -156,7 +165,7 @@ class WrkWorkload(Workload):
         self._remaining -= 1
         self.stats.connections += 1
         conn = Connection(peer_port=40000 + self._remaining)
-        self._pending[id(conn)] = self.requests_per_connection - 1
+        self._pending[conn.serial] = self.requests_per_connection - 1
         conn.deliver(HTTP_REQUEST)
         self.stats.requests_sent += 1
         conn.on_server_write = self._on_write
@@ -166,12 +175,13 @@ class WrkWorkload(Workload):
         if data_len < PAGE_BYTES // 2:
             return  # headers / small writes
         self.stats.responses += 1
-        left = self._pending.get(id(conn), 0)
+        left = self._pending.get(conn.serial, 0)
         if left > 0:
-            self._pending[id(conn)] = left - 1
+            self._pending[conn.serial] = left - 1
             conn.deliver(HTTP_REQUEST)
             self.stats.requests_sent += 1
         else:
+            self._pending.pop(conn.serial, None)
             conn.closed = True
 
 
@@ -206,7 +216,7 @@ class SimpleServerWorkload(Workload):
             return None
         self._remaining -= 1
         conn = Connection(peer_port=45000 + self._remaining)
-        self._pending[id(conn)] = self.requests - 1
+        self._pending[conn.serial] = self.requests - 1
         conn.deliver(self.request)
         conn.on_server_write = self._on_write
         return conn
@@ -215,11 +225,12 @@ class SimpleServerWorkload(Workload):
         if data_len < self.response_threshold:
             return
         self.responses += 1
-        left = self._pending.get(id(conn), 0)
+        left = self._pending.get(conn.serial, 0)
         if left > 0:
-            self._pending[id(conn)] = left - 1
+            self._pending[conn.serial] = left - 1
             conn.deliver(self.request)
         else:
+            self._pending.pop(conn.serial, None)
             conn.closed = True
 
 
@@ -254,18 +265,19 @@ class Dbt2Workload(Workload):
         self._remaining -= 1
         self.stats.terminals += 1
         conn = Connection(peer_port=50000 + self._remaining)
-        self._pending[id(conn)] = self.transactions_per_terminal - 1
+        self._pending[conn.serial] = self.transactions_per_terminal - 1
         conn.deliver(NEWORDER_REQUEST)
         conn.on_server_write = self._on_write
         return conn
 
     def _on_write(self, conn, data_len, prefix):
         self.stats.transactions += 1
-        left = self._pending.get(id(conn), 0)
+        left = self._pending.get(conn.serial, 0)
         if left > 0:
-            self._pending[id(conn)] = left - 1
+            self._pending[conn.serial] = left - 1
             conn.deliver(NEWORDER_REQUEST)
         else:
+            self._pending.pop(conn.serial, None)
             conn.closed = True
 
 
@@ -315,8 +327,8 @@ class DkftpbenchWorkload(Workload):
             self._remaining -= 1
             self.stats.sessions += 1
             conn = Connection(peer_port=60000 + self._remaining)
-            self._files_left[id(conn)] = self.files_per_session
-            self._lists_left[id(conn)] = self.lists_per_session
+            self._files_left[conn.serial] = self.files_per_session
+            self._lists_left[conn.serial] = self.lists_per_session
             conn.deliver(FTP_LOGIN)
             conn.on_server_write = self._on_control_write
             return conn
@@ -332,17 +344,19 @@ class DkftpbenchWorkload(Workload):
             self.stats.transfers += 1
             self._send_next(conn)
         elif code == b"221":
+            self._files_left.pop(conn.serial, None)
+            self._lists_left.pop(conn.serial, None)
             conn.closed = True
 
     def _send_next(self, conn):
-        lists = self._lists_left.get(id(conn), 0)
+        lists = self._lists_left.get(conn.serial, 0)
         if lists > 0:
-            self._lists_left[id(conn)] = lists - 1
+            self._lists_left[conn.serial] = lists - 1
             conn.deliver(FTP_LIST)
             return
-        left = self._files_left.get(id(conn), 0)
+        left = self._files_left.get(conn.serial, 0)
         if left > 0:
-            self._files_left[id(conn)] = left - 1
+            self._files_left[conn.serial] = left - 1
             conn.deliver(FTP_RETR)
         else:
             conn.deliver(FTP_QUIT)
@@ -364,6 +378,15 @@ class ConcurrentWrkWorkload(Workload):
     load across a scheduled worker pool.  Per-request latency is sampled
     on the global scheduler clock from request delivery to the
     response-*body* write (>= half the static page).
+
+    The same cap doubles as the C10k knob for the event-loop benches:
+    with ``max_inflight=10_000`` a single nonblocking accept burst pulls
+    the whole backlog into one worker task, ``peak_inflight`` records the
+    high-water concurrency actually reached, and ``connections >
+    max_inflight`` produces churn (new connections admitted as earlier
+    ones close).  Per-connection state is keyed on ``Connection.serial``
+    (monotonic, never reused) and dropped at close, so bookkeeping stays
+    bounded by the in-flight set, not the total connection count.
     """
 
     def __init__(
@@ -382,6 +405,7 @@ class ConcurrentWrkWorkload(Workload):
         self.latency = LatencyStats()
         self._remaining = connections
         self._inflight = 0
+        self.peak_inflight = 0
         self._pending = {}
         self._sent_at = {}
 
@@ -392,15 +416,17 @@ class ConcurrentWrkWorkload(Workload):
             return BACKLOG_WAIT
         self._remaining -= 1
         self._inflight += 1
+        if self._inflight > self.peak_inflight:
+            self.peak_inflight = self._inflight
         self.stats.connections += 1
         conn = Connection(peer_port=40000 + self._remaining)
-        self._pending[id(conn)] = self.requests_per_connection - 1
+        self._pending[conn.serial] = self.requests_per_connection - 1
         conn.on_server_write = self._on_write
         self._send(conn)
         return conn
 
     def _send(self, conn):
-        self._sent_at[id(conn)] = self.now()
+        self._sent_at[conn.serial] = self.now()
         self.stats.requests_sent += 1
         conn.deliver(HTTP_REQUEST)
 
@@ -408,14 +434,15 @@ class ConcurrentWrkWorkload(Workload):
         if data_len < PAGE_BYTES // 2:
             return  # headers / small writes
         self.stats.responses += 1
-        sent = self._sent_at.pop(id(conn), None)
+        sent = self._sent_at.pop(conn.serial, None)
         if sent is not None:
             self.latency.record(max(self.now() - sent, 0))
-        left = self._pending.get(id(conn), 0)
+        left = self._pending.get(conn.serial, 0)
         if left > 0:
-            self._pending[id(conn)] = left - 1
+            self._pending[conn.serial] = left - 1
             self._send(conn)
         else:
+            self._pending.pop(conn.serial, None)
             conn.closed = True
             self._inflight -= 1
 
@@ -453,7 +480,7 @@ class ConcurrentDkftpbenchWorkload(Workload):
             self._inflight += 1
             self.stats.sessions += 1
             conn = Connection(peer_port=62000 + self._remaining)
-            self._files_left[id(conn)] = self.files_per_session
+            self._files_left[conn.serial] = self.files_per_session
             conn.deliver(FTP_LOGIN)
             conn.on_server_write = self._on_control_write
             return conn
@@ -467,19 +494,20 @@ class ConcurrentDkftpbenchWorkload(Workload):
             self._send_next(conn)
         elif code == b"226":
             self.stats.transfers += 1
-            started = self._retr_at.pop(id(conn), None)
+            started = self._retr_at.pop(conn.serial, None)
             if started is not None:
                 self.latency.record(max(self.now() - started, 0))
             self._send_next(conn)
         elif code == b"221":
+            self._files_left.pop(conn.serial, None)
             conn.closed = True
             self._inflight -= 1
 
     def _send_next(self, conn):
-        left = self._files_left.get(id(conn), 0)
+        left = self._files_left.get(conn.serial, 0)
         if left > 0:
-            self._files_left[id(conn)] = left - 1
-            self._retr_at[id(conn)] = self.now()
+            self._files_left[conn.serial] = left - 1
+            self._retr_at[conn.serial] = self.now()
             conn.deliver(FTP_RETR)
         else:
             conn.deliver(FTP_QUIT)

@@ -7,6 +7,14 @@ pinned workload matrix (nginx + concurrent wrk, steady state, workers
 CI diffs the fresh measurement against the newest committed snapshot, so
 wall-clock regressions and wins stay visible across the PR sequence.
 
+Since PR 7 the snapshot carries a second, event-driven matrix: one
+NGINX worker multiplexing 100 / 1k / 10k keep-alive connections through
+``epoll_wait`` (``NginxConfig(event_loop=True)``), the C10k cell set.
+Event cells are keyed by connection count rather than worker count and
+additionally record p50/p95 latency, MB/s, and the peak in-flight
+connection level actually sustained.  Two extra 10k cells pin the
+verdict-cache economics (cache_on vs cache_off) at full pressure.
+
 Byte-stability is the hard part — wall clocks are noisy.  Three
 mechanisms make the file reproducible:
 
@@ -35,11 +43,12 @@ from the deterministic cost model and is exact by construction.
 
 import gc
 import json
+import math
 import os
 import time
 
 #: this PR's snapshot number (bump per hot-path PR, one file each)
-PR_NUMBER = 6
+PR_NUMBER = 7
 
 SCHEMA = "repro-bench-trajectory/v1"
 
@@ -54,6 +63,23 @@ MATRIX_CONFIGS = (
     "temporal",
     "debloat",
 )
+
+#: the event-loop (C10k) matrix: concurrent keep-alive connections
+#: multiplexed by ONE epoll-driven worker, crossed with the configs that
+#: exercise distinct fast-path regimes.  The two extra 10k cells pin the
+#: verdict-cache claim (cache_on must beat cache_off under pressure).
+EVENT_CONNECTIONS = (100, 1000, 10000)
+EVENT_CONFIGS = ("vanilla", "cet_ct_cf_ai", "seccomp_allowlist")
+EVENT_MATRIX = tuple(
+    (count, config) for count in EVENT_CONNECTIONS for config in EVENT_CONFIGS
+) + ((10000, "cache_on"), (10000, "cache_off"))
+#: the CI gate only re-measures the cheap cells; 1k/10k stay write-only
+EVENT_SMOKE_MATRIX = tuple((100, config) for config in EVENT_CONFIGS)
+#: requests each connection pipelines before closing
+EVENT_REQUESTS = 2
+#: wall repeats per event cell — the 10k cells run tens of seconds each,
+#: so repeats taper with pressure (stickiness absorbs the extra noise)
+EVENT_REPEATS = {100: 5, 1000: 3, 10000: 2}
 
 #: the trajectory clock: CPU seconds of this process (contention-immune)
 DEFAULT_CLOCK = time.process_time
@@ -129,16 +155,24 @@ def _measure_cell(workers, config, scale, clock):
     return result, best_wall
 
 
-#: per-cell fields that must be exactly reproducible run-to-run
+#: per-cell fields that must be exactly reproducible run-to-run.
+#: Compared with ``.get`` so blocking cells (which lack the event-only
+#: fields) and pre-PR-7 snapshots (which lack ``mode``) stay comparable.
 _DETERMINISTIC_FIELDS = (
     "config",
+    "mode",
     "workers",
+    "connections",
     "status",
     "work_units",
     "total_cycles",
     "steady_cycles",
     "cycles_per_request",
+    "p50_latency_cycles",
+    "p95_latency_cycles",
     "p99_latency_cycles",
+    "mbps",
+    "peak_inflight",
     "syscalls",
 )
 
@@ -192,15 +226,112 @@ def measure_cells(
     return cells
 
 
+def _measure_event_cell(connections, config, clock):
+    """One C10k cell: a single event-loop worker at ``connections`` load.
+
+    The workload churns 25% more connections than the in-flight cap, so
+    the cell exercises accept bursts and connection teardown at pressure,
+    not just a static connection set.
+    """
+    from repro.apps.nginx import NginxConfig
+    from repro.apps.workloads import ConcurrentWrkWorkload
+    from repro.bench.harness import run_app_scheduled
+
+    repeats = EVENT_REPEATS.get(connections, 1)
+    best_wall = None
+    result = workload = None
+    for _ in range(repeats):
+        workload = ConcurrentWrkWorkload(
+            connections=connections + connections // 4,
+            requests_per_connection=EVENT_REQUESTS,
+            max_inflight=connections,
+        )
+        gc.collect()
+        start = clock()
+        result = run_app_scheduled(
+            TRAJECTORY_APP,
+            config=config,
+            app_config=NginxConfig(
+                workers=1, master_serves=False, event_loop=True
+            ),
+            workload=workload,
+        )
+        elapsed = clock() - start
+        if best_wall is None or elapsed < best_wall:
+            best_wall = elapsed
+    return result, workload, best_wall
+
+
+def measure_event_cells(
+    specs=EVENT_MATRIX,
+    clock=DEFAULT_CLOCK,
+    calibration=None,
+):
+    """Event-loop trajectory records: one dict per (connections, config).
+
+    Same calibration discipline as :func:`measure_cells` (bracketed spin
+    when no calibration is injected); cells carry ``mode: "event"`` plus
+    the C10k-specific fields (latency tail, MB/s, peak in-flight).
+    """
+    fixed_calibration = calibration is not None
+    if not fixed_calibration:
+        calibration = calibrate(clock=clock)
+    raw = []
+    for connections, config in specs:
+        result, workload, wall = _measure_event_cell(
+            connections, config, clock
+        )
+        raw.append((connections, config, result, workload, wall))
+    if not fixed_calibration:
+        calibration = min(calibration, calibrate(clock=clock))
+    cells = []
+    for connections, config, result, workload, wall in raw:
+        work = result.work_units
+        latency = result.latency
+        cells.append(
+            {
+                "config": config if isinstance(config, str) else config.name,
+                "mode": "event",
+                "workers": 1,
+                "connections": connections,
+                "status": result.status.kind,
+                "work_units": work,
+                "total_cycles": result.total_cycles,
+                "steady_cycles": result.steady_cycles,
+                "cycles_per_request": (
+                    round(result.steady_cycles / work, 1) if work else 0.0
+                ),
+                "p50_latency_cycles": latency.get("p50", 0),
+                "p95_latency_cycles": latency.get("p95", 0),
+                "p99_latency_cycles": latency.get("p99", 0),
+                "mbps": round(result.throughput_mbps(), 3),
+                "peak_inflight": workload.peak_inflight,
+                "syscalls": sum(result.syscall_counts.values()),
+                "wall_index": _round_sig(wall / calibration),
+            }
+        )
+    return cells
+
+
 def trajectory_payload(
     scale=TRAJECTORY_SCALE,
     clock=DEFAULT_CLOCK,
     calibration=None,
     previous=None,
     sticky_pct=STICKY_PCT,
+    event_specs=EVENT_MATRIX,
 ):
-    """The full snapshot payload, optionally sticky against ``previous``."""
+    """The full snapshot payload, optionally sticky against ``previous``.
+
+    ``event_specs`` selects the event-loop cells ((connections, config)
+    pairs); the CI gate passes :data:`EVENT_SMOKE_MATRIX` to skip the
+    expensive 1k/10k cells, ``()`` disables the event matrix entirely.
+    """
     cells = measure_cells(scale=scale, clock=clock, calibration=calibration)
+    if event_specs:
+        cells = cells + measure_event_cells(
+            specs=event_specs, clock=clock, calibration=calibration
+        )
     if previous is not None:
         cells = _apply_sticky(cells, previous.get("cells", []), sticky_pct)
     return {
@@ -215,6 +346,12 @@ def trajectory_payload(
         "matrix": {
             "workers": list(MATRIX_WORKERS),
             "configs": list(MATRIX_CONFIGS),
+            "event": [list(spec) for spec in event_specs],
+        },
+        "event_workload": {
+            "kind": "wrk_concurrent_event",
+            "requests_per_connection": EVENT_REQUESTS,
+            "churn_pct": 25,
         },
         "calibration": {
             "spin_iterations": SPIN_ITERATIONS,
@@ -225,7 +362,22 @@ def trajectory_payload(
 
 
 def _cell_key(cell):
-    return (cell["workers"], cell["config"])
+    """Mode-aware identity: blocking cells by workers, event by load.
+
+    Pre-PR-7 snapshots have no ``mode`` field; their cells fall into the
+    ``blocking`` namespace, which is exactly where the (unchanged)
+    blocking matrix still lives — shared cells keep diffing across PRs.
+    """
+    if cell.get("mode") == "event":
+        return ("event", cell.get("connections", 0), cell["config"])
+    return ("blocking", cell.get("workers", 0), cell["config"])
+
+
+def _normalize_key(key):
+    """Accept legacy 2-tuple ``(workers, config)`` keys as blocking."""
+    if len(key) == 2:
+        return ("blocking",) + tuple(key)
+    return tuple(key)
 
 
 def _apply_sticky(cells, previous_cells, sticky_pct):
@@ -318,7 +470,10 @@ def diff_payloads(old, new):
         key = _cell_key(cell)
         prior = old_by_key.pop(key, None)
         row = {
-            "workers": cell["workers"],
+            "key": key,
+            "mode": cell.get("mode", "blocking"),
+            "workers": cell.get("workers", 0),
+            "connections": cell.get("connections"),
             "config": cell["config"],
             "wall_new": cell.get("wall_index", 0.0),
             "cycles_new": cell.get("cycles_per_request", 0.0),
@@ -340,7 +495,10 @@ def diff_payloads(old, new):
     for key, prior in sorted(old_by_key.items()):
         rows.append(
             {
-                "workers": prior["workers"],
+                "key": key,
+                "mode": prior.get("mode", "blocking"),
+                "workers": prior.get("workers", 0),
+                "connections": prior.get("connections"),
                 "config": prior["config"],
                 "wall_new": None,
                 "cycles_new": None,
@@ -353,12 +511,33 @@ def diff_payloads(old, new):
     return rows
 
 
+def _wall_ulp(value, digits=2):
+    """One unit in the last place of the ``digits``-sig-digit rounding.
+
+    ``wall_index`` is stored at two significant digits, so committed
+    values near a rounding boundary (14 vs 15) differ by ~7% on pure
+    quantization.  The gate must never fail on a step the stored
+    precision cannot resolve.
+    """
+    if value <= 0:
+        return 0.0
+    return 10.0 ** (math.floor(math.log10(value)) - (digits - 1))
+
+
 def check_rows(rows, tolerance=DEFAULT_TOLERANCE):
-    """The rows failing the regression gate (> ``tolerance``% slower)."""
+    """The rows failing the regression gate.
+
+    A cell fails when it is more than ``tolerance`` percent slower AND
+    the slowdown exceeds one ulp of the committed value's two-sig-digit
+    precision — for small indices (one ulp ≈ 7–10%) quantization sets
+    the floor, for large ones the percentage does.
+    """
     return [
         row
         for row in rows
-        if row["wall_pct"] is not None and row["wall_pct"] > tolerance
+        if row["wall_pct"] is not None
+        and row["wall_pct"] > tolerance
+        and row["wall_new"] > row["wall_old"] + _wall_ulp(row["wall_old"])
     ]
 
 
@@ -373,13 +552,19 @@ def remeasure_cells(cells, keys, scale=TRAJECTORY_SCALE, clock=DEFAULT_CLOCK):
     not comparable).
     """
     by_key = {_cell_key(cell): cell for cell in cells}
-    for workers, config in sorted(keys):
-        cell = by_key.get((workers, config))
+    for key in sorted(_normalize_key(key) for key in keys):
+        cell = by_key.get(key)
         if cell is None:
             continue
-        fresh = measure_cells(
-            workers=(workers,), configs=(config,), scale=scale, clock=clock
-        )[0]
+        mode, count, config = key
+        if mode == "event":
+            fresh = measure_event_cells(
+                specs=((count, config),), clock=clock
+            )[0]
+        else:
+            fresh = measure_cells(
+                workers=(count,), configs=(config,), scale=scale, clock=clock
+            )[0]
         if _deterministic_match(fresh, cell):
             cell["wall_index"] = min(cell["wall_index"], fresh["wall_index"])
         else:
@@ -392,6 +577,13 @@ def _fmt(value, spec="%s"):
     return "-" if value is None else spec % value
 
 
+def _cell_label(mode, workers, connections):
+    """The 'load' column: worker count (blocking) or connections (event)."""
+    if mode == "event":
+        return "%dc" % (connections or 0)
+    return "w%d" % workers
+
+
 def render_diff(rows, old_pr=None, new_pr=PR_NUMBER):
     """A per-cell text table of the trajectory diff."""
     lines = []
@@ -400,10 +592,10 @@ def render_diff(rows, old_pr=None, new_pr=PR_NUMBER):
         title += ": BENCH_%s.json -> BENCH_%s.json" % (old_pr, new_pr)
     lines.append(title)
     lines.append(
-        "%-18s %3s  %10s %10s %8s  %12s %12s  %s"
+        "%-18s %6s  %10s %10s %8s  %12s %12s  %s"
         % (
             "config",
-            "wrk",
+            "load",
             "wall(old)",
             "wall(new)",
             "wall%",
@@ -412,13 +604,17 @@ def render_diff(rows, old_pr=None, new_pr=PR_NUMBER):
             "note",
         )
     )
-    lines.append("-" * 92)
+    lines.append("-" * 95)
     for row in rows:
         lines.append(
-            "%-18s %3d  %10s %10s %8s  %12s %12s  %s"
+            "%-18s %6s  %10s %10s %8s  %12s %12s  %s"
             % (
                 row["config"],
-                row["workers"],
+                _cell_label(
+                    row.get("mode", "blocking"),
+                    row.get("workers", 0),
+                    row.get("connections"),
+                ),
                 _fmt(row["wall_old"], "%.4g"),
                 _fmt(row["wall_new"], "%.4g"),
                 _fmt(row["wall_pct"], "%+.1f"),
@@ -440,16 +636,20 @@ def render_payload(payload):
             payload["workload"]["scale"],
             "/".join(str(w) for w in payload["matrix"]["workers"]),
         ),
-        "%-18s %3s  %10s  %12s  %10s  %8s"
-        % ("config", "wrk", "wall_index", "cyc/req", "cycles(M)", "requests"),
-        "-" * 72,
+        "%-18s %6s  %10s  %12s  %10s  %8s"
+        % ("config", "load", "wall_index", "cyc/req", "cycles(M)", "requests"),
+        "-" * 75,
     ]
     for cell in payload["cells"]:
         lines.append(
-            "%-18s %3d  %10.4g  %12.1f  %10.2f  %8d"
+            "%-18s %6s  %10.4g  %12.1f  %10.2f  %8d"
             % (
                 cell["config"],
-                cell["workers"],
+                _cell_label(
+                    cell.get("mode", "blocking"),
+                    cell.get("workers", 0),
+                    cell.get("connections"),
+                ),
                 cell["wall_index"],
                 cell["cycles_per_request"],
                 cell["steady_cycles"] / 1e6,
@@ -476,13 +676,16 @@ def run_cli(args):
                 "nothing to gate against."
             )
             return 0
-        payload = trajectory_payload(scale=scale)
+        # the gate measures the full blocking matrix but only the cheap
+        # 100-connection event cells; missing 1k/10k cells diff as
+        # "cell removed" notes, which never fail the check
+        payload = trajectory_payload(scale=scale, event_specs=EVENT_SMOKE_MATRIX)
         rows = diff_payloads(previous, payload)
         failures = check_rows(rows, tolerance=args.tolerance)
         for retry in range(CHECK_RETRIES):
             if not failures:
                 break
-            keys = {(row["workers"], row["config"]) for row in failures}
+            keys = {row["key"] for row in failures}
             print(
                 "re-measuring %d regressed cell(s) (retry %d/%d) -- the "
                 "wall estimator is a min, so a real regression survives"

@@ -70,6 +70,21 @@ def cycle_free(fn):
     return fn
 
 
+def trace_only(fn):
+    """Mark a stage handler as a no-op unless ``ctx.trace`` is set.
+
+    The run loop skips marked handlers outright on untraced dispatches,
+    saving the call and the ledger-delta bookkeeping on the hot path.
+    This is a wall-clock-only optimization: a marked handler must behave
+    identically to an unmarked one that begins with
+    ``if not ctx.trace: return``.  The kernel's ``trace_stop`` and
+    ``verify`` stages qualify; mechanism hooks are unmarked and always
+    run.
+    """
+    fn.trace_only = True
+    return fn
+
+
 @dataclass
 class SyscallContext:
     """Everything one in-flight syscall dispatch carries between stages."""
@@ -228,13 +243,21 @@ class DispatchPipeline:
                     "block",
                     "stage.cycles.seccomp",
                     _fuse(stages[0][1], stages[1][1], stages[2][1]),
+                    False,
                 )
             )
             rest = stages[3:]
         else:
             rest = stages
         for stage, fn in rest:
-            plan.append((stage, "stage.cycles." + stage, fn))
+            plan.append(
+                (
+                    stage,
+                    "stage.cycles." + stage,
+                    fn,
+                    getattr(fn, "trace_only", False),
+                )
+            )
         self._plan = plan
         self._fused = fused
 
@@ -258,8 +281,10 @@ class DispatchPipeline:
         ledger = ctx.proc.ledger
         counters = self.bus.counters
         ctx.start_cycles = ledger.cycles
-        for stage, key, fn in self._plan:
+        for stage, key, fn, needs_trace in self._plan:
             if ctx.done and stage != "account":
+                continue
+            if needs_trace and not ctx.trace:
                 continue
             before = ledger.cycles
             try:

@@ -30,7 +30,12 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ProcessKilled, WouldBlock
-from repro.kernel.dispatch import DispatchPipeline, SyscallContext, cycle_free
+from repro.kernel.dispatch import (
+    DispatchPipeline,
+    SyscallContext,
+    cycle_free,
+    trace_only,
+)
 from repro.kernel import errno
 from repro.kernel.mm import (
     PROT_EXEC,
@@ -38,7 +43,16 @@ from repro.kernel.mm import (
     PROT_WRITE,
     standard_layout,
 )
-from repro.kernel.net import NetStack, Socket
+from repro.kernel.net import (
+    EPOLL_CTL_ADD,
+    EPOLL_CTL_DEL,
+    EPOLL_CTL_MOD,
+    EPOLLIN,
+    Epoll,
+    NetStack,
+    SOCK_NONBLOCK,
+    Socket,
+)
 from repro.kernel.process import Process
 from repro.kernel.seccomp import (
     SECCOMP_RET_ACTION_FULL,
@@ -51,7 +65,16 @@ from repro.kernel.seccomp import (
     compute_action_cache,
     evaluate_filters,
 )
-from repro.kernel.vfs import FileSystem, O_APPEND, O_CREAT, O_TRUNC, OpenFile, S_IFDIR, S_IFREG
+from repro.kernel.vfs import (
+    FileSystem,
+    O_APPEND,
+    O_CREAT,
+    O_NONBLOCK,
+    O_TRUNC,
+    OpenFile,
+    S_IFDIR,
+    S_IFREG,
+)
 from repro.syscalls.table import SYSCALLS, nr_of
 from repro.telemetry import TelemetryBus
 from repro.vm.costs import DEFAULT_COSTS
@@ -64,6 +87,10 @@ ELIDE_BYTES = 512
 
 #: sockaddr layout in simulated memory: slot0=family, slot1=port, slot2=host.
 SOCKADDR_SLOTS = 3
+
+#: fcntl(2) commands (subset)
+F_GETFL = 3
+F_SETFL = 4
 
 
 class _Pipe:
@@ -256,6 +283,10 @@ class Kernel:
             "recvfrom": self._sys_recvfrom,
             "setsockopt": self._sys_setsockopt,
             "shutdown": self._sys_shutdown,
+            "epoll_create1": self._sys_epoll_create1,
+            "epoll_ctl": self._sys_epoll_ctl,
+            "epoll_wait": self._sys_epoll_wait,
+            "epoll_pwait": self._sys_epoll_wait,
             "clone": self._sys_clone,
             "fork": self._sys_fork,
             "vfork": self._sys_fork,
@@ -290,7 +321,7 @@ class Kernel:
             "futex": lambda proc, args: 0,
             "rt_sigaction": lambda proc, args: 0,
             "rt_sigprocmask": lambda proc, args: 0,
-            "fcntl": lambda proc, args: 0,
+            "fcntl": self._sys_fcntl,
             "fsync": lambda proc, args: 0,
             "ioctl": lambda proc, args: 0,
             "umask": lambda proc, args: 0o022,
@@ -465,9 +496,8 @@ class Kernel:
         if base in (SECCOMP_RET_TRACE, SECCOMP_RET_TRAP):
             ctx.trace = True
 
+    @trace_only
     def _stage_trace_stop(self, ctx):
-        if not ctx.trace:
-            return
         proc = ctx.proc
         fast = False
         if proc.tracer is not None:
@@ -489,10 +519,9 @@ class Kernel:
                 "trap",
             )
 
+    @trace_only
     def _stage_verify(self, ctx):
         """Enforce the tracer's verdict: surface a monitor kill here."""
-        if not ctx.trace:
-            return
         proc = ctx.proc
         if proc.tracer is not None and not proc.alive:
             ctx.verdict = "violation"
@@ -540,6 +569,7 @@ class Kernel:
             if (
                 isinstance(sock, Socket)
                 and sock.listening
+                and not sock.nonblocking
                 and self.net.poll_backlog(sock) == "later"
             ):
                 raise WouldBlock(
@@ -551,6 +581,7 @@ class Kernel:
             sock = proc.fdtable.get(self._arg(args, 0))
             if (
                 isinstance(sock, Socket)
+                and not sock.nonblocking
                 and sock.connection is not None
                 and not sock.connection.inbox
                 and not sock.connection.closed
@@ -560,6 +591,19 @@ class Kernel:
                     "read",
                     lambda: bool(conn.inbox) or conn.closed,
                     "pid %d fd %d" % (proc.pid, self._arg(args, 0)),
+                )
+        elif name in ("epoll_wait", "epoll_pwait"):
+            ep = proc.fdtable.get(self._arg(args, 0))
+            if (
+                isinstance(ep, Epoll)
+                and self._arg(args, 3) != 0  # timeout 0 = nonblocking poll
+                and not ep.poll(self.net, proc.fdtable, 1)
+            ):
+                fdtable = proc.fdtable
+                raise WouldBlock(
+                    "epoll",
+                    lambda: bool(ep.poll(self.net, fdtable, 1)),
+                    "pid %d epfd %d" % (proc.pid, self._arg(args, 0)),
                 )
         elif name == "wait4":
             children = proc.children
@@ -631,7 +675,10 @@ class Kernel:
         if isinstance(desc, Socket):
             if desc.connection is None:
                 return -errno.ENOTSOCK
-            chunk = desc.connection.take(count)
+            conn = desc.connection
+            if desc.nonblocking and not conn.inbox and not conn.closed:
+                return -errno.EAGAIN
+            chunk = conn.take(count)
             self._copy_bytes_to_user(proc, buf, chunk)
             self.net.account_recv(len(chunk))
             self._charge_net(proc, len(chunk))
@@ -992,6 +1039,8 @@ class Kernel:
         if conn is None:
             return -errno.EAGAIN
         conn_sock = Socket(sock.domain, sock.type, sock.protocol, connection=conn)
+        if flags & SOCK_NONBLOCK:
+            conn_sock.nonblocking = True
         new_fd = proc.fdtable.install(conn_sock)
         if addr_ptr:
             # kernel-written out-parameter (§9.2's struct sockaddr)
@@ -1026,6 +1075,92 @@ class Kernel:
             return -errno.ENOTSOCK
         if sock.connection is not None:
             sock.connection.closed = True
+        return 0
+
+    # ------------------------------------------------------------------
+    # event multiplexing (epoll)
+    # ------------------------------------------------------------------
+
+    def _sys_epoll_create1(self, proc, args):
+        return proc.fdtable.install(Epoll())
+
+    def _sys_epoll_ctl(self, proc, args):
+        """epoll_ctl(epfd, op, fd, event): maintain the interest set.
+
+        ``struct epoll_event`` is two slots in simulated memory:
+        slot0 = events mask, slot1 = user data (apps conventionally store
+        the fd there).  A NULL event pointer defaults to EPOLLIN with the
+        fd as data, which is what DEL (which ignores the event) passes.
+        """
+        epfd, op, fd, event_ptr = (self._arg(args, i) for i in range(4))
+        ep = proc.fdtable.get(epfd)
+        if ep is None:
+            return -errno.EBADF
+        if not isinstance(ep, Epoll):
+            return -errno.EINVAL
+        target = proc.fdtable.get(fd)
+        if target is None:
+            return -errno.EBADF
+        if op == EPOLL_CTL_DEL:
+            return 0 if ep.remove(fd) else -errno.ENOENT
+        if not isinstance(target, Socket):
+            # regular files are always ready; Linux refuses them
+            return -errno.EPERM
+        mask, data = EPOLLIN, fd
+        if event_ptr:
+            mask = proc.memory.read(event_ptr)
+            data = proc.memory.read(event_ptr + WORD)
+        if op == EPOLL_CTL_ADD:
+            return 0 if ep.add(fd, target, mask, data) else -errno.EEXIST
+        if op == EPOLL_CTL_MOD:
+            return 0 if ep.modify(fd, mask, data) else -errno.ENOENT
+        return -errno.EINVAL
+
+    def _sys_epoll_wait(self, proc, args):
+        """epoll_wait(epfd, events, maxevents, timeout): harvest readiness.
+
+        Blocking (timeout != 0 with nothing ready) is handled by
+        ``_maybe_block`` before this handler runs; by execute time there
+        is either something ready or the scheduler is draining.  Each
+        harvested event is written as an (events, data) slot pair and
+        charged ``costs.epoll_per_event``.
+        """
+        epfd, events_ptr, maxevents, _timeout = (
+            self._arg(args, i) for i in range(4)
+        )
+        ep = proc.fdtable.get(epfd)
+        if ep is None:
+            return -errno.EBADF
+        if not isinstance(ep, Epoll) or maxevents <= 0:
+            return -errno.EINVAL
+        ready = ep.poll(self.net, proc.fdtable, maxevents)
+        if ready:
+            proc.ledger.charge(
+                len(ready) * self.costs.epoll_per_event, "kernel"
+            )
+            for i, (fd, events, data) in enumerate(ready):
+                proc.memory.write(events_ptr + 2 * i * WORD, events)
+                proc.memory.write(events_ptr + (2 * i + 1) * WORD, data)
+            # kernel-written out-parameter, like the accept4 sockaddr
+            self._refresh_shadow(proc, events_ptr, 2 * len(ready))
+            self.telemetry.count("epoll.events", len(ready))
+        self.telemetry.count("epoll.waits")
+        return len(ready)
+
+    def _sys_fcntl(self, proc, args):
+        """fcntl(fd, cmd, arg): F_GETFL/F_SETFL drive O_NONBLOCK on sockets.
+
+        Everything else keeps the historical always-0 behavior (the apps
+        only probe status flags).
+        """
+        fd, cmd, arg = (self._arg(args, i) for i in range(3))
+        desc = proc.fdtable.get(fd)
+        if isinstance(desc, Socket):
+            if cmd == F_GETFL:
+                return O_NONBLOCK if desc.nonblocking else 0
+            if cmd == F_SETFL:
+                desc.nonblocking = bool(arg & O_NONBLOCK)
+                return 0
         return 0
 
     # ------------------------------------------------------------------

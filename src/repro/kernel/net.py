@@ -5,13 +5,31 @@ stand-ins) through a *backlog provider* attached to the network stack: when
 the application calls ``accept``/``accept4``, the kernel asks the provider
 for the next pending connection on that listening socket.  Byte counters on
 the stack are the ground truth for the throughput numbers in Table 3.
+
+Event multiplexing lives here too: :class:`Epoll` is the kernel object
+behind ``epoll_create1``/``epoll_ctl``/``epoll_wait``.  Readiness is
+level-triggered and push-maintained — connections notify the epoll
+instances watching them when bytes arrive or the peer closes, so a
+10k-entry interest set never needs a per-fd scan on ``epoll_wait``.
 """
 
+import itertools
 from dataclasses import dataclass, field
 
 AF_INET = 2
 SOCK_STREAM = 1
 SOCK_DGRAM = 2
+
+#: ``accept4`` flag: the returned connection socket starts nonblocking
+SOCK_NONBLOCK = 0o4000
+
+# epoll event bits / control ops (Linux values)
+EPOLLIN = 0x1
+EPOLLOUT = 0x4
+EPOLLHUP = 0x10
+EPOLL_CTL_ADD = 1
+EPOLL_CTL_DEL = 2
+EPOLL_CTL_MOD = 3
 
 
 class _BacklogWait:
@@ -31,29 +49,74 @@ class _BacklogWait:
 BACKLOG_WAIT = _BacklogWait()
 
 
-@dataclass
 class Connection:
     """One accepted connection: an inbox the app reads, byte counters out.
 
     The workload generator owns the inbox (client->server bytes).  Data the
     server sends back is *counted*, and a bounded prefix is retained for
     protocol-level assertions in tests.
+
+    Every connection carries a process-wide monotonic ``serial`` so that
+    per-connection bookkeeping (workload budgets, latency maps) can key on
+    an identifier that is never reused — unlike ``id()``, which the
+    allocator recycles after garbage collection.
     """
 
-    peer_port: int = 0
-    peer_host: int = 0x7F000001
-    inbox: bytes = b""
-    bytes_out: int = 0
-    out_prefix: bytes = b""
-    closed: bool = False
-    #: optional callback fired on every server write (request pacing)
-    on_server_write: object = None
-
     _OUT_KEEP = 4096
+    _serials = itertools.count(1)
+
+    def __init__(
+        self,
+        peer_port=0,
+        peer_host=0x7F000001,
+        inbox=b"",
+        bytes_out=0,
+        out_prefix=b"",
+        closed=False,
+        on_server_write=None,
+    ):
+        self.serial = next(Connection._serials)
+        self.peer_port = peer_port
+        self.peer_host = peer_host
+        self.inbox = inbox
+        self.bytes_out = bytes_out
+        self.out_prefix = out_prefix
+        self._closed = closed
+        #: optional callback fired on every server write (request pacing)
+        self.on_server_write = on_server_write
+        #: epoll instances watching this connection: [(epoll, fd)]
+        self._watchers = []
+
+    @property
+    def closed(self):
+        return self._closed
+
+    @closed.setter
+    def closed(self, value):
+        value = bool(value)
+        became_closed = value and not self._closed
+        self._closed = value
+        if became_closed:
+            self._notify_watchers()
+
+    def add_watcher(self, epoll, fd):
+        self._watchers.append((epoll, fd))
+
+    def remove_watcher(self, epoll, fd):
+        try:
+            self._watchers.remove((epoll, fd))
+        except ValueError:
+            pass
+
+    def _notify_watchers(self):
+        for epoll, fd in self._watchers:
+            epoll.mark_ready(fd)
 
     def deliver(self, data):
-        """Client -> server bytes."""
+        """Client -> server bytes; wakes any epoll watching this fd."""
         self.inbox += bytes(data)
+        if self.inbox:
+            self._notify_watchers()
 
     def take(self, count):
         """Server reads up to ``count`` client bytes."""
@@ -82,9 +145,144 @@ class Socket:
     backlog: int = 0
     connection: Connection = None  # set on accepted-connection sockets
     connected_port: int = 0  # set by connect()
+    #: O_NONBLOCK / SOCK_NONBLOCK: reads and accepts return -EAGAIN instead
+    #: of blocking
+    nonblocking: bool = False
     #: connections pulled from the provider while probing readiness but not
     #: yet returned by accept (the listen backlog proper)
     pending: list = field(default_factory=list)
+
+
+class Epoll:
+    """One ``epoll_create1`` instance: an interest set plus a ready list.
+
+    The design target is the C10k steady state — ~10k registered
+    connection fds with only a handful ready per ``epoll_wait``.  Readiness
+    is therefore *push-maintained*: :meth:`Connection.deliver` and the
+    ``closed`` transition mark the watching fd ready, and :meth:`poll` only
+    walks the ready candidates (plus the O(#listeners) listening sockets,
+    whose backlog is pull-based by construction).  Level-triggered
+    semantics come from validating each candidate against live state at
+    harvest time: a drained fd silently leaves the ready list, a
+    still-readable one stays until consumed.
+
+    An fd closed without ``EPOLL_CTL_DEL`` is detected at harvest (the
+    fd table no longer maps it to the registered socket) and dropped,
+    mirroring the kernel's automatic removal of closed fds.
+    """
+
+    def __init__(self):
+        #: fd -> (socket, event mask, user data)
+        self._interest = {}
+        #: listening fds (their readiness is polled, not pushed)
+        self._listeners = {}
+        #: ready *candidates*: insertion-ordered fd set, validated lazily
+        self._ready = {}
+        self.stale_drops = 0
+
+    def __len__(self):
+        return len(self._interest)
+
+    def watches(self, fd):
+        return fd in self._interest
+
+    def add(self, fd, sock, mask, data):
+        if fd in self._interest:
+            return False
+        self._interest[fd] = (sock, mask, data)
+        if sock.listening:
+            self._listeners[fd] = sock
+        else:
+            conn = sock.connection
+            if conn is not None:
+                conn.add_watcher(self, fd)
+                # level-triggered: readable-at-registration fds fire without
+                # waiting for the next deliver()
+                if conn.inbox or conn.closed:
+                    self._ready[fd] = True
+        if mask & EPOLLOUT:
+            self._ready[fd] = True
+        return True
+
+    def modify(self, fd, mask, data):
+        entry = self._interest.get(fd)
+        if entry is None:
+            return False
+        sock = entry[0]
+        self._interest[fd] = (sock, mask, data)
+        # re-evaluate lazily at the next harvest
+        self._ready[fd] = True
+        return True
+
+    def remove(self, fd):
+        entry = self._interest.pop(fd, None)
+        if entry is None:
+            return False
+        self._listeners.pop(fd, None)
+        self._ready.pop(fd, None)
+        conn = entry[0].connection
+        if conn is not None:
+            conn.remove_watcher(self, fd)
+        return True
+
+    def mark_ready(self, fd):
+        """Push notification from a watched connection."""
+        if fd in self._interest:
+            self._ready[fd] = True
+
+    def _events_for(self, sock, mask):
+        conn = sock.connection
+        if conn is None:
+            return 0
+        events = 0
+        if conn.closed:
+            # hangup is reported regardless of the subscribed mask, and a
+            # close with residual inbox bytes stays readable (read drains
+            # the bytes, then returns 0)
+            events |= EPOLLHUP | (EPOLLIN & mask)
+        else:
+            if conn.inbox:
+                events |= EPOLLIN & mask
+            events |= EPOLLOUT & mask
+        return events
+
+    def poll(self, net, fdtable, maxevents):
+        """Harvest up to ``maxevents`` ready ``(fd, events, data)`` triples.
+
+        Cost is O(#listeners + #ready candidates), never O(#interest).
+        """
+        for fd, sock in self._listeners.items():
+            if fd not in self._ready and net.poll_backlog(sock) == "ready":
+                self._ready[fd] = True
+        if not self._ready:
+            return []
+        out = []
+        drop = []
+        for fd in self._ready:
+            entry = self._interest.get(fd)
+            if entry is None or fdtable.get(fd) is not entry[0]:
+                # closed without EPOLL_CTL_DEL: auto-remove, like the kernel
+                drop.append((fd, True))
+                self.stale_drops += 1
+                continue
+            sock, mask, data = entry
+            if sock.listening:
+                ready = bool(sock.pending) or net.poll_backlog(sock) == "ready"
+                events = EPOLLIN & mask if ready else 0
+            else:
+                events = self._events_for(sock, mask)
+            if events:
+                out.append((fd, events, data))
+                if len(out) >= maxevents:
+                    break
+            else:
+                drop.append((fd, False))
+        for fd, stale in drop:
+            self._ready.pop(fd, None)
+            if stale:
+                self._interest.pop(fd, None)
+                self._listeners.pop(fd, None)
+        return out
 
 
 class NetStack:

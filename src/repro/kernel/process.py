@@ -56,7 +56,9 @@ class RegisterFile:
 class FDTable:
     """Per-process file descriptor table."""
 
-    MAX_FDS = 1024
+    #: RLIMIT_NOFILE stand-in, sized for the C10k event-loop benches
+    #: (10k concurrent connections + listener + epoll fd headroom)
+    MAX_FDS = 16384
 
     def __init__(self):
         self._table = {}

@@ -24,6 +24,7 @@ O_RDWR = 2
 O_CREAT = 0o100
 O_TRUNC = 0o1000
 O_APPEND = 0o2000
+O_NONBLOCK = 0o4000
 
 
 @dataclass

@@ -75,6 +75,14 @@ ARG_SPECS = {
         ArgSpec("listen", (_D, _D)),
         ArgSpec("accept", (_D, _S, _S)),
         ArgSpec("accept4", (_D, _S, _S, _D)),
+        # --- event multiplexing (not sensitive; specs recorded so any
+        # --- future extension of the sensitive set verifies them right:
+        # --- the epoll_event the app passes to epoll_ctl is app memory,
+        # --- the array epoll_wait fills is kernel-written output) ---
+        ArgSpec("epoll_create1", (_D,)),
+        ArgSpec("epoll_ctl", (_D, _D, _D, _E)),
+        ArgSpec("epoll_wait", (_D, _S, _D, _D)),
+        ArgSpec("epoll_pwait", (_D, _S, _D, _D, _D, _D)),
         # --- §11.2 filesystem extension ---
         ArgSpec("open", (_E, _D, _D)),
         ArgSpec("openat", (_D, _E, _D, _D)),

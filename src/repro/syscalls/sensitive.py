@@ -82,6 +82,23 @@ FILESYSTEM_EXTENSION = (
     "rename",
 )
 
+#: Event-multiplexing syscalls, classified *not* sensitive: they map to
+#: none of Table 1's four abuse vectors (no code execution, no memory
+#: permission change, no privilege transition, no new network endpoint —
+#: an epoll fd only observes readiness of fds obtained through already-
+#: protected syscalls like ``accept4``).  They are therefore cheap under
+#: BASTION — filtered but never trace-stopped — which is exactly the
+#: paper's economics: protect the sensitive choke points, leave the
+#: event-loop hot path on the seccomp fast path.  The tuple is kept
+#: deliberately *out* of FILESYSTEM_EXTENSION so the §11.2 extended
+#: configs keep their filter programs (and cycle counts) unchanged.
+EVENT_MULTIPLEXING = (
+    "epoll_create1",
+    "epoll_ctl",
+    "epoll_wait",
+    "epoll_pwait",
+)
+
 _SENSITIVE_SET = frozenset(SENSITIVE_SYSCALLS)
 
 

@@ -54,6 +54,10 @@ class CostModel:
     #: instead of running the BPF engine)
     seccomp_cache_hit: int = 1
 
+    #: per ready event harvested by ``epoll_wait`` (copy one epoll_event
+    #: to userspace plus ready-list bookkeeping)
+    epoll_per_event: int = 6
+
     # -- instrumentation (inlined BASTION runtime library) -----------------
     ctx_write_mem_base: int = 9
     ctx_write_mem_per_slot: int = 2

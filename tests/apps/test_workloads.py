@@ -1,13 +1,17 @@
 """Unit tests for workload pacing state machines (no VM involved)."""
 
+import gc
+
 from repro.apps.nginx import PAGE_BYTES
 from repro.apps.workloads import (
+    ConcurrentWrkWorkload,
     Dbt2Workload,
     DkftpbenchWorkload,
+    LatencyStats,
     SimpleServerWorkload,
     WrkWorkload,
 )
-from repro.kernel.net import Socket
+from repro.kernel.net import Connection, Socket
 
 
 def _listener(port):
@@ -103,6 +107,122 @@ class TestFtpPacing:
         wl.proc = FakeProc()
         wl._provide(_listener(wl.port))
         assert wl.steady_start_cycles == 1234
+
+
+class TestLatencyStats:
+    def test_zero_samples_define_every_percentile(self):
+        stats = LatencyStats()
+        assert stats.percentile(50) == 0
+        assert stats.mean == 0.0
+        summary = stats.summary()
+        assert summary == {
+            "count": 0, "p50": 0, "p95": 0, "p99": 0, "mean": 0.0, "max": 0,
+        }
+
+    def test_single_sample_is_every_percentile(self):
+        stats = LatencyStats()
+        stats.record(42)
+        for p in (0, 1, 50, 95, 99, 100):
+            assert stats.percentile(p) == 42
+        summary = stats.summary()
+        assert summary["p50"] == summary["p99"] == summary["max"] == 42
+        assert summary["mean"] == 42.0
+
+    def test_tied_samples_collapse_to_tie_value(self):
+        stats = LatencyStats()
+        for _ in range(10):
+            stats.record(7)
+        assert stats.percentile(50) == 7
+        assert stats.percentile(99) == 7
+        assert stats.summary()["max"] == 7
+
+    def test_percentile_clamps_out_of_range(self):
+        stats = LatencyStats()
+        for value in (1, 2, 3):
+            stats.record(value)
+        assert stats.percentile(-5) == 1
+        assert stats.percentile(200) == 3
+
+    def test_nearest_rank_on_small_distributions(self):
+        stats = LatencyStats()
+        for value in (10, 20, 30, 40):
+            stats.record(value)
+        assert stats.percentile(0) == 10
+        assert stats.percentile(50) == 30  # round(0.5 * 3) = 2
+        assert stats.percentile(100) == 40
+
+
+class TestConnectionSerials:
+    """Per-connection budgets key on the monotonic serial, never id()."""
+
+    def test_serials_monotonic_and_never_reused(self):
+        seen = set()
+        last = 0
+        for _ in range(50):
+            conn = Connection()
+            assert conn.serial > last
+            assert conn.serial not in seen
+            seen.add(conn.serial)
+            last = conn.serial
+            del conn
+            gc.collect()  # id() reuse territory — serials keep counting
+
+    def test_pending_keyed_on_serial_not_id(self):
+        wl = WrkWorkload(connections=2, requests_per_connection=2)
+        sock = _listener(wl.port)
+        a = wl.next_connection(sock)
+        a_serial = a.serial
+        assert set(wl._pending) == {a_serial}
+        # drop the first connection object entirely: even if the allocator
+        # hands the next Connection the same id(), the budgets stay apart
+        del a
+        gc.collect()
+        b = wl.next_connection(sock)
+        assert b.serial != a_serial
+        assert set(wl._pending) == {a_serial, b.serial}
+
+    def test_every_close_path_pops_its_entry(self):
+        wl = WrkWorkload(connections=3, requests_per_connection=1)
+        sock = _listener(wl.port)
+        for _ in range(3):
+            conn = wl.next_connection(sock)
+            conn.take(10_000)
+            conn.server_write(PAGE_BYTES, b"body")
+            assert conn.closed
+        assert wl._pending == {}
+
+
+class TestConcurrentWrkChurn:
+    def test_peak_inflight_and_bounded_state(self):
+        from repro.kernel.net import BACKLOG_WAIT
+
+        wl = ConcurrentWrkWorkload(
+            connections=8, requests_per_connection=1, max_inflight=2
+        )
+        sock = _listener(wl.port)
+        live = []
+        served = 0
+        while True:
+            conn = wl.next_connection(sock)
+            if conn is BACKLOG_WAIT:
+                # cap reached: state is bounded by the in-flight set
+                assert len(wl._pending) <= 2 and len(wl._sent_at) <= 2
+                victim = live.pop(0)
+                victim.take(10_000)
+                victim.server_write(PAGE_BYTES, b"body")
+                assert victim.closed
+                served += 1
+                continue
+            if conn is None:
+                break
+            live.append(conn)
+        for conn in live:
+            conn.take(10_000)
+            conn.server_write(PAGE_BYTES, b"body")
+            served += 1
+        assert served == 8
+        assert wl.peak_inflight == 2
+        assert wl._pending == {} and wl._sent_at == {}
 
 
 class TestSimpleServer:

@@ -14,12 +14,15 @@ from repro.bench.trajectory import (
     DEFAULT_TOLERANCE,
     PR_NUMBER,
     _apply_sticky,
+    _cell_key,
+    _normalize_key,
     _round_sig,
     check_rows,
     diff_payloads,
     find_snapshots,
     load_previous,
     measure_cells,
+    measure_event_cells,
     render_diff,
     serialize,
 )
@@ -102,6 +105,63 @@ class TestMeasureCells:
         assert blob == json.dumps(two, sort_keys=True)
 
 
+class TestEventCells:
+    # 20 is not in EVENT_REPEATS, so the cell runs a single repeat — the
+    # connection count is otherwise arbitrary for these tests
+    SPECS = ((20, "vanilla"),)
+
+    def test_event_cell_shape(self):
+        cells = measure_event_cells(
+            specs=self.SPECS, clock=_fixed_clock(), calibration=0.05
+        )
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["mode"] == "event"
+        assert cell["connections"] == 20
+        assert cell["workers"] == 1
+        assert cell["status"] == "returned"
+        # the workload churns 25% more connections than the cap, each
+        # pipelining EVENT_REQUESTS requests
+        assert cell["work_units"] == 25 * trajectory.EVENT_REQUESTS
+        assert cell["peak_inflight"] == 20
+        assert cell["p50_latency_cycles"] <= cell["p95_latency_cycles"]
+        assert cell["p95_latency_cycles"] <= cell["p99_latency_cycles"]
+        assert cell["mbps"] > 0
+        assert cell["cycles_per_request"] == round(
+            cell["steady_cycles"] / cell["work_units"], 1
+        )
+
+    def test_byte_stable_across_two_runs(self):
+        one = measure_event_cells(
+            specs=self.SPECS, clock=_fixed_clock(), calibration=0.05
+        )
+        two = measure_event_cells(
+            specs=self.SPECS, clock=_fixed_clock(), calibration=0.05
+        )
+        assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+    def test_mode_aware_keys(self):
+        event = {"mode": "event", "connections": 100, "config": "vanilla"}
+        blocking = _cell()
+        assert _cell_key(event) == ("event", 100, "vanilla")
+        assert _cell_key(blocking) == ("blocking", 1, "vanilla")
+        # pre-PR-7 snapshots have no mode field: still blocking
+        legacy = {"workers": 4, "config": "temporal"}
+        assert _cell_key(legacy) == ("blocking", 4, "temporal")
+
+    def test_legacy_key_normalization(self):
+        assert _normalize_key((1, "vanilla")) == ("blocking", 1, "vanilla")
+        assert _normalize_key(("event", 100, "x")) == ("event", 100, "x")
+
+    def test_event_and_blocking_cells_never_collide(self):
+        # same config, workers=1 on both sides — distinct identities
+        event = _cell(mode="event", connections=100)
+        rows = diff_payloads(_payload([_cell()]), _payload([_cell(), event]))
+        notes = {row["key"]: row["note"] for row in rows}
+        assert notes[("blocking", 1, "vanilla")] == ""
+        assert notes[("event", 100, "vanilla")] == "new cell"
+
+
 class TestSticky:
     def test_within_noise_keeps_committed_wall(self):
         fresh = [_cell(wall=11.0)]
@@ -129,11 +189,24 @@ class TestSticky:
 
 class TestDiffAndGate:
     def test_regression_beyond_tolerance_fails(self):
-        old = _payload([_cell(wall=10.0)])
-        new = _payload([_cell(wall=10.6)])
+        old = _payload([_cell(wall=770.0)])
+        new = _payload([_cell(wall=820.0)])
         rows = diff_payloads(old, new)
-        assert rows[0]["wall_pct"] == pytest.approx(6.0)
+        assert rows[0]["wall_pct"] == pytest.approx(6.49, abs=0.01)
         assert check_rows(rows, tolerance=DEFAULT_TOLERANCE) == rows
+
+    def test_one_rounding_step_is_not_a_regression(self):
+        # wall_index is stored at two significant digits, so 14 -> 15 is
+        # the smallest representable step (+7.1%): quantization, not a
+        # regression, and the gate must not fail on it.
+        old = _payload([_cell(wall=14.0)])
+        new = _payload([_cell(wall=15.0)])
+        rows = diff_payloads(old, new)
+        assert rows[0]["wall_pct"] > DEFAULT_TOLERANCE
+        assert check_rows(rows, tolerance=DEFAULT_TOLERANCE) == []
+        # two steps exceed the quantization floor and still fail
+        worse = _payload([_cell(wall=16.0)])
+        assert check_rows(diff_payloads(old, worse)) != []
 
     def test_improvement_and_small_noise_pass(self):
         old = _payload([_cell(wall=10.0), _cell(config="dfi", wall=20.0)])
@@ -219,15 +292,36 @@ class TestSnapshotFiles:
         assert committed is not None, "BENCH_%d.json missing" % PR_NUMBER
         assert committed["schema"] == trajectory.SCHEMA
         assert committed["pr"] == PR_NUMBER
-        keys = {(c["workers"], c["config"]) for c in committed["cells"]}
-        assert keys == {
-            (w, c)
+        keys = {_cell_key(c) for c in committed["cells"]}
+        expected = {
+            ("blocking", w, c)
             for w in trajectory.MATRIX_WORKERS
             for c in trajectory.MATRIX_CONFIGS
+        } | {
+            ("event", count, c) for count, c in trajectory.EVENT_MATRIX
         }
+        assert keys == expected
         for cell in committed["cells"]:
             assert cell["wall_index"] > 0
             assert cell["work_units"] > 0
+        event_cells = {
+            (c["connections"], c["config"]): c
+            for c in committed["cells"]
+            if c.get("mode") == "event"
+        }
+        # the C10k acceptance claims, pinned in the committed snapshot:
+        # one worker really held 10k connections in flight...
+        assert event_cells[(10000, "vanilla")]["peak_inflight"] == 10000
+        # ...per-request cost at 10k stays within 2x of the 100-conn cell...
+        for config in trajectory.EVENT_CONFIGS:
+            small = event_cells[(100, config)]["cycles_per_request"]
+            large = event_cells[(10000, config)]["cycles_per_request"]
+            assert large <= 2 * small, (config, small, large)
+        # ...and the verdict cache pays for itself under pressure
+        assert (
+            event_cells[(10000, "cache_on")]["steady_cycles"]
+            < event_cells[(10000, "cache_off")]["steady_cycles"]
+        )
 
 
 class TestApiBench:
