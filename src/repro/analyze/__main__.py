@@ -2,6 +2,13 @@
 
 Exit status: 0 when every analyzed program passes (no unwaived errors; with
 ``--strict``, no unwaived findings at all), 1 otherwise.
+
+``python -m repro.analyze binary [apps|--all]`` runs the metadata-free
+binary-level analyzer instead (:mod:`repro.analyze.binary`) and reports
+recovered-vs-metadata precision per app.  ``--json`` emits the byte-stable
+precision payload; ``--write PATH`` pins it; ``--check PATH`` fails on any
+recovered-table regression against a pinned baseline (a syscall admitted
+that the baseline excluded, or a legitimate call type lost).
 """
 
 import argparse
@@ -13,6 +20,10 @@ from repro.apps import SYNTHETIC_APPS
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "binary":
+        return _binary_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
         description="Run the BASTION static-analysis pass suite over "
@@ -76,6 +87,145 @@ def main(argv=None):
         not (r.clean if args.strict else r.ok) for r in reports
     )
     return 1 if failed else 0
+
+
+def _binary_main(argv):
+    from repro.analyze.binary import (
+        binary_report,
+        check_precision_regressions,
+        precision_payload_json,
+    )
+    from repro.analyze.waivers import SHIPPED_WAIVERS, apply_waivers
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze binary",
+        description="Run the metadata-free binary-level analyzer and "
+        "report recovered-vs-metadata precision per app.",
+    )
+    parser.add_argument(
+        "apps",
+        nargs="*",
+        metavar="app",
+        help="registered app name(s): %s" % ", ".join(sorted(SYNTHETIC_APPS)),
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="analyze every registered app"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the byte-stable precision payload instead of text",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        help="write the precision payload to PATH (pins the CI baseline)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="diff the precision payload against the baseline at PATH; "
+        "fail on any recovered-table regression",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on any unwaived finding, not just errors",
+    )
+    parser.add_argument(
+        "--no-waivers",
+        action="store_true",
+        help="ignore the shipped waiver table and show raw findings",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(SYNTHETIC_APPS) if args.all else args.apps
+    if not names:
+        parser.error("name at least one app, or pass --all")
+    unknown = [n for n in names if n not in SYNTHETIC_APPS]
+    if unknown:
+        parser.error("unknown app(s): %s" % ", ".join(unknown))
+
+    waivers = () if args.no_waivers else SHIPPED_WAIVERS
+    payload = {}
+    failed = False
+    text_lines = []
+    for name in sorted(names):
+        diagnostics, metrics = binary_report(name)
+        kept, waived = apply_waivers(name, diagnostics, waivers)
+        payload[name] = metrics
+        errors = [d for d in kept if d.severity == "error"]
+        if errors or (args.strict and kept):
+            failed = True
+        if not args.json:
+            text_lines.extend(_binary_text(name, metrics, kept, waived))
+
+    if args.json:
+        print(precision_payload_json(payload))
+    else:
+        print("\n".join(text_lines))
+
+    if args.write:
+        with open(args.write, "w") as fh:
+            fh.write(precision_payload_json(payload) + "\n")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        regressions = check_precision_regressions(baseline, payload)
+        for line in regressions:
+            print("REGRESSION: %s" % line, file=sys.stderr)
+        if regressions:
+            failed = True
+    return 1 if failed else 0
+
+
+def _binary_text(name, metrics, kept, waived):
+    """Human-readable per-app precision summary + findings."""
+    funcs = metrics["functions"]
+    syscalls = metrics["syscalls"]
+    types = metrics["call_types"]
+    flow = metrics["flow"]
+    lines = [
+        "=== %s (binary-level analysis) ===" % name,
+        "functions: %d symbols, %d recovered (%d reachable, "
+        "%d wrappers vs %d in IR)"
+        % (
+            funcs["symbols"],
+            funcs["recovered"],
+            funcs["reachable"],
+            funcs["wrappers_recovered"],
+            funcs["wrappers_ir"],
+        ),
+        "syscalls: %d present, %d reachable (%d tightened away)"
+        % (
+            syscalls["present"],
+            len(syscalls["reachable"]),
+            len(syscalls["tightened"]),
+        ),
+        "call types: %d recovered, %d in metadata, %d kinds tightened"
+        % (
+            len(types["recovered"]),
+            len(types["metadata"]),
+            sum(len(kinds) for kinds in types["tightened"].values()),
+        ),
+        "flow: %d sensitive sites / %d chains (binary) vs %d / %d (metadata)"
+        % (
+            flow["binary"]["sensitive_sites"],
+            flow["binary"]["chains"],
+            flow["metadata"]["sensitive_sites"],
+            flow["metadata"]["chains"],
+        ),
+    ]
+    for diag in kept:
+        lines.append(
+            "  [%s] %s: %s" % (diag.severity.upper(), diag.code, diag.message)
+        )
+    for diag, waiver in waived:
+        lines.append(
+            "  [waived] %s: %s (%s)" % (diag.code, diag.message, waiver.reason)
+        )
+    lines.append("")
+    return lines
 
 
 if __name__ == "__main__":

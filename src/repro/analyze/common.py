@@ -1,0 +1,56 @@
+"""Wrapper detection shared by the IR-level and binary-level passes.
+
+A libc syscall wrapper is structurally tiny: a leading ``Syscall``
+instruction forwarding the parameters, then a return (glibc's thin
+syscall stubs — see ``repro.apps.libc``).  Both analysis levels need to
+find them, but they see different evidence:
+
+- the **IR level** (:mod:`repro.analyze.completeness`,
+  :mod:`repro.analyze.calltypes`) holds real
+  :class:`~repro.ir.function.Function` objects and may honor the
+  builder's ``is_wrapper`` hint *in addition to* the structural shape;
+- the **binary level** (:mod:`repro.analyze.binary`) sees only decoded
+  instruction runs — no hints — so it relies on
+  :func:`is_structural_wrapper` alone.
+
+Keeping one definition here guarantees the two levels can never drift on
+what counts as a wrapper (the partition every call-type table builds on).
+"""
+
+from repro.ir.instructions import Syscall
+
+#: longest instruction run still considered a syscall stub
+_WRAPPER_MAX_INSTRS = 3
+
+
+def wrapped_syscalls(body):
+    """Syscall names issued by ``body`` (a function body or decoded run)."""
+    return tuple(
+        instr.name for instr in body if isinstance(instr, Syscall)
+    )
+
+
+def is_structural_wrapper(body):
+    """Does ``body`` have the stub shape: lead ``Syscall``, at most three
+    instructions?  This is the hint-free test binary recovery relies on."""
+    return (
+        0 < len(body) <= _WRAPPER_MAX_INSTRS
+        and isinstance(body[0], Syscall)
+    )
+
+
+def wrapper_map(module):
+    """Function -> wrapped syscall names (independent of the compiler).
+
+    The ``is_wrapper`` hint is honored alongside the structural shape —
+    the IR level should not miss a wrapper the builder declared even if
+    it grew past the stub size.
+    """
+    wrappers = {}
+    for func in module.functions.values():
+        names = wrapped_syscalls(func.body)
+        if not names:
+            continue
+        if func.is_wrapper or is_structural_wrapper(func.body):
+            wrappers[func.name] = names
+    return wrappers

@@ -18,6 +18,7 @@ between what the taint demands and what the instrumenter emitted is a
 finding with an IR location.
 """
 
+from repro.analyze.common import wrapper_map as _wrapper_map
 from repro.analyze.diagnostics import Diagnostic
 from repro.ir.dataflow import def_use_chains
 from repro.ir.instructions import (
@@ -42,22 +43,6 @@ from repro.ir.instructions import (
 PASS_NAME = "completeness"
 MAX_TAINT_POSITION = 6
 _ADDR_DEPTH = 4
-
-
-def _wrapper_map(module):
-    """Function -> wrapped syscall names (independent of the compiler)."""
-    wrappers = {}
-    for func in module.functions.values():
-        names = tuple(
-            instr.name for instr in func.body if isinstance(instr, Syscall)
-        )
-        if not names:
-            continue
-        if func.is_wrapper or (
-            len(func.body) <= 3 and isinstance(func.body[0], Syscall)
-        ):
-            wrappers[func.name] = names
-    return wrappers
 
 
 def find_sensitive_sites(module, sensitive_names):

@@ -66,4 +66,18 @@ SHIPPED_WAIVERS = (
         reason="system() is the intentionally-uncalled ret2libc surface; "
         "unreachable under the CF context by design (Table 6)",
     ),
+    # The binary-level audit flags the same surface from the other side:
+    # the metadata's direct call types for fork/execve/wait4/exit are
+    # justified *only* by system()'s dead body, so the recovered policy
+    # drops them.  That tightening is the binary-only mechanism's win
+    # (it is what kills ret2system) — not a recovery defect.
+    Waiver(
+        app="*",
+        pass_name="binary",
+        code="unreachable-call-type",
+        func="system",
+        reason="system()'s dead fork/execve/wait4/exit callsites are the "
+        "intentional ret2libc surface; dropping them from the recovered "
+        "tables is the binary-only mechanism's point (blocks ret2system)",
+    ),
 )

@@ -124,13 +124,16 @@ class AttackOutcome:
         return "%s under %s: %s" % (self.attack, self.defense, verdict)
 
 
-def run_attack(spec, policy=None, defense_name=None, cpu_options=None):
+def run_attack(spec, policy=None, defense_name=None, cpu_options=None, defense=None):
     """Run one attack under ``policy`` (None = undefended).
 
     CET is disabled by default: the Table 6 study evaluates BASTION's
     contexts on their own (§10.1 explicitly covers the no-CET case).  Pass
     explicit ``cpu_options`` to arm hardware/compiler baselines instead
-    (``CPUOptions(llvm_cfi=True)``, ``CPUOptions(cet=True)``).
+    (``CPUOptions(llvm_cfi=True)``, ``CPUOptions(cet=True)``), or a
+    ``defense`` DefenseConfig to launch through a registered
+    :class:`~repro.mechanisms.ProtectionMechanism` (the seccomp-allowlist
+    and binary-only baselines reach the attack study this way).
     """
     target = _TARGETS[spec.target]
     kernel = Kernel()
@@ -142,6 +145,11 @@ def run_attack(spec, policy=None, defense_name=None, cpu_options=None):
         artifact = _target_artifact(spec.target, spec.needs_fs_extension)
         monitor = BastionMonitor(artifact, policy=policy)
         proc, cpu = monitor.launch(kernel, cpu_options=options)
+    elif defense is not None:
+        mechanism = defense.mechanism()
+        proc, cpu = mechanism.launch(
+            kernel, spec.target, _target_module(spec.target)
+        )
     else:
         image = Image(_target_module(spec.target))
         proc = kernel.create_process(spec.target, image)
@@ -169,6 +177,10 @@ def run_attack(spec, policy=None, defense_name=None, cpu_options=None):
     elif proc.kill_reason and proc.kill_reason.startswith("seccomp"):
         # the seccomp KILL of a not-callable syscall IS the call-type
         # context's coarse half (§3.1)
+        outcome.blocked = True
+        outcome.blocked_by = "call-type"
+    elif proc.kill_reason and proc.kill_reason.startswith("binary-calltype"):
+        # the binary-only mechanism's recovered call-type check
         outcome.blocked = True
         outcome.blocked_by = "call-type"
     elif status.kind == "fault" and "CFIFault" in status.reason:

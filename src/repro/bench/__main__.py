@@ -16,7 +16,12 @@ import json
 import sys
 import time
 
-from repro.bench.report import RENDERERS, analysis_json, stages_json
+from repro.bench.report import (
+    RENDERERS,
+    analysis_json,
+    binary_precision_json,
+    stages_json,
+)
 
 _SCALED = {
     "figure3",
@@ -33,6 +38,7 @@ _SCALED = {
 #: formatting make the output byte-stable for a given run
 _JSON_PAYLOADS = {
     "analysis": lambda args: analysis_json(),
+    "binary": lambda args: binary_precision_json(),
     "stages": lambda args: stages_json(args.scale),
 }
 

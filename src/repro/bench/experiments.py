@@ -197,15 +197,26 @@ def table6():
 def security_baseline_comparison(catalog=None):
     """§10.2/§10.3 claims: LLVM CFI fails where BASTION succeeds.
 
-    Runs every attack under (a) LLVM CFI alone and (b) CET alone, recording
-    whether the baseline stopped it.
+    Runs every attack under (a) LLVM CFI alone, (b) CET alone, (c) the
+    presence-based seccomp allowlist, and (d) the binary-only mechanism
+    (recovered allowlist + call-type checks), recording whether each
+    baseline stopped it — BASTION vs binary-only is one row apart.
     """
+    from repro.bench.harness import CONFIGS
+
     rows = []
     for spec in catalog or CATALOG:
         cfi = run_attack(
             spec, None, "llvm_cfi", cpu_options=CPUOptions(llvm_cfi=True)
         )
         cet = run_attack(spec, None, "cet", cpu_options=CPUOptions(cet=True))
+        seccomp = run_attack(
+            spec, None, "seccomp_allowlist",
+            defense=CONFIGS["seccomp_allowlist"],
+        )
+        binary = run_attack(
+            spec, None, "binary_only", defense=CONFIGS["binary_only"]
+        )
         rows.append(
             {
                 "attack": spec.name,
@@ -213,6 +224,10 @@ def security_baseline_comparison(catalog=None):
                 "cfi_bypassed": cfi.succeeded,
                 "cet_blocked": cet.blocked and not cet.succeeded,
                 "cet_bypassed": cet.succeeded,
+                "seccomp_blocked": seccomp.blocked and not seccomp.succeeded,
+                "seccomp_bypassed": seccomp.succeeded,
+                "binary_blocked": binary.blocked and not binary.succeeded,
+                "binary_bypassed": binary.succeeded,
             }
         )
     return rows

@@ -50,7 +50,7 @@ class DefenseConfig:
     #: compile/monitor with the §11.2 filesystem extension set
     extend_filesystem: bool = False
     #: non-BASTION software baseline: 'seccomp_allowlist' | 'temporal'
-    #: | 'debloat' (None = static CPU flags only)
+    #: | 'debloat' | 'binary_only' (None = static CPU flags only)
     baseline: str = None
 
     def cpu_options(self):
@@ -136,6 +136,8 @@ CONFIGS = {
     ),
     "temporal": DefenseConfig("temporal", baseline="temporal"),
     "debloat": DefenseConfig("debloat", baseline="debloat"),
+    # metadata-free protection from binary recovery (repro.analyze.binary)
+    "binary_only": DefenseConfig("binary_only", baseline="binary_only"),
 }
 
 #: the Figure 3 x-axis, in order

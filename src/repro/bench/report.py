@@ -36,6 +36,7 @@ _CONFIG_LABELS = {
     "seccomp_allowlist": "seccomp allowlist",
     "temporal": "temporal filter",
     "debloat": "debloated binary",
+    "binary_only": "binary-only (recovered)",
 }
 
 
@@ -220,7 +221,8 @@ def render_security_baselines():
     lines = [
         "Baseline defenses vs the attack catalog (blocked / bypassed)",
         _rule(),
-        "%-28s %12s %12s" % ("attack", "LLVM CFI", "CET"),
+        "%-28s %12s %12s %12s %12s"
+        % ("attack", "LLVM CFI", "CET", "seccomp", "binary-only"),
         _rule(),
     ]
     for row in rows:
@@ -230,11 +232,13 @@ def render_security_baselines():
             return "BYPASSED" if bypassed else "fizzled"
 
         lines.append(
-            "%-28s %12s %12s"
+            "%-28s %12s %12s %12s %12s"
             % (
                 row["attack"],
                 cell(row["cfi_blocked"], row["cfi_bypassed"]),
                 cell(row["cet_blocked"], row["cet_bypassed"]),
+                cell(row["seccomp_blocked"], row["seccomp_bypassed"]),
+                cell(row["binary_blocked"], row["binary_bypassed"]),
             )
         )
     lines.append(_rule())
@@ -396,6 +400,67 @@ def analysis_json(apps=APPS):
     return payload
 
 
+def binary_precision_data(apps=APPS):
+    """Binary-recovery precision payload for the bench apps (per-app
+    ``{app: metrics}``, the ``repro.analyze.binary`` report shape)."""
+    from repro.analyze.binary import binary_report
+
+    return {app: binary_report(app)[1] for app in apps}
+
+
+def binary_precision_json(apps=APPS):
+    """JSON-ready recovered-vs-metadata summary — what
+    ``python -m repro.bench binary --json`` prints."""
+    return binary_precision_data(apps)
+
+
+def render_binary_precision():
+    """Recovered-vs-metadata precision for the bench apps."""
+    data = binary_precision_data()
+    lines = [
+        "Binary-level recovery vs compiler metadata (precision per app)",
+        _rule(86),
+        "%-10s %7s %7s %8s %8s %7s %8s %9s %9s"
+        % (
+            "app",
+            "funcs",
+            "reach",
+            "present",
+            "allowed",
+            "tight",
+            "ctypes",
+            "ct-tight",
+            "chains",
+        ),
+        _rule(86),
+    ]
+    for app, metrics in data.items():
+        funcs = metrics["functions"]
+        syscalls = metrics["syscalls"]
+        types = metrics["call_types"]
+        flow = metrics["flow"]
+        lines.append(
+            "%-10s %7d %7d %8d %8d %7d %8d %9d %9d"
+            % (
+                app,
+                funcs["recovered"],
+                funcs["reachable"],
+                syscalls["present"],
+                len(syscalls["reachable"]),
+                len(syscalls["tightened"]),
+                len(types["recovered"]),
+                sum(len(kinds) for kinds in types["tightened"].values()),
+                flow["binary"]["chains"],
+            )
+        )
+    lines.append(_rule(86))
+    lines.append(
+        "allowed = recovered-reachable syscalls (the binary_only filter); "
+        "tight = present-but-dead syscalls dropped"
+    )
+    return "\n".join(lines)
+
+
 def render_analysis():
     """Static-analysis soundness + precision columns for the bench apps."""
     data = analysis_data()
@@ -541,6 +606,7 @@ RENDERERS = {
     "ablation_dfi": render_ablation_dfi,
     "adaptive": render_adaptive,
     "analysis": render_analysis,
+    "binary": render_binary_precision,
     "scheduler": render_scheduler,
     "stages": render_stages,
 }

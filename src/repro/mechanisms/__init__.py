@@ -21,6 +21,7 @@ _MECHANISM_DEFENSES = {
     "seccomp_allowlist": {"baseline": "seccomp_allowlist"},
     "temporal": {"baseline": "temporal"},
     "debloat": {"baseline": "debloat"},
+    "binary_only": {"baseline": "binary_only"},
     "llvm_cfi": {"llvm_cfi": True},
     "dfi": {"dfi": True},
 }
@@ -53,6 +54,7 @@ from repro.mechanisms.baselines import (
     StaticMechanism,
     TemporalMechanism,
 )
+from repro.mechanisms.binary import BinaryOnlyMechanism
 
 __all__ = [
     "ProtectionMechanism",
@@ -65,5 +67,6 @@ __all__ = [
     "SeccompAllowlistMechanism",
     "TemporalMechanism",
     "DebloatMechanism",
+    "BinaryOnlyMechanism",
     "SERVING_ROOTS",
 ]

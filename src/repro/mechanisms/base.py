@@ -63,6 +63,8 @@ class ProtectionMechanism:
     def launch(self, kernel, app, module):
         """Create the protected root process; returns ``(proc, cpu)``."""
         image = Image(self.target_module(app, module))
+        #: the loaded image, for mechanisms that analyze the binary itself
+        self.image = image
         proc = kernel.create_process(app, image)
         cpu = CPU(image, proc, kernel, self.cpu_options())
         self.install(kernel, proc, app, module)
@@ -79,6 +81,7 @@ def mechanism_for(defense):
         StaticMechanism,
         TemporalMechanism,
     )
+    from repro.mechanisms.binary import BinaryOnlyMechanism
 
     if defense.policy is not None:
         return BastionMechanism(defense)
@@ -89,6 +92,8 @@ def mechanism_for(defense):
         return TemporalMechanism(defense)
     if baseline == "debloat":
         return DebloatMechanism(defense)
+    if baseline == "binary_only":
+        return BinaryOnlyMechanism(defense)
     if baseline is not None:
         raise ValueError("unknown baseline mechanism %r" % (baseline,))
     return StaticMechanism(defense)

@@ -1,0 +1,119 @@
+"""Binary-only protection: BASTION's checks driven by recovered tables.
+
+The legacy-binary scenario (B-Side, sysfilter): no compiler metadata ships
+with the program, so the policy is synthesized entirely from what
+:mod:`repro.analyze.binary` recovers off the loaded image —
+
+- a **KILL-by-default seccomp allowlist** over the *reachable* syscall
+  set (tighter than the plain ``seccomp_allowlist`` baseline, whose
+  presence-based set admits every syscall any linked-but-dead wrapper
+  could issue, ``system()``'s fork/execve/wait4 included);
+- a **call-type check** on sensitive syscalls: at dispatch time the hook
+  classifies how the trapped wrapper was invoked — decode the call
+  instruction at ``[rbp+8] - 4``, exactly the monitor's unwinder hop
+  (:mod:`repro.monitor.unwind`) — and kills on any call type the
+  recovered table forbids.
+
+What it gives up relative to full BASTION: no CF context (no caller-chain
+walk beyond the first hop) and no AI context (no argument bindings — those
+need compiler-observed value provenance).  That is the degraded-but-sound
+middle row between ``seccomp_allowlist`` and ``bastion`` in Table 6.
+"""
+
+from repro.analyze.binary import recover_image_for
+from repro.errors import ProcessKilled, SegmentationFault
+from repro.kernel.seccomp import (
+    SECCOMP_RET_ALLOW,
+    SECCOMP_RET_KILL_PROCESS,
+    build_action_filter,
+)
+from repro.mechanisms.base import ProtectionMechanism
+from repro.syscalls.sensitive import is_sensitive
+from repro.syscalls.table import SYSCALLS
+from repro.vm.loader import INSTR_STRIDE
+from repro.vm.memory import WORD
+
+
+def build_recovered_filter(recovery):
+    """KILL-by-default filter allowing only recovered-reachable syscalls."""
+    allowed = recovery.reachable_syscalls
+    actions = {
+        entry.nr: SECCOMP_RET_KILL_PROCESS
+        for entry in SYSCALLS
+        if entry.name not in allowed
+    }
+    return build_action_filter(
+        actions, default_action=SECCOMP_RET_ALLOW, label="binary_only"
+    )
+
+
+class BinaryOnlyMechanism(ProtectionMechanism):
+    """Seccomp allowlist + call-type checks from binary recovery alone."""
+
+    def __init__(self, defense):
+        super().__init__(defense)
+        self.recovery = None
+        #: sensitive syscalls checked / killed by the call-type hook
+        self.checks = 0
+        self.kills = 0
+
+    def install(self, kernel, proc, app, module):
+        # ``launch`` stashed the image it loaded — recover from exactly
+        # the bytes the process runs, nothing else.
+        recovery = recover_image_for(self.image.module)
+        self.recovery = recovery
+        kernel.install_seccomp(proc, build_recovered_filter(recovery))
+
+        costs = kernel.costs
+
+        def call_type_check(ctx):
+            # Runs after the kernel's seccomp stage: anything outside the
+            # recovered allowlist is already dead by now.
+            if ctx.done or not is_sensitive(ctx.name):
+                return
+            target = ctx.proc
+            self.checks += 1
+            target.ledger.charge(costs.monitor_check, "binary_calltype")
+            kind = self._classify(recovery, target)
+            allowed = recovery.call_types.get(ctx.name, {})
+            if kind is not None and allowed.get(kind):
+                return
+            self.kills += 1
+            ctx.verdict = "kill"
+            kernel.telemetry.count("dispatch.verdict.kill")
+            target.kill(
+                "binary-calltype: %s via %s not in recovered table"
+                % (ctx.name, kind or "no-callsite")
+            )
+            kernel.record(
+                "binary_calltype_kill", target, syscall=ctx.name,
+                call_kind=kind,
+            )
+            raise ProcessKilled(
+                "binary-only call-type check killed pid %d on %s"
+                % (target.pid, ctx.name),
+                reason="binary-calltype",
+            )
+
+        kernel.pipeline.insert("seccomp", call_type_check)
+
+    @staticmethod
+    def _classify(recovery, proc):
+        """Call type of the trapped syscall: 'direct' | 'indirect' | None.
+
+        A syscall instruction outside any recovered wrapper is an inline
+        (direct) issue.  Inside a wrapper, decode the call instruction one
+        stride above the saved return address — the monitor unwinder's
+        first hop — so a ROP return into the wrapper (no call instruction
+        at the "callsite") classifies as None and dies.
+        """
+        regs = proc.regs
+        if recovery.wrapper_at(regs.rip) is None:
+            return "direct"
+        try:
+            return_addr = proc.memory.read(regs.rbp + WORD)
+        except SegmentationFault:
+            return None  # pivoted frame pointer: unreadable chain
+        if return_addr == 0:
+            return None  # bottom sentinel: nothing legitimately called us
+        return recovery.image.call_kind_at(return_addr - INSTR_STRIDE)

@@ -1,0 +1,46 @@
+"""Fixture where honest compiler metadata is still over-permissive.
+
+``maintenance_mode`` really does call the ``chmod`` wrapper — the call
+edge exists in the IR, so the compiler's ``call_types`` table honestly
+marks chmod directly-callable and the metadata-consistency passes have
+nothing to object to (the IR suite reports *ok*, with at worst the same
+class of unreachable-site warning libc's ``system()`` gets).  But nothing
+ever calls ``maintenance_mode``: the binary truth is that chmod is dead
+code, and only the reachability-based binary analyzer
+(:mod:`repro.analyze.binary`) tightens it away — an ``unreachable-call-
+type`` **error** anchored at the dead justifier, a recovered seccomp
+filter that KILLs chmod, and a presence-based allowlist that would have
+let it through.
+"""
+
+from repro.compiler.pipeline import BastionCompiler
+from repro.ir.builder import ModuleBuilder
+
+FIXTURE_NAME = "overpermissive-fixture"
+
+
+def build_module():
+    mb = ModuleBuilder(FIXTURE_NAME)
+    for name, arity in (("chmod", 2), ("write", 3)):
+        fb = mb.function(name, params=["a%d" % i for i in range(arity)])
+        rc = fb.syscall(name, [fb.p(p) for p in fb.func.params])
+        fb.ret(rc)
+        fb.func.is_wrapper = True
+
+    # dead maintenance path: linked, never called from anywhere
+    f = mb.function("maintenance_mode", params=[])
+    path = f.const(0, dst="path")
+    mode = f.const(0o600, dst="mode")
+    rc = f.call("chmod", [path, mode])
+    f.ret(rc)
+
+    f = mb.function("main", params=[])
+    fd = f.const(1, dst="fd")
+    n = f.const(16, dst="n")
+    f.call("write", [fd, fd, n], void=True)
+    f.ret(0)
+    return mb.build()
+
+
+def build_artifact():
+    return BastionCompiler().compile(build_module())

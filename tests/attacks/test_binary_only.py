@@ -1,0 +1,123 @@
+"""The binary_only mechanism: zero false kills, superset of the seccomp
+allowlist's blocks, and a live call-type check on the wrapper hot path."""
+
+import pytest
+
+from repro.attacks.catalog import CATALOG
+from repro.attacks.primitives import AttackEnv
+from repro.attacks.runner import _TARGETS, _target_module, run_attack
+from repro.bench.harness import CONFIGS, run_app
+from repro.kernel.kernel import Kernel
+
+BENCH_APPS = ("nginx", "sqlite", "vsftpd")
+
+
+def _spec(name):
+    return next(s for s in CATALOG if s.name == name)
+
+
+def _benign_run(app):
+    """Launch an attack target under binary_only and run only its benign
+    workload (no attack staged)."""
+    target = _TARGETS[app]
+    kernel = Kernel()
+    target["env"](kernel)
+    mechanism = CONFIGS["binary_only"].mechanism()
+    proc, cpu = mechanism.launch(kernel, app, _target_module(app))
+    workload_factory = target["workload"]
+    if workload_factory is not None:
+        workload_factory().attach(kernel, proc)
+    status = cpu.run()
+    return mechanism, proc, status
+
+
+class TestZeroFalseKills:
+    @pytest.mark.parametrize("app", sorted(_TARGETS))
+    def test_attack_targets_run_clean(self, app):
+        mechanism, proc, status = _benign_run(app)
+        assert status.kind in ("returned", "exit", "halt"), status
+        assert proc.kill_reason is None
+        assert mechanism.kills == 0
+
+    @pytest.mark.parametrize("app", sorted(_TARGETS))
+    def test_executed_syscalls_within_recovered_allowlist(self, app):
+        """Soundness, observed: everything the benign run dispatched was
+        in the recovered-reachable set (or the filter would have fired)."""
+        mechanism, proc, _status = _benign_run(app)
+        executed = set(proc.syscall_counts)
+        assert executed <= mechanism.recovery.reachable_syscalls
+
+    @pytest.mark.parametrize("app", BENCH_APPS)
+    def test_bench_workloads_run_clean(self, app):
+        result = run_app(app, config="binary_only", scale=0.2)
+        assert result.ok
+
+
+class TestAttackCoverage:
+    def test_blocks_rop_into_wrapper_via_calltype_hook(self):
+        """A ROP return into a reachable wrapper passes the recovered
+        seccomp filter — the call-type hook is what kills it (no call
+        instruction sits above the forged return address)."""
+        spec = _spec("rop_mmap_rwx")
+        target = _TARGETS[spec.target]
+        kernel = Kernel()
+        target["env"](kernel)
+        mechanism = CONFIGS["binary_only"].mechanism()
+        proc, cpu = mechanism.launch(
+            kernel, spec.target, _target_module(spec.target)
+        )
+        env = AttackEnv(
+            kernel=kernel, proc=proc, cpu=cpu, image=cpu.image, monitor=None
+        )
+        spec.stage(env)
+        workload_factory = target["workload"]
+        if workload_factory is not None:
+            workload_factory().attach(kernel, proc)
+        cpu.run()
+        assert not spec.oracle(env)
+        assert proc.kill_reason.startswith("binary-calltype")
+        assert mechanism.kills == 1
+
+    def test_blocks_ret2system_where_allowlist_cannot(self):
+        """system() is linked, so fork/execve sit in the presence-based
+        allowlist — but they are unreachable, so the recovered filter
+        drops them and ret2system dies."""
+        spec = _spec("ret2system")
+        seccomp = run_attack(
+            spec, None, "seccomp_allowlist",
+            defense=CONFIGS["seccomp_allowlist"],
+        )
+        binary = run_attack(
+            spec, None, "binary_only", defense=CONFIGS["binary_only"]
+        )
+        assert seccomp.succeeded and not seccomp.blocked
+        assert binary.blocked and not binary.succeeded
+        assert binary.blocked_by == "call-type"
+
+    def test_blocks_superset_of_seccomp_allowlist(self):
+        """Acceptance criterion: every row the presence allowlist blocks,
+        the recovered filter blocks too."""
+        from repro.bench.experiments import security_baseline_comparison
+
+        for row in security_baseline_comparison():
+            if row["seccomp_blocked"]:
+                assert row["binary_blocked"], row["attack"]
+
+
+class TestRegistryIntegration:
+    def test_mechanism_registered(self):
+        from repro.mechanisms import MECHANISM_NAMES, BinaryOnlyMechanism
+
+        assert "binary_only" in MECHANISM_NAMES
+        assert "binary_only" in CONFIGS
+        mechanism = CONFIGS["binary_only"].mechanism()
+        assert isinstance(mechanism, BinaryOnlyMechanism)
+
+    def test_calltype_checks_are_charged(self):
+        """Each sensitive-syscall check bills monitor_check cycles."""
+        from repro.vm.costs import CostModel
+
+        mechanism, proc, _status = _benign_run("nginx")
+        assert mechanism.checks > 0
+        charged = proc.ledger.category("binary_calltype")
+        assert charged == mechanism.checks * CostModel().monitor_check

@@ -103,6 +103,7 @@ def test_all_renderers_registered():
         "ablation_dfi",
         "adaptive",
         "analysis",
+        "binary",
         "scheduler",
         "stages",
     }

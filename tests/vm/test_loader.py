@@ -108,6 +108,75 @@ class TestResolution:
         assert image.describe(0x10) == "0x10"
 
 
+class TestAddressResolutionEdges:
+    """Boundary behavior the binary-level analyzer leans on: exact
+    function extents, padding faults, and call-kind decoding at edges."""
+
+    def test_addr_of_first_and_last_instruction(self):
+        image = Image(_module())
+        main = image.module.functions["main"]
+        first = image.addr_of("main", 0)
+        last = image.addr_of("main", len(main.body) - 1)
+        assert first == image.func_base["main"]
+        assert last == first + (len(main.body) - 1) * INSTR_STRIDE
+        assert image.instruction_at(last) is main.body[-1]
+
+    def test_instruction_at_function_boundary(self):
+        """The first address past a body is padding even though it still
+        sits inside the function's aligned span."""
+        image = Image(_module())
+        callee = image.module.functions["callee"]
+        end = image.addr_of("callee", len(callee.body))
+        assert end < image.func_base["main"]  # inside the aligned span
+        with pytest.raises(ExecutionFault):
+            image.instruction_at(end)
+        assert image.func_containing(end) is None
+
+    def test_instruction_at_unmapped_addresses(self):
+        image = Image(_module())
+        for addr in (0, TEXT_BASE - INSTR_STRIDE, image.text_end, DATA_BASE):
+            with pytest.raises(ExecutionFault):
+                image.instruction_at(addr)
+
+    def test_instruction_at_misaligned(self):
+        image = Image(_module())
+        with pytest.raises(ExecutionFault):
+            image.instruction_at(image.entry_addr + INSTR_STRIDE - 1)
+
+    def test_call_kind_at_exact_sites(self):
+        image = Image(_module())
+        main = image.module.functions["main"]
+        kinds = {
+            idx: image.call_kind_at(image.addr_of("main", idx))
+            for idx in range(len(main.body))
+        }
+        # main = [Const, Call, FuncAddr, CallIndirect, Ret]
+        assert kinds[1] == "direct"
+        assert kinds[3] == "indirect"
+        assert kinds[0] is None and kinds[4] is None
+
+    def test_call_kind_at_boundary_and_unmapped(self):
+        image = Image(_module())
+        callee_end = image.addr_of("callee", 2)
+        assert image.call_kind_at(callee_end) is None  # padding
+        assert image.call_kind_at(image.text_end) is None  # past text
+        assert image.call_kind_at(TEXT_BASE - INSTR_STRIDE) is None
+        assert image.call_kind_at(image.entry_addr + 1) is None  # misaligned
+
+    def test_last_instruction_of_text_segment(self):
+        """text_end is exclusive: the last laid-out instruction resolves,
+        one stride past it faults."""
+        image = Image(_module())
+        last_base = max(image.func_base.values())
+        name = next(n for n, b in image.func_base.items() if b == last_base)
+        body = image.module.functions[name].body
+        last_addr = image.addr_of(name, len(body) - 1)
+        assert last_addr < image.text_end
+        image.instruction_at(last_addr)  # must not fault
+        with pytest.raises(ExecutionFault):
+            image.instruction_at(last_addr + INSTR_STRIDE)
+
+
 class TestGlobalsMaterialization:
     def test_write_globals(self):
         memory = Memory()
