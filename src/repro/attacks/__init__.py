@@ -15,13 +15,19 @@
 """
 
 from repro.attacks.primitives import AttackEnv
-from repro.attacks.catalog import AttackSpec, CATALOG, attack_by_name
+from repro.attacks.catalog import AttackSpec, CATALOG, attack_by_name, fuzz_extension
 from repro.attacks.runner import (
     AttackOutcome,
     AttackEvaluation,
+    AttackTarget,
+    BlockingContext,
+    TARGETS,
+    attack_target,
+    classify_blocking,
     run_attack,
     evaluate_attack,
     table6_matrix,
+    target_names,
 )
 from repro.attacks.adaptive import (
     AdaptiveOutcome,
@@ -34,8 +40,15 @@ from repro.attacks.adaptive import (
 __all__ = [
     "AttackEnv",
     "AttackSpec",
+    "AttackTarget",
+    "BlockingContext",
     "CATALOG",
+    "TARGETS",
     "attack_by_name",
+    "attack_target",
+    "classify_blocking",
+    "fuzz_extension",
+    "target_names",
     "AttackOutcome",
     "AttackEvaluation",
     "run_attack",

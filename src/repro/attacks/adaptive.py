@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from repro.attacks.catalog import attack_by_name
 from repro.attacks.primitives import AttackEnv
-from repro.attacks.runner import _nginx_env, _target_artifact, _TARGETS
+from repro.attacks.runner import _target_artifact, attack_target
 from repro.kernel.kernel import Kernel
 from repro.monitor.monitor import BastionMonitor
 from repro.monitor.policy import ContextPolicy
@@ -66,14 +66,14 @@ def _launch_jujutsu(stage):
     """Run Control Jujutsu's trigger with a custom corruption payload."""
     spec = attack_by_name("control_jujutsu")
     kernel = Kernel()
-    _nginx_env(kernel)
+    attack_target("nginx").prepare_env(kernel)
     artifact = _target_artifact("nginx", False)
     monitor = BastionMonitor(artifact, policy=ContextPolicy.full())
     proc, cpu = monitor.launch(kernel, cpu_options=CPUOptions(cet=False))
     env = AttackEnv(kernel=kernel, proc=proc, cpu=cpu, image=cpu.image, monitor=monitor)
     counter = _CountingMemory(env)
     env.on_hook("ngx_output_chain_icall", lambda e: stage(e, counter))
-    _TARGETS["nginx"]["workload"]().attach(kernel, proc)
+    attack_target("nginx").attach_workload(kernel, proc)
     cpu.run()
     return env, monitor, counter
 
@@ -152,7 +152,7 @@ def constant_violator():
     number of writes helps.
     """
     kernel = Kernel()
-    _nginx_env(kernel)
+    attack_target("nginx").prepare_env(kernel)
     artifact = _target_artifact("nginx", False)
     monitor = BastionMonitor(artifact, policy=ContextPolicy.full())
     proc, cpu = monitor.launch(kernel, cpu_options=CPUOptions(cet=False))
@@ -166,7 +166,7 @@ def constant_violator():
         counter.write(c.local_addr("a2"), 7)
 
     cpu.breakpoints[env.func_addr("mprotect")] = at_syscall
-    _TARGETS["nginx"]["workload"]().attach(kernel, proc)
+    attack_target("nginx").attach_workload(kernel, proc)
     cpu.run()
     return AdaptiveOutcome(
         name="constant_violator",

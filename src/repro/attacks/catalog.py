@@ -53,6 +53,25 @@ def attack_by_name(name):
     raise KeyError(name)
 
 
+def fuzz_extension(path=None):
+    """The fuzz-discovered Table 6 catalog extension.
+
+    Compiles every minimized divergence pinned in the fuzz corpus
+    (``tests/fixtures/fuzz_corpus.json`` by default) into an executable
+    :class:`AttackSpec`.  Kept separate from ``CATALOG`` on purpose: the
+    paper-matching matrix and the security-baseline bench iterate CATALOG,
+    and auto-discovered rows must never silently change those results.
+    """
+    from repro.fuzz.engine import load_corpus
+    from repro.fuzz.genome import genome_from_dict, spec_for_genome
+
+    specs = []
+    for entry in load_corpus(path)["divergences"]:
+        genome = genome_from_dict(entry["genome"])
+        specs.append(spec_for_genome(genome, name=entry["name"]))
+    return specs
+
+
 # ---------------------------------------------------------------------------
 # Return-oriented programming (§10.1; evaluated without CET)
 # ---------------------------------------------------------------------------

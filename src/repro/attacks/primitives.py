@@ -112,14 +112,26 @@ class AttackEnv:
     # -- triggers -----------------------------------------------------------------
 
     def on_hook(self, point, fn, once=True):
-        """Arm ``fn`` at the victim's ``point`` hook (the vulnerability)."""
+        """Arm ``fn`` at the victim's ``point`` hook (the vulnerability).
+
+        Under the preemptive scheduler the hook point may execute on a
+        forked worker, not the process the attack was staged on (hook
+        tables are shared across the tree like the binary is), so the env
+        is rebound to the firing CPU for the callback — frame-relative
+        reads and writes must corrupt the stack that is actually live.
+        """
         state = {"fired": False}
 
         def trampoline(cpu):
             if once and state["fired"]:
                 return
             state["fired"] = True
-            fn(self)
+            prev_cpu, prev_proc = self.cpu, self.proc
+            self.cpu, self.proc = cpu, cpu.proc
+            try:
+                fn(self)
+            finally:
+                self.cpu, self.proc = prev_cpu, prev_proc
 
         self.cpu.hooks[point] = trampoline
 

@@ -8,8 +8,14 @@ For every catalog entry:
 2. run under each context **alone** (CT / CF / AI) — a kill before the goal
    is that context's ✓;
 3. run under **full BASTION** — every Table 6 attack must be blocked.
+
+The same entry points drive the coverage-guided fuzzer (`repro.fuzz`),
+which needs programmatic target construction (:data:`TARGETS`), normalized
+blocking attribution (:class:`BlockingContext`), and scheduler-independent
+outcomes (``run_attack(quantum=...)``).
 """
 
+import enum
 from dataclasses import dataclass, field
 
 from repro.apps.browser import BrowserConfig, build_browser
@@ -27,64 +33,128 @@ from repro.vm.cpu import CPU, CPUOptions
 from repro.vm.loader import Image
 
 
-def _nginx_env(kernel):
+class BlockingContext(str, enum.Enum):
+    """The closed set of contexts an attack can be attributed to.
+
+    The first three are BASTION's §3 contexts (a monitor
+    ``Violation.context``); ``SECCOMP`` is the in-kernel KILL of a
+    not-callable syscall — the coarse half of call-type protection (§3.1)
+    when BASTION compiled the filter, or a plain allowlist verdict for the
+    filtering baselines; ``BINARY_CALLTYPE`` is the binary-only mechanism's
+    recovered call-kind check; ``LLVM_CFI``/``CET`` are the hardware and
+    compiler baselines; ``FAULT`` marks runs ended by an injected
+    dispatch-time fault rather than a security verdict (`repro.fuzz`).
+    """
+
+    CALL_TYPE = "call-type"
+    CONTROL_FLOW = "control-flow"
+    ARG_INTEGRITY = "arg-integrity"
+    SECCOMP = "seccomp"
+    BINARY_CALLTYPE = "binary-calltype"
+    LLVM_CFI = "llvm-cfi"
+    CET = "cet"
+    FAULT = "fault"
+
+    # format as the wire value ("seccomp"), not "BlockingContext.SECCOMP"
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+
+_SHELL = ("/bin/sh", b"\x7fELF-shell", 0o755)
+
+
+@dataclass(frozen=True)
+class AttackTarget:
+    """One attackable application: build recipe, filesystem env, workload.
+
+    Replaces the per-app ``_nginx_env``/``_httpd_env``/... builders with a
+    single declarative registry so the fuzzer (and any future harness) can
+    construct every target the same way.
+    """
+
+    name: str
+    build: object  # () -> module
+    workload: object = None  # () -> workload, or None for self-driving apps
+    env_dirs: tuple = ()
+    env_files: tuple = ()  # (path, bytes, mode) triples
+    env_base: object = None  # shared bench-harness env applied first
+
+    def prepare_env(self, kernel):
+        if self.env_base is not None:
+            self.env_base(kernel)
+        for path in self.env_dirs:
+            kernel.vfs.makedirs(path)
+        for path, data, mode in self.env_files:
+            kernel.vfs.write_file(path, data, mode=mode)
+
+    def attach_workload(self, kernel, proc):
+        if self.workload is not None:
+            self.workload().attach(kernel, proc)
+
+
+def _bench_nginx_env(kernel):
     from repro.bench.harness import _setup_nginx_env
 
     _setup_nginx_env(kernel)
-    kernel.vfs.makedirs("/etc")
-    kernel.vfs.write_file("/etc/shadow", b"root:$6$secret\n", mode=0o600)
-    kernel.vfs.write_file("/etc/passwd", b"root:x:0:0\n")
 
 
-def _httpd_env(kernel):
-    kernel.vfs.makedirs("/bin")
-    kernel.vfs.makedirs("/var/apache/htdocs")
-    kernel.vfs.makedirs("/usr/lib/cgi-bin")
-    kernel.vfs.write_file(HTDOCS, b"<html>apache</html>" + b"x" * 480)
-    kernel.vfs.write_file("/usr/lib/cgi-bin/rotatelogs", b"\x7fELF", mode=0o755)
-    kernel.vfs.write_file("/bin/sh", b"\x7fELF-shell", mode=0o755)
-
-
-def _browser_env(kernel):
-    kernel.vfs.makedirs("/bin")
-    kernel.vfs.makedirs("/opt/browser")
-    kernel.vfs.write_file("/opt/browser/renderer", b"\x7fELF", mode=0o755)
-    kernel.vfs.write_file("/bin/sh", b"\x7fELF-shell", mode=0o755)
-
-
-def _mediasrv_env(kernel):
-    kernel.vfs.makedirs("/bin")
-    kernel.vfs.makedirs("/srv/media")
-    kernel.vfs.makedirs("/etc")
-    kernel.vfs.write_file(MEDIA_FILE, b"\x47" * 4096)
-    kernel.vfs.write_file("/etc/passwd", b"root:x:0:0\n")
-    kernel.vfs.write_file("/bin/sh", b"\x7fELF-shell", mode=0o755)
-
-
-_TARGETS = {
-    "nginx": {
-        "build": lambda: build_nginx(NginxConfig(workers=2, pools=4, guards=3)),
-        "env": _nginx_env,
-        "workload": lambda: WrkWorkload(connections=2, requests_per_connection=3),
-    },
-    "httpd": {
-        "build": lambda: build_httpd(HttpdConfig()),
-        "env": _httpd_env,
-        "workload": lambda: SimpleServerWorkload(
+TARGETS = {
+    "nginx": AttackTarget(
+        name="nginx",
+        build=lambda: build_nginx(NginxConfig(workers=2, pools=4, guards=3)),
+        workload=lambda: WrkWorkload(connections=2, requests_per_connection=3),
+        env_base=_bench_nginx_env,
+        env_dirs=("/etc",),
+        env_files=(
+            ("/etc/shadow", b"root:$6$secret\n", 0o600),
+            ("/etc/passwd", b"root:x:0:0\n", 0o644),
+        ),
+    ),
+    "httpd": AttackTarget(
+        name="httpd",
+        build=lambda: build_httpd(HttpdConfig()),
+        workload=lambda: SimpleServerWorkload(
             HTTPD_PORT, connections=2, requests=2, response_threshold=100
         ),
-    },
-    "browser": {
-        "build": lambda: build_browser(BrowserConfig(events=6)),
-        "env": _browser_env,
-        "workload": None,
-    },
-    "mediasrv": {
-        "build": lambda: build_mediasrv(MediaConfig(frames=4)),
-        "env": _mediasrv_env,
-        "workload": None,
-    },
+        env_dirs=("/bin", "/var/apache/htdocs", "/usr/lib/cgi-bin", "/etc"),
+        env_files=(
+            (HTDOCS, b"<html>apache</html>" + b"x" * 480, 0o644),
+            ("/usr/lib/cgi-bin/rotatelogs", b"\x7fELF", 0o755),
+            ("/etc/passwd", b"root:x:0:0\n", 0o644),
+            _SHELL,
+        ),
+    ),
+    "browser": AttackTarget(
+        name="browser",
+        build=lambda: build_browser(BrowserConfig(events=6)),
+        env_dirs=("/bin", "/opt/browser", "/etc"),
+        env_files=(
+            ("/opt/browser/renderer", b"\x7fELF", 0o755),
+            ("/etc/passwd", b"root:x:0:0\n", 0o644),
+            _SHELL,
+        ),
+    ),
+    "mediasrv": AttackTarget(
+        name="mediasrv",
+        build=lambda: build_mediasrv(MediaConfig(frames=4)),
+        env_dirs=("/bin", "/srv/media", "/etc"),
+        env_files=(
+            (MEDIA_FILE, b"\x47" * 4096, 0o644),
+            ("/etc/passwd", b"root:x:0:0\n", 0o644),
+            _SHELL,
+        ),
+    ),
 }
+
+
+def attack_target(name):
+    """The :class:`AttackTarget` registry entry for ``name``."""
+    return TARGETS[name]
+
+
+def target_names():
+    return tuple(sorted(TARGETS))
+
 
 _module_cache = {}
 _artifact_cache = {}
@@ -92,7 +162,7 @@ _artifact_cache = {}
 
 def _target_module(target):
     if target not in _module_cache:
-        _module_cache[target] = _TARGETS[target]["build"]()
+        _module_cache[target] = TARGETS[target].build()
     return _module_cache[target]
 
 
@@ -114,8 +184,13 @@ class AttackOutcome:
     status: object
     succeeded: bool = False
     blocked: bool = False
-    blocked_by: str = None  # 'call-type' | 'control-flow' | 'arg-integrity'
+    blocked_by: BlockingContext = None
     violations: list = field(default_factory=list)
+    #: telemetry snapshot for the fuzz coverage signature: attributed
+    #: dispatch-stage cycles (incl. verify.* sub-stages) and the process
+    #: tree's per-syscall counts
+    stage_cycles: dict = field(default_factory=dict)
+    syscall_counts: dict = field(default_factory=dict)
 
     def __str__(self):
         verdict = "SUCCEEDED" if self.succeeded else (
@@ -124,7 +199,55 @@ class AttackOutcome:
         return "%s under %s: %s" % (self.attack, self.defense, verdict)
 
 
-def run_attack(spec, policy=None, defense_name=None, cpu_options=None, defense=None):
+def _tree_kill_reason(proc):
+    """The first security kill reason in ``proc``'s subtree.
+
+    Under the preemptive scheduler the poisoned request may be served by
+    a forked worker: the kill then lands on the child while the master
+    exits cleanly.  The attack verdict belongs to the tree, so walk it
+    (pid order — deterministic) and surface whichever process was killed.
+    """
+    queue = [proc]
+    while queue:
+        p = queue.pop(0)
+        if p.kill_reason:
+            return p.kill_reason
+        queue.extend(sorted(p.children, key=lambda c: c.pid))
+    return ""
+
+
+def classify_blocking(monitor, proc, status):
+    """Map one run's evidence onto the closed :class:`BlockingContext` set.
+
+    Returns ``(context, violations)`` — ``(None, [])`` when nothing
+    security-relevant stopped the process.
+    """
+    if monitor is not None and monitor.violations:
+        return (
+            BlockingContext(monitor.violations[0].context),
+            list(monitor.violations),
+        )
+    reason = _tree_kill_reason(proc)
+    if reason.startswith("seccomp"):
+        return BlockingContext.SECCOMP, []
+    if reason.startswith("binary-calltype"):
+        return BlockingContext.BINARY_CALLTYPE, []
+    if status is not None and status.kind == "fault":
+        if "CFIFault" in (status.reason or ""):
+            return BlockingContext.LLVM_CFI, []
+        if "ShadowStackFault" in (status.reason or ""):
+            return BlockingContext.CET, []
+    return None, []
+
+
+def run_attack(
+    spec,
+    policy=None,
+    defense_name=None,
+    cpu_options=None,
+    defense=None,
+    quantum=None,
+):
     """Run one attack under ``policy`` (None = undefended).
 
     CET is disabled by default: the Table 6 study evaluates BASTION's
@@ -134,10 +257,14 @@ def run_attack(spec, policy=None, defense_name=None, cpu_options=None, defense=N
     ``defense`` DefenseConfig to launch through a registered
     :class:`~repro.mechanisms.ProtectionMechanism` (the seccomp-allowlist
     and binary-only baselines reach the attack study this way).
+
+    ``quantum`` switches the run onto the preemptive scheduler with that
+    cycle quantum; verdicts are quantum-independent (the fuzz oracle's
+    determinism rests on this, see tests/attacks/test_scheduled.py).
     """
-    target = _TARGETS[spec.target]
+    target = TARGETS[spec.target]
     kernel = Kernel()
-    target["env"](kernel)
+    target.prepare_env(kernel)
     options = cpu_options or CPUOptions(cet=False)
 
     monitor = None
@@ -158,37 +285,30 @@ def run_attack(spec, policy=None, defense_name=None, cpu_options=None, defense=N
     env = AttackEnv(kernel=kernel, proc=proc, cpu=cpu, image=cpu.image, monitor=monitor)
     spec.stage(env)
 
-    workload_factory = target["workload"]
-    if workload_factory is not None:
-        workload_factory().attach(kernel, proc)
+    target.attach_workload(kernel, proc)
 
-    status = cpu.run()
+    if quantum is None:
+        status = cpu.run()
+    else:
+        from repro.sched import Scheduler
+
+        sched = Scheduler(kernel, quantum=quantum)
+        sched.add(proc, cpu)
+        status = sched.run()[proc.pid]
 
     outcome = AttackOutcome(
         attack=spec.name,
         defense=defense_name or (policy.label() if policy else "none"),
         status=status,
         succeeded=spec.oracle(env),
+        stage_cycles=kernel.telemetry.stage_cycles(),
+        syscall_counts=dict(proc.syscall_counts),
     )
-    if monitor is not None and monitor.violations:
+    blocked_by, violations = classify_blocking(monitor, proc, status)
+    if blocked_by is not None:
         outcome.blocked = True
-        outcome.blocked_by = monitor.violations[0].context
-        outcome.violations = list(monitor.violations)
-    elif proc.kill_reason and proc.kill_reason.startswith("seccomp"):
-        # the seccomp KILL of a not-callable syscall IS the call-type
-        # context's coarse half (§3.1)
-        outcome.blocked = True
-        outcome.blocked_by = "call-type"
-    elif proc.kill_reason and proc.kill_reason.startswith("binary-calltype"):
-        # the binary-only mechanism's recovered call-type check
-        outcome.blocked = True
-        outcome.blocked_by = "call-type"
-    elif status.kind == "fault" and "CFIFault" in status.reason:
-        outcome.blocked = True
-        outcome.blocked_by = "llvm-cfi"
-    elif status.kind == "fault" and "ShadowStackFault" in status.reason:
-        outcome.blocked = True
-        outcome.blocked_by = "cet"
+        outcome.blocked_by = blocked_by
+        outcome.violations = violations
     # A defense that fires only *after* the attacker reached their goal did
     # not block the attack (e.g. an incidental fault on a later dispatch).
     if outcome.succeeded and outcome.blocked:

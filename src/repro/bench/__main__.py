@@ -1,7 +1,7 @@
 """CLI entry point: ``python -m repro.bench <experiment> [--scale S]``.
 
 Experiments: figure3, table3, table4, table5, table6, table7,
-security_baselines, ablation_cache, ablation_dfi, scheduler, all.
+security_baselines, ablation_cache, ablation_dfi, scheduler, fuzz, all.
 Ablations can also be selected with ``--ablate cache`` / ``--ablate dfi``.
 
 ``trajectory`` is the persisted-performance subcommand (see
@@ -20,6 +20,7 @@ from repro.bench.report import (
     RENDERERS,
     analysis_json,
     binary_precision_json,
+    fuzz_json,
     stages_json,
 )
 
@@ -39,6 +40,7 @@ _SCALED = {
 _JSON_PAYLOADS = {
     "analysis": lambda args: analysis_json(),
     "binary": lambda args: binary_precision_json(),
+    "fuzz": lambda args: fuzz_json(),
     "stages": lambda args: stages_json(args.scale),
 }
 

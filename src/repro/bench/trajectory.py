@@ -48,7 +48,7 @@ import os
 import time
 
 #: this PR's snapshot number (bump per hot-path PR, one file each)
-PR_NUMBER = 7
+PR_NUMBER = 9
 
 SCHEMA = "repro-bench-trajectory/v1"
 
@@ -80,6 +80,11 @@ EVENT_REQUESTS = 2
 #: wall repeats per event cell — the 10k cells run tens of seconds each,
 #: so repeats taper with pressure (stickiness absorbs the extra noise)
 EVENT_REPEATS = {100: 5, 1000: 3, 10000: 2}
+
+#: the fuzz-throughput cell: one pinned campaign (genomes/sec at the CI
+#: smoke budget); write-only like the 1k/10k event cells — the --check
+#: gate skips it, so it diffs as a "cell removed" note and never fails
+FUZZ_BUDGET = 200
 
 #: the trajectory clock: CPU seconds of this process (contention-immune)
 DEFAULT_CLOCK = time.process_time
@@ -313,6 +318,45 @@ def measure_event_cells(
     return cells
 
 
+def measure_fuzz_cells(clock=DEFAULT_CLOCK, calibration=None, budget=FUZZ_BUDGET):
+    """The fuzz-throughput cell: one pinned campaign, wall-timed.
+
+    The campaign itself is fully deterministic (seed-pinned SplitMix64),
+    so executed/kept/divergences/coverage are exact; only the wall-derived
+    ``wall_index``/``genomes_per_sec`` fields are measurements.
+    """
+    from repro.fuzz.engine import DEFAULT_SEED, FuzzCampaign
+
+    fixed_calibration = calibration is not None
+    if not fixed_calibration:
+        calibration = calibrate(clock=clock)
+    gc.collect()
+    start = clock()
+    campaign = FuzzCampaign(seed=DEFAULT_SEED, budget=budget).run()
+    wall = clock() - start
+    if not fixed_calibration:
+        calibration = min(calibration, calibrate(clock=clock))
+    return [
+        {
+            "config": "fuzz",
+            "mode": "fuzz",
+            "workers": 0,
+            "seed": campaign.seed,
+            "budget": campaign.budget,
+            "status": "done",
+            "work_units": campaign.executed,
+            "kept": len(campaign.kept),
+            "divergences": len(campaign.divergences),
+            "coverage_tokens": len(campaign.coverage),
+            "total_cycles": 0,
+            "steady_cycles": 0,
+            "cycles_per_request": 0.0,
+            "genomes_per_sec": _round_sig(campaign.executed / wall),
+            "wall_index": _round_sig(wall / calibration),
+        }
+    ]
+
+
 def trajectory_payload(
     scale=TRAJECTORY_SCALE,
     clock=DEFAULT_CLOCK,
@@ -320,18 +364,22 @@ def trajectory_payload(
     previous=None,
     sticky_pct=STICKY_PCT,
     event_specs=EVENT_MATRIX,
+    include_fuzz=True,
 ):
     """The full snapshot payload, optionally sticky against ``previous``.
 
     ``event_specs`` selects the event-loop cells ((connections, config)
     pairs); the CI gate passes :data:`EVENT_SMOKE_MATRIX` to skip the
     expensive 1k/10k cells, ``()`` disables the event matrix entirely.
+    ``include_fuzz=False`` likewise skips the fuzz-throughput cell.
     """
     cells = measure_cells(scale=scale, clock=clock, calibration=calibration)
     if event_specs:
         cells = cells + measure_event_cells(
             specs=event_specs, clock=clock, calibration=calibration
         )
+    if include_fuzz:
+        cells = cells + measure_fuzz_cells(clock=clock, calibration=calibration)
     if previous is not None:
         cells = _apply_sticky(cells, previous.get("cells", []), sticky_pct)
     return {
@@ -347,6 +395,7 @@ def trajectory_payload(
             "workers": list(MATRIX_WORKERS),
             "configs": list(MATRIX_CONFIGS),
             "event": [list(spec) for spec in event_specs],
+            "fuzz_budget": FUZZ_BUDGET if include_fuzz else None,
         },
         "event_workload": {
             "kind": "wrk_concurrent_event",
@@ -370,6 +419,8 @@ def _cell_key(cell):
     """
     if cell.get("mode") == "event":
         return ("event", cell.get("connections", 0), cell["config"])
+    if cell.get("mode") == "fuzz":
+        return ("fuzz", cell.get("budget", 0), cell["config"])
     return ("blocking", cell.get("workers", 0), cell["config"])
 
 
@@ -391,6 +442,8 @@ def _apply_sticky(cells, previous_cells, sticky_pct):
             new_wall = cell["wall_index"]
             if old_wall > 0 and _pct_change(old_wall, new_wall) <= sticky_pct:
                 cell = dict(cell, wall_index=old_wall)
+                if "genomes_per_sec" in old and "genomes_per_sec" in cell:
+                    cell["genomes_per_sec"] = old["genomes_per_sec"]
         out.append(cell)
     return out
 
@@ -557,7 +610,9 @@ def remeasure_cells(cells, keys, scale=TRAJECTORY_SCALE, clock=DEFAULT_CLOCK):
         if cell is None:
             continue
         mode, count, config = key
-        if mode == "event":
+        if mode == "fuzz":
+            fresh = measure_fuzz_cells(clock=clock, budget=count)[0]
+        elif mode == "event":
             fresh = measure_event_cells(
                 specs=((count, config),), clock=clock
             )[0]
@@ -581,6 +636,8 @@ def _cell_label(mode, workers, connections):
     """The 'load' column: worker count (blocking) or connections (event)."""
     if mode == "event":
         return "%dc" % (connections or 0)
+    if mode == "fuzz":
+        return "fz"
     return "w%d" % workers
 
 
@@ -677,9 +734,11 @@ def run_cli(args):
             )
             return 0
         # the gate measures the full blocking matrix but only the cheap
-        # 100-connection event cells; missing 1k/10k cells diff as
+        # 100-connection event cells; missing 1k/10k/fuzz cells diff as
         # "cell removed" notes, which never fail the check
-        payload = trajectory_payload(scale=scale, event_specs=EVENT_SMOKE_MATRIX)
+        payload = trajectory_payload(
+            scale=scale, event_specs=EVENT_SMOKE_MATRIX, include_fuzz=False
+        )
         rows = diff_payloads(previous, payload)
         failures = check_rows(rows, tolerance=args.tolerance)
         for retry in range(CHECK_RETRIES):

@@ -1,0 +1,88 @@
+"""repro.fuzz — coverage-guided differential attack fuzzing + fault injection.
+
+Three pieces (ISSUE 9):
+
+- :mod:`repro.fuzz.genome`  a mutation engine over the attack-primitive
+  vocabulary (splice/point/havoc over target, trigger, corruption
+  primitive, corruption target class, timing, payload chain);
+- :mod:`repro.fuzz.oracle` / :mod:`repro.fuzz.engine`  the coverage +
+  divergence oracle and the seeded campaign loop with greedy
+  mutation-reversal minimization and a byte-stable corpus format;
+- :mod:`repro.fuzz.faults`  dispatch-time single-bit fault injection
+  through ``repro.kernel.dispatch``'s ``insert()`` API, classified by the
+  same differential matrix.
+
+Everything is deterministic: a :class:`repro.fuzz.rng.FuzzRNG`
+(SplitMix64) is the only randomness source, and the same seed + budget
+reproduce the corpus JSON byte-identically.
+"""
+
+from repro.fuzz.engine import (
+    DEFAULT_BUDGET,
+    DEFAULT_SEED,
+    SCHEMA,
+    FuzzCampaign,
+    default_corpus_path,
+    load_corpus,
+    minimize_divergence,
+    replay_corpus,
+    replay_entry,
+    run_campaign,
+    serialize_corpus,
+)
+from repro.fuzz.faults import (
+    CAMPAIGN_SPECS,
+    FAULT_SITES,
+    FAULT_STAGES,
+    FaultInjector,
+    FaultSpec,
+    run_fault_campaign,
+)
+from repro.fuzz.genome import (
+    Genome,
+    genome_from_dict,
+    mutate,
+    repair,
+    seed_genomes,
+    spec_for_genome,
+)
+from repro.fuzz.oracle import (
+    FILTERING_BASELINES,
+    MATRIX,
+    MatrixResult,
+    evaluate_genome,
+    verdict_of,
+)
+from repro.fuzz.rng import FuzzRNG
+
+__all__ = [
+    "CAMPAIGN_SPECS",
+    "DEFAULT_BUDGET",
+    "DEFAULT_SEED",
+    "FAULT_SITES",
+    "FAULT_STAGES",
+    "FILTERING_BASELINES",
+    "FuzzCampaign",
+    "FuzzRNG",
+    "FaultInjector",
+    "FaultSpec",
+    "Genome",
+    "MATRIX",
+    "MatrixResult",
+    "SCHEMA",
+    "default_corpus_path",
+    "evaluate_genome",
+    "genome_from_dict",
+    "load_corpus",
+    "minimize_divergence",
+    "mutate",
+    "repair",
+    "replay_corpus",
+    "replay_entry",
+    "run_campaign",
+    "run_fault_campaign",
+    "seed_genomes",
+    "serialize_corpus",
+    "spec_for_genome",
+    "verdict_of",
+]

@@ -1,0 +1,225 @@
+"""CLI: ``python -m repro.fuzz run|minimize|replay|faults``.
+
+- ``run``       a seeded campaign; ``--out`` writes the corpus JSON,
+  ``--check`` instead verifies the run reproduces an existing corpus
+  byte-identically (the CI fuzz-smoke job);
+- ``minimize``  re-minimize one corpus divergence by name;
+- ``replay``    re-run pinned divergences and verify verdict patterns;
+- ``faults``    the dispatch-time fault campaign's detection matrix.
+
+``--json`` on any subcommand emits machine-readable output.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.fuzz.engine import (
+    DEFAULT_BUDGET,
+    DEFAULT_SEED,
+    default_corpus_path,
+    load_corpus,
+    minimize_divergence,
+    replay_corpus,
+    run_campaign,
+    serialize_corpus,
+)
+from repro.fuzz.faults import run_fault_campaign
+from repro.fuzz.genome import genome_from_dict
+from repro.fuzz.oracle import evaluate_genome
+
+
+def _progress(args):
+    if args.json or args.quiet:
+        return lambda msg: None
+    return lambda msg: print("  [fuzz] %s" % msg)
+
+
+def cmd_run(args):
+    campaign = run_campaign(
+        seed=args.seed, budget=args.budget, progress=_progress(args)
+    )
+    payload = campaign.to_payload()
+    text = serialize_corpus(payload)
+    if args.check:
+        path = args.check if args.check is not True else default_corpus_path()
+        with open(path) as handle:
+            pinned = handle.read()
+        if text == pinned:
+            print(
+                "corpus reproduced byte-identically (seed=%d budget=%d, "
+                "%d divergences)"
+                % (args.seed, args.budget, len(payload["divergences"]))
+            )
+            return 0
+        print("corpus MISMATCH against %s" % path)
+        theirs = json.loads(pinned)
+        print(
+            "  pinned: seed=%s budget=%s divergences=%d coverage=%s"
+            % (
+                theirs.get("seed"),
+                theirs.get("budget"),
+                len(theirs.get("divergences", [])),
+                theirs.get("coverage_tokens"),
+            )
+        )
+        print(
+            "  ours:   seed=%s budget=%s divergences=%d coverage=%s"
+            % (
+                payload["seed"],
+                payload["budget"],
+                len(payload["divergences"]),
+                payload["coverage_tokens"],
+            )
+        )
+        return 1
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(
+            "wrote %s (%d divergences, %d coverage tokens)"
+            % (args.out, len(payload["divergences"]), payload["coverage_tokens"])
+        )
+        return 0
+    if args.json:
+        print(text, end="")
+        return 0
+    print(
+        "seed=%d budget=%d executed=%d coverage_tokens=%d"
+        % (
+            payload["seed"],
+            payload["budget"],
+            payload["executed"],
+            payload["coverage_tokens"],
+        )
+    )
+    for entry in payload["divergences"]:
+        pairs = ", ".join("%s>%s" % tuple(p) for p in entry["pairs"][:4])
+        print("  %-32s %s" % (entry["name"], pairs))
+    return 0
+
+
+def cmd_minimize(args):
+    payload = load_corpus(args.corpus)
+    matches = [e for e in payload["divergences"] if e["name"] == args.name]
+    if not matches:
+        print("no corpus divergence named %r" % args.name)
+        return 1
+    entry = matches[0]
+    result = minimize_divergence(evaluate_genome(genome_from_dict(entry["genome"])))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "name": entry["name"],
+                    "genome": result.genome.to_dict(),
+                    "pattern": result.pattern,
+                    "blocked_by": result.blocked_by,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print("minimized %s:" % entry["name"])
+    for key, value in sorted(result.genome.to_dict().items()):
+        print("  %-14s %s" % (key, value))
+    print("  pattern: %s" % result.pattern)
+    return 0
+
+
+def cmd_replay(args):
+    payload = load_corpus(args.corpus)
+    rows = replay_corpus(payload, names=set(args.names) if args.names else None)
+    if args.names and len(rows) != len(set(args.names)):
+        found = {entry["name"] for entry, _, _ in rows}
+        for name in args.names:
+            if name not in found:
+                print("no corpus divergence named %r" % name)
+        return 1
+    failures = 0
+    report = []
+    for entry, ok, result in rows:
+        report.append(
+            {
+                "name": entry["name"],
+                "ok": ok,
+                "pattern": result.pattern,
+                "expected": entry["pattern"],
+            }
+        )
+        if not ok:
+            failures += 1
+    if args.json:
+        print(json.dumps({"replayed": report}, indent=2, sort_keys=True))
+    else:
+        for row in report:
+            print("  %-32s %s" % (row["name"], "ok" if row["ok"] else "DIVERGED"))
+        print(
+            "%d/%d pinned divergences reproduced" % (len(rows) - failures, len(rows))
+        )
+    return 1 if failures else 0
+
+
+def cmd_faults(args):
+    result = run_fault_campaign()
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    mechanisms = result["matrix"]
+    width = max(len(m) for m in mechanisms)
+    header = "%-28s" % "fault" + "  ".join("%-*s" % (width, m) for m in mechanisms)
+    print(header)
+    for label in sorted(result["cells"]):
+        row = result["cells"][label]
+        cells = "  ".join(
+            "%-*s" % (width, row[m]["class"]) for m in mechanisms
+        )
+        print("%-28s%s" % (label, cells))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="coverage-guided differential attack fuzzing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a seeded fuzz campaign")
+    run_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    run_p.add_argument("--budget", type=int, default=DEFAULT_BUDGET)
+    run_p.add_argument("--out", help="write the corpus JSON here")
+    run_p.add_argument(
+        "--check",
+        nargs="?",
+        const=True,
+        default=None,
+        help="verify the run reproduces this corpus byte-identically "
+        "(default: the pinned tests/fixtures/fuzz_corpus.json)",
+    )
+    run_p.set_defaults(func=cmd_run)
+
+    min_p = sub.add_parser("minimize", help="re-minimize a corpus divergence")
+    min_p.add_argument("name")
+    min_p.add_argument("--corpus", default=None)
+    min_p.set_defaults(func=cmd_minimize)
+
+    rep_p = sub.add_parser("replay", help="replay pinned corpus divergences")
+    rep_p.add_argument("names", nargs="*")
+    rep_p.add_argument("--corpus", default=None)
+    rep_p.set_defaults(func=cmd_replay)
+
+    fault_p = sub.add_parser("faults", help="dispatch-time fault campaign")
+    fault_p.set_defaults(func=cmd_faults)
+
+    for p in (run_p, min_p, rep_p, fault_p):
+        p.add_argument("--json", action="store_true")
+        p.add_argument("--quiet", action="store_true")
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""The coverage-guided differential fuzz loop.
+
+Keep a genome iff it adds coverage (its token signature contains something
+no kept genome produced) **or** any two mechanisms disagree on kill/allow.
+Divergences are minimized by greedy mutation-reversal and written to a
+byte-stable corpus JSON that CI replays forever (same seed + same budget
+=> byte-identical file; there is no wall-clock or unseeded randomness
+anywhere in ``repro.fuzz``).
+"""
+
+import json
+import os
+
+from repro.fuzz.genome import (
+    Genome,
+    genome_from_dict,
+    mutate,
+    repair,
+    seed_genomes,
+)
+from repro.fuzz.oracle import MATRIX, evaluate_genome
+from repro.fuzz.rng import FuzzRNG
+
+SCHEMA = "repro-fuzz-corpus/v1"
+DEFAULT_SEED = 11
+DEFAULT_BUDGET = 200
+
+
+def default_corpus_path():
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "fixtures", "fuzz_corpus.json")
+
+
+# ---------------------------------------------------------------------------
+# Minimization: greedy mutation-reversal
+# ---------------------------------------------------------------------------
+
+
+def _reversal_candidates(genome):
+    """Simpler variants in a fixed greedy order: shortest chain first,
+    then earliest trigger timing, then the plainest primitive."""
+    candidates = []
+    if len(genome.chain) > 1:
+        candidates.append(
+            Genome(
+                target=genome.target,
+                trigger=genome.trigger,
+                target_class=genome.target_class,
+                primitive=genome.primitive,
+                timing=genome.timing,
+                chain=genome.chain[:1],
+            )
+        )
+    if genome.timing != 1:
+        candidates.append(
+            Genome(
+                target=genome.target,
+                trigger=genome.trigger,
+                target_class=genome.target_class,
+                primitive=genome.primitive,
+                timing=1,
+                chain=genome.chain,
+            )
+        )
+    if genome.primitive != "overwrite":
+        candidates.append(
+            Genome(
+                target=genome.target,
+                trigger=genome.trigger,
+                target_class=genome.target_class,
+                primitive="overwrite",
+                timing=genome.timing,
+                chain=genome.chain,
+            )
+        )
+    return [repair(c) for c in candidates]
+
+
+def minimize_divergence(result):
+    """Greedily revert mutations while the exact disagreement pattern
+    persists; returns the minimized :class:`MatrixResult`."""
+    current = result
+    progress = True
+    evaluations = 0
+    while progress and evaluations < 8:
+        progress = False
+        for candidate in _reversal_candidates(current.genome):
+            if candidate.key() == current.genome.key():
+                continue
+            trial = evaluate_genome(candidate)
+            evaluations += 1
+            if trial.pattern == current.pattern and trial.valid:
+                current = trial
+                progress = True
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# The fuzz campaign
+# ---------------------------------------------------------------------------
+
+
+class FuzzCampaign:
+    """One seeded run: corpus state + the divergence log."""
+
+    def __init__(self, seed=DEFAULT_SEED, budget=DEFAULT_BUDGET, progress=None):
+        self.seed = seed
+        self.budget = budget
+        self.progress = progress or (lambda msg: None)
+        self.rng = FuzzRNG(seed)
+        self.coverage = set()
+        self.kept = []  # genomes that added coverage
+        self.divergences = []  # minimized MatrixResults, discovery order
+        self._divergence_keys = set()
+        self._seen = set()
+        self.executed = 0
+
+    def _next_genome(self, queue):
+        if queue:
+            return queue.pop(0)
+        base_pool = self.kept if self.kept else seed_genomes()
+        base = self.rng.choice(base_pool)
+        mate = self.rng.choice(base_pool)
+        return mutate(base, self.rng, mate=mate)
+
+    def _consider(self, result):
+        fresh = result.tokens - self.coverage
+        if fresh:
+            self.coverage |= result.tokens
+            self.kept.append(result.genome)
+        if result.divergent:
+            key = result.divergence_key()
+            if key not in self._divergence_keys:
+                self._divergence_keys.add(key)
+                minimized = minimize_divergence(result)
+                self.divergences.append(minimized)
+                self.progress(
+                    "divergence %d: %s (%s)"
+                    % (
+                        len(self.divergences),
+                        minimized.genome.target_class,
+                        ", ".join(
+                            "%s>%s" % pair
+                            for pair in minimized.divergent_pairs()[:3]
+                        ),
+                    )
+                )
+
+    def run(self):
+        queue = list(seed_genomes())
+        attempts = 0
+        while self.executed < self.budget and attempts < self.budget * 20:
+            attempts += 1
+            genome = repair(self._next_genome(queue))
+            if genome.key() in self._seen:
+                continue
+            self._seen.add(genome.key())
+            result = evaluate_genome(genome)
+            self.executed += 1
+            if self.executed % 25 == 0:
+                self.progress(
+                    "%d/%d genomes, %d coverage tokens, %d divergences"
+                    % (
+                        self.executed,
+                        self.budget,
+                        len(self.coverage),
+                        len(self.divergences),
+                    )
+                )
+            self._consider(result)
+        return self
+
+    # -- corpus serialization ------------------------------------------------
+
+    def to_payload(self):
+        divergences = []
+        for i, result in enumerate(self.divergences):
+            divergences.append(
+                {
+                    "name": "fz_%03d_%s_%s"
+                    % (i + 1, result.genome.target, result.genome.target_class),
+                    "genome": result.genome.to_dict(),
+                    "pattern": result.pattern,
+                    "blocked_by": result.blocked_by,
+                    "pairs": [list(p) for p in result.divergent_pairs()],
+                }
+            )
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "budget": self.budget,
+            "executed": self.executed,
+            "matrix": list(MATRIX),
+            "coverage_tokens": len(self.coverage),
+            "kept": [g.to_dict() for g in self.kept],
+            "divergences": divergences,
+        }
+
+
+def serialize_corpus(payload):
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def load_corpus(path=None):
+    path = path or default_corpus_path()
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA:
+        raise ValueError("unknown corpus schema: %r" % payload.get("schema"))
+    return payload
+
+
+def run_campaign(seed=DEFAULT_SEED, budget=DEFAULT_BUDGET, progress=None):
+    return FuzzCampaign(seed=seed, budget=budget, progress=progress).run()
+
+
+# ---------------------------------------------------------------------------
+# Replay: pinned divergences must reproduce forever
+# ---------------------------------------------------------------------------
+
+
+def replay_entry(entry):
+    """Re-run one corpus divergence; returns (ok, MatrixResult)."""
+    result = evaluate_genome(genome_from_dict(entry["genome"]))
+    ok = (
+        result.valid
+        and result.pattern == entry["pattern"]
+        and result.blocked_by == entry["blocked_by"]
+    )
+    return ok, result
+
+
+def replay_corpus(payload, names=None):
+    """Replay every (or the named) pinned divergence; returns a list of
+    (entry, ok, MatrixResult)."""
+    rows = []
+    for entry in payload["divergences"]:
+        if names and entry["name"] not in names:
+            continue
+        ok, result = replay_entry(entry)
+        rows.append((entry, ok, result))
+    return rows

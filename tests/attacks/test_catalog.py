@@ -94,7 +94,10 @@ def test_data_only_attacks_need_ai(evaluations):
 def test_blocked_by_attribution():
     spec = attack_by_name("newton_cscfi")
     outcome = run_attack(spec, ContextPolicy.ct_only(), "CT")
-    assert outcome.blocked_by == "call-type"
+    # normalized attribution: under CT alone the kill is the compiled
+    # seccomp filter's not-callable verdict (the coarse half of call-type
+    # protection), attributed as BlockingContext.SECCOMP
+    assert outcome.blocked_by == "seccomp"
     outcome = run_attack(spec, ContextPolicy.cf_only(), "CF")
     assert outcome.blocked_by == "control-flow"
     outcome = run_attack(spec, ContextPolicy.ai_only(), "AI")

@@ -1,0 +1,48 @@
+"""Scheduler-independence of the attack catalog (ISSUE 9 satellite).
+
+An attack verdict must be a property of the program + mechanism, never of
+the preemption quantum: replaying under a quantum of 1 cycle (maximal
+interleaving) and 1e6 cycles (effectively run-to-completion) must produce
+the same verdict for every catalog row.
+
+The compared tuple is the *security verdict* — succeeded / blocked /
+blocking context / violation contexts.  The raw exit status of the lead
+process is deliberately excluded: under fine-grained preemption a forked
+worker may be the task that serves the poisoned request and takes the
+kill, while the master exits cleanly — same verdict, different PCB.
+"""
+
+import pytest
+
+from repro.attacks.catalog import CATALOG
+from repro.attacks.runner import run_attack
+from repro.monitor.policy import ContextPolicy
+
+QUANTA = (1, 1_000_000)
+
+
+def _verdict(outcome):
+    return (
+        outcome.succeeded,
+        outcome.blocked,
+        str(outcome.blocked_by) if outcome.blocked_by is not None else None,
+        tuple(sorted(v.context for v in outcome.violations)),
+    )
+
+
+@pytest.mark.parametrize("spec", CATALOG, ids=lambda s: s.name)
+def test_catalog_replays_identically_across_quanta(spec):
+    for defense_name, policy in (
+        ("undefended", None),
+        ("bastion", ContextPolicy.full()),
+    ):
+        verdicts = {
+            quantum: _verdict(
+                run_attack(spec, policy, defense_name, quantum=quantum)
+            )
+            for quantum in QUANTA
+        }
+        assert verdicts[QUANTA[0]] == verdicts[QUANTA[1]], (
+            "%s under %s diverges across scheduler quanta: %r"
+            % (spec.name, defense_name, verdicts)
+        )

@@ -104,6 +104,7 @@ def test_all_renderers_registered():
         "adaptive",
         "analysis",
         "binary",
+        "fuzz",
         "scheduler",
         "stages",
     }

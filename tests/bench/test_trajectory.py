@@ -299,7 +299,7 @@ class TestSnapshotFiles:
             for c in trajectory.MATRIX_CONFIGS
         } | {
             ("event", count, c) for count, c in trajectory.EVENT_MATRIX
-        }
+        } | {("fuzz", trajectory.FUZZ_BUDGET, "fuzz")}
         assert keys == expected
         for cell in committed["cells"]:
             assert cell["wall_index"] > 0

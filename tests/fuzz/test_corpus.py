@@ -1,0 +1,71 @@
+"""The pinned corpus fixture: replay + acceptance criteria of ISSUE 9."""
+
+import json
+import os
+
+import pytest
+
+from repro.attacks.catalog import CATALOG, fuzz_extension
+from repro.fuzz.engine import default_corpus_path, load_corpus, replay_entry
+from repro.fuzz.oracle import FILTERING_BASELINES
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()
+
+
+def test_fixture_exists_and_is_canonical():
+    path = default_corpus_path()
+    assert os.path.exists(path)
+    with open(path) as handle:
+        text = handle.read()
+    assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+
+def test_at_least_five_distinct_divergences(corpus):
+    names = [e["name"] for e in corpus["divergences"]]
+    assert len(names) == len(set(names))
+    assert len(names) >= 5
+
+
+def test_required_disagreement_shapes(corpus):
+    pairs = {
+        tuple(p) for e in corpus["divergences"] for p in e["pairs"]
+    }
+    # a filtering baseline allows a sequence BASTION kills
+    assert any(
+        allowing in FILTERING_BASELINES and killing == "bastion"
+        for allowing, killing in pairs
+    ), pairs
+    # binary_only and BASTION disagree (either direction)
+    assert any(
+        {"binary_only", "bastion"} == {allowing, killing}
+        for allowing, killing in pairs
+    ), pairs
+
+
+def test_divergences_replay(corpus):
+    # replay a representative, bounded slice so tier-1 stays fast; the CI
+    # fuzz-smoke job regenerates the whole corpus byte-identically
+    for entry in corpus["divergences"][:3]:
+        ok, result = replay_entry(entry)
+        assert ok, "%s did not replay: %s vs %s" % (
+            entry["name"],
+            result.pattern,
+            entry["pattern"],
+        )
+
+
+def test_fuzz_extension_registers_catalog_specs(corpus):
+    specs = fuzz_extension()
+    assert len(specs) == len(corpus["divergences"])
+    catalog_names = {s.name for s in CATALOG}
+    for spec, entry in zip(specs, corpus["divergences"]):
+        assert spec.name == entry["name"]
+        assert spec.extra
+        assert spec.name not in catalog_names  # never mutates CATALOG
+    # calling it twice must not grow CATALOG either
+    before = len(CATALOG)
+    fuzz_extension()
+    assert len(CATALOG) == before

@@ -1,0 +1,85 @@
+"""Campaign determinism + minimization + corpus format."""
+
+from repro.fuzz.engine import (
+    SCHEMA,
+    FuzzCampaign,
+    minimize_divergence,
+    serialize_corpus,
+)
+from repro.fuzz.oracle import MATRIX, evaluate_genome
+from repro.fuzz.genome import seed_genomes
+
+
+def _small_campaign(seed=11, budget=6):
+    return FuzzCampaign(seed=seed, budget=budget).run()
+
+
+def test_same_seed_byte_identical_corpus():
+    a = serialize_corpus(_small_campaign().to_payload())
+    b = serialize_corpus(_small_campaign().to_payload())
+    assert a == b
+
+
+def test_different_seed_diverges_eventually():
+    a = _small_campaign(seed=1, budget=8)
+    b = _small_campaign(seed=2, budget=8)
+    # the seed queue is shared, so compare the mutated tail via coverage
+    assert serialize_corpus(a.to_payload()) != serialize_corpus(b.to_payload())
+
+
+def test_campaign_respects_budget():
+    campaign = _small_campaign(budget=5)
+    assert campaign.executed == 5
+
+
+def test_payload_shape():
+    payload = _small_campaign(budget=4).to_payload()
+    assert payload["schema"] == SCHEMA
+    assert payload["matrix"] == list(MATRIX)
+    assert payload["executed"] == 4
+    for entry in payload["divergences"]:
+        assert set(entry) == {"name", "genome", "pattern", "blocked_by", "pairs"}
+        assert set(entry["pattern"]) == set(MATRIX)
+        for allowing, killing in entry["pairs"]:
+            assert entry["pattern"][allowing] == "allowed"
+            assert entry["pattern"][killing] == "killed"
+
+
+def test_coverage_keeps_only_fresh_tokens():
+    campaign = _small_campaign(budget=6)
+    assert campaign.kept, "the seed genomes must add coverage"
+    assert len(campaign.coverage) > 0
+    # every kept genome contributed at least one token at keep time, so
+    # there can never be more kept genomes than coverage tokens
+    assert len(campaign.kept) <= len(campaign.coverage)
+
+
+def test_minimization_preserves_pattern():
+    # seed genomes are already minimal except for timing/chain; build a
+    # deliberately non-minimal variant of the first divergent seed
+    for genome in seed_genomes():
+        result = evaluate_genome(genome)
+        if result.divergent:
+            break
+    else:
+        raise AssertionError("no divergent seed genome")
+    from repro.fuzz.genome import Genome, repair
+
+    fat = repair(
+        Genome(
+            target=genome.target,
+            trigger=genome.trigger,
+            target_class=genome.target_class,
+            primitive=genome.primitive,
+            timing=2,
+            chain=genome.chain + ("setuid_root",),
+        )
+    )
+    fat_result = evaluate_genome(fat)
+    if fat_result.pattern != result.pattern or not fat_result.valid:
+        fat_result = result  # the fattened variant changed behavior; minimize the seed
+    minimized = minimize_divergence(fat_result)
+    assert minimized.valid
+    assert minimized.pattern == fat_result.pattern
+    assert minimized.genome.timing <= fat_result.genome.timing
+    assert len(minimized.genome.chain) <= len(fat_result.genome.chain)

@@ -1,0 +1,123 @@
+"""Mutation-engine domain closure: every mutation yields a runnable genome."""
+
+import pytest
+
+from repro.fuzz.genome import (
+    MAX_CHAIN,
+    MAX_TIMING,
+    PAYLOAD_OPS,
+    TRIGGERS,
+    Genome,
+    classes_for,
+    genome_from_dict,
+    mutate,
+    ops_for,
+    repair,
+    seed_genomes,
+    spec_for_genome,
+)
+from repro.fuzz.rng import FuzzRNG
+
+
+def _assert_valid(genome):
+    assert genome.trigger in TRIGGERS[genome.target]
+    assert genome.target_class in classes_for(genome.target, genome.trigger)
+    assert 1 <= genome.timing <= MAX_TIMING
+    assert 1 <= len(genome.chain) <= MAX_CHAIN
+    valid_ops = set(ops_for(genome.target))
+    assert all(op in valid_ops for op in genome.chain)
+
+
+def test_seed_genomes_cover_every_site():
+    seeds = seed_genomes()
+    sites = {(g.target, g.trigger, g.target_class) for g in seeds}
+    assert len(sites) == len(seeds)  # no duplicates
+    for target, triggers in TRIGGERS.items():
+        for trigger in triggers:
+            for cls in classes_for(target, trigger):
+                assert (target, trigger, cls) in sites
+    for genome in seeds:
+        _assert_valid(genome)
+
+
+def test_mutation_closure_under_repair():
+    rng = FuzzRNG(7)
+    pool = list(seed_genomes())
+    for _ in range(300):
+        base = rng.choice(pool)
+        mate = rng.choice(pool)
+        child = repair(mutate(base, rng, mate=mate))
+        _assert_valid(child)
+        pool.append(child)
+
+
+def test_repair_snaps_invalid_fields():
+    broken = Genome(
+        target="nginx",
+        trigger="browser_event",  # wrong target's trigger
+        target_class="no_such_class",
+        primitive="no_such_primitive",
+        timing=99,
+        chain=("no_such_op", "exec_shell"),
+    )
+    fixed = repair(broken)
+    _assert_valid(fixed)
+    assert fixed.target == "nginx"
+    assert "exec_shell" in fixed.chain
+
+
+def test_repair_is_deterministic_and_idempotent():
+    broken = Genome(
+        target="httpd",
+        trigger="ngx_request",
+        target_class="bound_shadow_variable",
+        primitive="spray",
+        timing=0,
+        chain=(),
+    )
+    once = repair(broken)
+    assert once == repair(broken)
+    assert once == repair(once)
+
+
+def test_genome_roundtrip():
+    for genome in seed_genomes():
+        assert genome_from_dict(genome.to_dict()) == genome
+
+
+def test_payload_ops_declare_targets():
+    for name, op in PAYLOAD_OPS.items():
+        assert op.build_args is not None, name
+        assert op.check is not None, name
+    for target in TRIGGERS:
+        assert "exec_shell" in ops_for(target)
+
+
+def test_spec_for_genome_builds_runnable_spec():
+    genome = seed_genomes()[0]
+    spec = spec_for_genome(genome)
+    assert spec.target == genome.target
+    assert spec.extra  # never part of the paper-matching matrix
+    assert callable(spec.stage) and callable(spec.oracle)
+
+
+def test_mutate_never_returns_same_object():
+    rng = FuzzRNG(13)
+    genome = seed_genomes()[0]
+    children = {mutate(genome, rng, mate=seed_genomes()[-1]).key() for _ in range(40)}
+    assert len(children) > 1  # the space is actually being explored
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_mutation_stream_is_seed_deterministic(seed):
+    def stream(s):
+        rng = FuzzRNG(s)
+        pool = list(seed_genomes())
+        out = []
+        for _ in range(25):
+            child = repair(mutate(rng.choice(pool), rng, mate=rng.choice(pool)))
+            out.append(child.key())
+            pool.append(child)
+        return out
+
+    assert stream(seed) == stream(seed)
