@@ -9,6 +9,12 @@ recovered-vs-metadata precision per app.  ``--json`` emits the byte-stable
 precision payload; ``--write PATH`` pins it; ``--check PATH`` fails on any
 recovered-table regression against a pinned baseline (a syscall admitted
 that the baseline excluded, or a legitimate call type lost).
+
+``python -m repro.analyze sfip [apps|--all]`` reports syscall-transition
+precision (:mod:`repro.analyze.sfip`): the CompiledPolicy both producers
+emit, with the same ``--json`` / ``--write`` / ``--check`` contract over
+``tests/fixtures/sfip_precision.json`` (a transition or origin admitted
+that the baseline excluded, or a legitimate one lost).
 """
 
 import argparse
@@ -24,6 +30,8 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "binary":
         return _binary_main(argv[1:])
+    if argv and argv[0] == "sfip":
+        return _sfip_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze",
         description="Run the BASTION static-analysis pass suite over "
@@ -172,6 +180,81 @@ def _binary_main(argv):
         with open(args.check) as fh:
             baseline = json.load(fh)
         regressions = check_precision_regressions(baseline, payload)
+        for line in regressions:
+            print("REGRESSION: %s" % line, file=sys.stderr)
+        if regressions:
+            failed = True
+    return 1 if failed else 0
+
+
+def _sfip_main(argv):
+    from repro.analyze.sfip import (
+        check_sfip_regressions,
+        sfip_payload_json,
+        sfip_report,
+        sfip_text,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze sfip",
+        description="Report syscall-transition precision: the "
+        "CompiledPolicy emitted by the flowgraph and binary producers.",
+    )
+    parser.add_argument(
+        "apps",
+        nargs="*",
+        metavar="app",
+        help="registered app name(s): %s" % ", ".join(sorted(SYNTHETIC_APPS)),
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="analyze every registered app"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the byte-stable transition-precision payload",
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        help="write the payload to PATH (pins the CI baseline)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="diff the payload against the baseline at PATH; fail on any "
+        "transition-graph regression",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(SYNTHETIC_APPS) if args.all else args.apps
+    if not names:
+        parser.error("name at least one app, or pass --all")
+    unknown = [n for n in names if n not in SYNTHETIC_APPS]
+    if unknown:
+        parser.error("unknown app(s): %s" % ", ".join(unknown))
+
+    payload = {}
+    text_lines = []
+    for name in sorted(names):
+        report = sfip_report(name)
+        payload[name] = report
+        if not args.json:
+            text_lines.extend(sfip_text(name, report))
+
+    if args.json:
+        print(sfip_payload_json(payload))
+    else:
+        print("\n".join(text_lines))
+
+    failed = False
+    if args.write:
+        with open(args.write, "w") as fh:
+            fh.write(sfip_payload_json(payload) + "\n")
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        regressions = check_sfip_regressions(baseline, payload)
         for line in regressions:
             print("REGRESSION: %s" % line, file=sys.stderr)
         if regressions:

@@ -50,6 +50,7 @@ from repro.analyze.common import (
 from repro.analyze.diagnostics import Diagnostic
 from repro.errors import ExecutionFault
 from repro.ir.instructions import Call, CallIndirect, FuncAddr, Syscall
+from repro.policy import CompiledPolicy, FlowFunction, build_transition_graph
 from repro.syscalls import argspec_for
 from repro.syscalls.sensitive import SENSITIVE_SYSCALLS
 from repro.vm.loader import INSTR_STRIDE, TEXT_BASE, Image
@@ -313,6 +314,74 @@ def recover_image(image):
         reachable_syscalls=reachable_syscalls,
         call_types=call_types,
     )
+
+
+# ---------------------------------------------------------------------------
+# the binary policy producer
+# ---------------------------------------------------------------------------
+
+
+def compile_policy(recovery, program=None):
+    """Compile a :class:`~repro.policy.CompiledPolicy` from recovery alone.
+
+    The *binary producer*: the same transition-flow engine the metadata
+    pass runs (:mod:`repro.policy.flow`), over recovered instruction runs
+    instead of IR functions.  Differences forced by the missing metadata:
+
+    - fids are recovered base addresses; origins are ``symbolize``d;
+    - no thread-entry records exist, so every address-taken function is
+      conservatively treated as a potential clone() start routine;
+    - presence and call kinds come from the reachability passes verbatim
+      (``reachable_syscalls`` / ``call_types``) — exactly the tables the
+      ``binary_only`` mechanism has always enforced, now carried by the
+      artifact instead of reached into.
+    """
+    image = recovery.image
+    functions = {
+        base: FlowFunction(
+            fid=base, symbol=recovery.symbolize(base), instrs=func.instrs
+        )
+        for base, func in recovery.functions.items()
+    }
+    graph = build_transition_graph(
+        functions,
+        entry=recovery.entry,
+        resolve_callee=lambda name: _resolve_target(image, name),
+        indirect_targets=tuple(sorted(recovery.address_taken)),
+        thread_entries=tuple(sorted(recovery.address_taken)),
+    )
+    return CompiledPolicy(
+        producer="binary",
+        program=program if program is not None else image.module.name,
+        entry=recovery.symbolize(recovery.entry),
+        presence=tuple(sorted(recovery.reachable_syscalls)),
+        call_kinds={
+            syscall: tuple(kinds)
+            for syscall, kinds in _table_as_lists(recovery.call_types).items()
+        },
+        transitions=graph.transitions,
+        provenance={
+            "source": "binary-recovery",
+            "functions": len(recovery.functions),
+            "reachable_functions": len(graph.reachable),
+            "indirect_targets": len(recovery.address_taken),
+            "thread_entries": "address-taken (conservative)",
+        },
+    )
+
+
+_policy_cache = {}
+
+
+def policy_for_image(module):
+    """Compile (and cache) the binary-produced policy for a module."""
+    key = id(module)
+    cached = _policy_cache.get(key)
+    if cached is None or cached[0] is not module:
+        recovery = recover_image_for(module)
+        cached = (module, compile_policy(recovery))
+        _policy_cache[key] = cached
+    return cached[1]
 
 
 # ---------------------------------------------------------------------------

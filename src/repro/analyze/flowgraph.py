@@ -25,6 +25,7 @@ says can never run is a precision loss, not a soundness hole.
 
 from repro.analyze.completeness import find_sensitive_sites
 from repro.analyze.diagnostics import Diagnostic
+from repro.policy import CompiledPolicy, FlowFunction, build_transition_graph
 from repro.syscalls import argspec_for
 
 PASS_NAME = "flow"
@@ -120,3 +121,50 @@ def analyze_flow(artifact):
         "per_syscall": {name: dict(v) for name, v in sorted(per_syscall.items())},
     }
     return diagnostics, metrics
+
+
+def compile_policy(artifact, module=None):
+    """Compile a :class:`~repro.policy.CompiledPolicy` from the metadata.
+
+    The *flowgraph producer*: runs the shared transition-flow engine
+    (:mod:`repro.policy.flow`) over the module IR, rooted at the
+    metadata's entry point and thread entries, with the metadata's
+    address-taken set as the indirect fan-out.  Pass ``module`` to
+    analyze a different build of the same program (the ``sfip``
+    mechanisms run the *vanilla* module — function names and call
+    structure are identical across instrumentation, so the policy is
+    interchangeable; the zero-false-kill tests pin that).
+    """
+    module = module if module is not None else artifact.module
+    metadata = artifact.metadata
+    functions = {
+        name: FlowFunction(fid=name, symbol=name, instrs=tuple(fn.body))
+        for name, fn in module.functions.items()
+    }
+    graph = build_transition_graph(
+        functions,
+        entry=metadata.entry,
+        resolve_callee=lambda name: name if name in functions else None,
+        indirect_targets=tuple(metadata.address_taken),
+        thread_entries=tuple(metadata.thread_entries),
+    )
+    call_kinds = {
+        syscall: tuple(k for k in ("direct", "indirect") if entry.get(k))
+        for syscall, entry in sorted(metadata.call_types.items())
+        if any(entry.get(k) for k in ("direct", "indirect"))
+    }
+    return CompiledPolicy(
+        producer="flowgraph",
+        program=metadata.program,
+        entry=metadata.entry,
+        presence=graph.nodes,
+        call_kinds=call_kinds,
+        transitions=graph.transitions,
+        provenance={
+            "source": "compiler-metadata",
+            "functions": len(functions),
+            "reachable_functions": len(graph.reachable),
+            "indirect_targets": len(metadata.address_taken),
+            "thread_entries": sorted(metadata.thread_entries),
+        },
+    )

@@ -1,0 +1,143 @@
+"""SFIP transition-precision report: both policy producers, side by side.
+
+``python -m repro.analyze sfip`` compiles every requested app's
+:class:`~repro.policy.CompiledPolicy` twice — the metadata-driven
+flowgraph producer (what the ``sfip`` mechanisms enforce) and the
+metadata-free binary producer (the B-Side contrast) — and reports the
+transition-graph precision of each: node count, edge count, origin
+annotations, graph density, and the start row.
+
+The payload embeds the *full* transition graphs, byte-stably serialized,
+so the ``sfip-precision`` CI gate pins the exact policy the mechanisms
+enforce (``tests/fixtures/sfip_precision.json``).  The regression check
+is directional both ways:
+
+- an edge (or origin) in the current graph the baseline lacked — the
+  enforced state machine got looser (new attacker room admitted);
+- an edge (or origin) in the baseline missing from the current graph —
+  a legitimate adjacency was lost (the mechanism would false-kill a
+  benign execution the baseline allowed).
+"""
+
+from repro.analyze.binary import recover_image_for
+from repro.analyze.binary import compile_policy as compile_binary_policy
+from repro.analyze.flowgraph import compile_policy as compile_flow_policy
+from repro.apps import build_app_module
+from repro.compiler.pipeline import BastionCompiler
+
+
+def _summary(policy):
+    return {
+        "syscalls": len(policy.presence),
+        "edges": policy.edge_count(),
+        "origins": policy.origin_count(),
+        "density_pct": policy.density_pct(),
+        "start": list(policy.start_syscalls),
+    }
+
+
+def sfip_report(app):
+    """One app's transition-precision payload (both producers)."""
+    module = build_app_module(app)
+    artifact = BastionCompiler().compile(module)
+    flow_policy = compile_flow_policy(artifact)
+    binary_policy = compile_binary_policy(
+        recover_image_for(artifact.module), program=artifact.metadata.program
+    )
+    return {
+        "program": artifact.metadata.program,
+        "flowgraph": {
+            "summary": _summary(flow_policy),
+            "policy": flow_policy.to_payload(),
+        },
+        "binary": {
+            "summary": _summary(binary_policy),
+            "policy": binary_policy.to_payload(),
+        },
+    }
+
+
+def sfip_payload_json(payload):
+    """Canonical byte-stable serialization of an ``{app: report}`` payload."""
+    import json
+
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _edge_set(policy_payload):
+    """{(prev, next): set(origins)} from a serialized policy."""
+    return {
+        (prev, nxt): set(origins)
+        for prev, nexts in policy_payload["transitions"].items()
+        for nxt, origins in nexts.items()
+    }
+
+
+def check_sfip_regressions(baseline, current):
+    """Directional transition-graph diff for the ``sfip-precision`` gate.
+
+    Returns human-readable regression lines (empty = pass).  Checked per
+    app and per producer; see the module docstring for the directions.
+    """
+    regressions = []
+    for app in sorted(baseline):
+        if app not in current:
+            regressions.append("%s: app missing from current payload" % app)
+            continue
+        for producer in ("flowgraph", "binary"):
+            base = _edge_set(baseline[app][producer]["policy"])
+            cur = _edge_set(current[app][producer]["policy"])
+            for prev, nxt in sorted(set(cur) - set(base)):
+                regressions.append(
+                    "%s[%s]: admits new transition %s -> %s "
+                    "(baseline excluded it)" % (app, producer, prev, nxt)
+                )
+            for prev, nxt in sorted(set(base) - set(cur)):
+                regressions.append(
+                    "%s[%s]: legitimate transition %s -> %s lost "
+                    "(false-kill risk)" % (app, producer, prev, nxt)
+                )
+            for edge in sorted(set(base) & set(cur)):
+                added = cur[edge] - base[edge]
+                lost = base[edge] - cur[edge]
+                if added:
+                    regressions.append(
+                        "%s[%s]: %s -> %s admits new origins %s"
+                        % (app, producer, edge[0], edge[1], sorted(added))
+                    )
+                if lost:
+                    regressions.append(
+                        "%s[%s]: %s -> %s lost origins %s (false-kill risk)"
+                        % (app, producer, edge[0], edge[1], sorted(lost))
+                    )
+    return regressions
+
+
+def sfip_text(name, report):
+    """Human-readable per-app precision summary."""
+    flow = report["flowgraph"]["summary"]
+    binary = report["binary"]["summary"]
+    return [
+        "=== %s (sfip transition precision) ===" % name,
+        "flowgraph: %d syscalls, %d edges (%d origins), %.2f%% density, "
+        "start=%s"
+        % (
+            flow["syscalls"],
+            flow["edges"],
+            flow["origins"],
+            flow["density_pct"],
+            ",".join(flow["start"]) or "-",
+        ),
+        "binary:    %d syscalls, %d edges (%d origins), %.2f%% density, "
+        "start=%s"
+        % (
+            binary["syscalls"],
+            binary["edges"],
+            binary["origins"],
+            binary["density_pct"],
+            ",".join(binary["start"]) or "-",
+        ),
+        "binary coarsening: %+d edges vs flowgraph"
+        % (binary["edges"] - flow["edges"]),
+        "",
+    ]

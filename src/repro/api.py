@@ -67,7 +67,7 @@ class ProtectConfig:
     label: str = None
     #: which protection mechanism to run: 'bastion' (the default) or a
     #: repro.mechanisms baseline ('seccomp_allowlist', 'temporal',
-    #: 'debloat', 'llvm_cfi', 'dfi')
+    #: 'debloat', 'binary_only', 'llvm_cfi', 'dfi', 'sfip', 'sfip_origin')
     mechanism: str = "bastion"
 
     def __post_init__(self):

@@ -41,7 +41,9 @@ class BlockingContext(str, enum.Enum):
     not-callable syscall — the coarse half of call-type protection (§3.1)
     when BASTION compiled the filter, or a plain allowlist verdict for the
     filtering baselines; ``BINARY_CALLTYPE`` is the binary-only mechanism's
-    recovered call-kind check; ``LLVM_CFI``/``CET`` are the hardware and
+    recovered call-kind check; ``SFIP`` is the syscall-flow-integrity
+    state machine (either variant: an illegal transition or a wrong
+    origin); ``LLVM_CFI``/``CET`` are the hardware and
     compiler baselines; ``FAULT`` marks runs ended by an injected
     dispatch-time fault rather than a security verdict (`repro.fuzz`).
     """
@@ -51,6 +53,7 @@ class BlockingContext(str, enum.Enum):
     ARG_INTEGRITY = "arg-integrity"
     SECCOMP = "seccomp"
     BINARY_CALLTYPE = "binary-calltype"
+    SFIP = "sfip"
     LLVM_CFI = "llvm-cfi"
     CET = "cet"
     FAULT = "fault"
@@ -232,6 +235,9 @@ def classify_blocking(monitor, proc, status):
         return BlockingContext.SECCOMP, []
     if reason.startswith("binary-calltype"):
         return BlockingContext.BINARY_CALLTYPE, []
+    if reason.startswith("sfip"):
+        # both variants: "sfip: ..." and "sfip-origin: ..." kill reasons
+        return BlockingContext.SFIP, []
     if status is not None and status.kind == "fault":
         if "CFIFault" in (status.reason or ""):
             return BlockingContext.LLVM_CFI, []

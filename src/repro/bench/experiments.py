@@ -198,9 +198,11 @@ def security_baseline_comparison(catalog=None):
     """§10.2/§10.3 claims: LLVM CFI fails where BASTION succeeds.
 
     Runs every attack under (a) LLVM CFI alone, (b) CET alone, (c) the
-    presence-based seccomp allowlist, and (d) the binary-only mechanism
-    (recovered allowlist + call-type checks), recording whether each
-    baseline stopped it — BASTION vs binary-only is one row apart.
+    presence-based seccomp allowlist, (d) the binary-only mechanism
+    (recovered allowlist + call-type checks), and (e) the two SFIP
+    variants (syscall-flow transition graph, without and with origin
+    checks), recording whether each baseline stopped it — BASTION vs
+    binary-only vs SFIP is the filtering-family ladder in one table.
     """
     from repro.bench.harness import CONFIGS
 
@@ -217,6 +219,10 @@ def security_baseline_comparison(catalog=None):
         binary = run_attack(
             spec, None, "binary_only", defense=CONFIGS["binary_only"]
         )
+        sfip = run_attack(spec, None, "sfip", defense=CONFIGS["sfip"])
+        sfip_origin = run_attack(
+            spec, None, "sfip_origin", defense=CONFIGS["sfip_origin"]
+        )
         rows.append(
             {
                 "attack": spec.name,
@@ -228,6 +234,11 @@ def security_baseline_comparison(catalog=None):
                 "seccomp_bypassed": seccomp.succeeded,
                 "binary_blocked": binary.blocked and not binary.succeeded,
                 "binary_bypassed": binary.succeeded,
+                "sfip_blocked": sfip.blocked and not sfip.succeeded,
+                "sfip_bypassed": sfip.succeeded,
+                "sfip_origin_blocked": sfip_origin.blocked
+                and not sfip_origin.succeeded,
+                "sfip_origin_bypassed": sfip_origin.succeeded,
             }
         )
     return rows

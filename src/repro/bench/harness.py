@@ -75,7 +75,6 @@ def _full():
 
 CONFIGS = {
     "vanilla": DefenseConfig("vanilla"),
-    "llvm_cfi": DefenseConfig("llvm_cfi", llvm_cfi=True),
     "cet": DefenseConfig("cet", cet=True),
     "cet_ct": DefenseConfig(
         "cet_ct",
@@ -128,17 +127,22 @@ CONFIGS = {
     "cache_off": DefenseConfig(
         "cache_off", cet=True, policy=_full(), instrumented=True
     ),
-    # DFI baseline (related-work overhead contrast)
-    "dfi": DefenseConfig("dfi", dfi=True),
-    # software syscall-surface baselines (Table 6 contrasts)
-    "seccomp_allowlist": DefenseConfig(
-        "seccomp_allowlist", baseline="seccomp_allowlist"
-    ),
-    "temporal": DefenseConfig("temporal", baseline="temporal"),
-    "debloat": DefenseConfig("debloat", baseline="debloat"),
-    # metadata-free protection from binary recovery (repro.analyze.binary)
-    "binary_only": DefenseConfig("binary_only", baseline="binary_only"),
 }
+
+# Every *named* non-BASTION mechanism (llvm_cfi, dfi, the filtering
+# baselines, binary_only, sfip, sfip_origin) gets its config from the
+# one registry — repro.mechanisms.registry is the source of truth, so a
+# newly registered mechanism is benchmarkable and fuzzable without
+# touching this dict (tests/baselines/test_registry.py pins that).
+
+
+def _named_configs():
+    from repro.mechanisms.registry import named_defense_configs
+
+    return named_defense_configs()
+
+
+CONFIGS.update(_named_configs())
 
 #: the Figure 3 x-axis, in order
 FIGURE3_LADDER = ("llvm_cfi", "cet", "cet_ct", "cet_ct_cf", "cet_ct_cf_ai")

@@ -216,14 +216,15 @@ def render_table7(scale=1.0):
 
 
 def render_security_baselines():
-    """§10: LLVM CFI / CET alone vs the attack catalog."""
+    """§10: LLVM CFI / CET / filtering family alone vs the attack catalog."""
     rows = security_baseline_comparison()
     lines = [
         "Baseline defenses vs the attack catalog (blocked / bypassed)",
-        _rule(),
-        "%-28s %12s %12s %12s %12s"
-        % ("attack", "LLVM CFI", "CET", "seccomp", "binary-only"),
-        _rule(),
+        _rule(104),
+        "%-28s %12s %12s %12s %12s %12s %12s"
+        % ("attack", "LLVM CFI", "CET", "seccomp", "binary-only", "sfip",
+           "sfip-origin"),
+        _rule(104),
     ]
     for row in rows:
         def cell(blocked, bypassed):
@@ -232,16 +233,18 @@ def render_security_baselines():
             return "BYPASSED" if bypassed else "fizzled"
 
         lines.append(
-            "%-28s %12s %12s %12s %12s"
+            "%-28s %12s %12s %12s %12s %12s %12s"
             % (
                 row["attack"],
                 cell(row["cfi_blocked"], row["cfi_bypassed"]),
                 cell(row["cet_blocked"], row["cet_bypassed"]),
                 cell(row["seccomp_blocked"], row["seccomp_bypassed"]),
                 cell(row["binary_blocked"], row["binary_bypassed"]),
+                cell(row["sfip_blocked"], row["sfip_bypassed"]),
+                cell(row["sfip_origin_blocked"], row["sfip_origin_bypassed"]),
             )
         )
-    lines.append(_rule())
+    lines.append(_rule(104))
     return "\n".join(lines)
 
 

@@ -15,6 +15,10 @@ additionally record p50/p95 latency, MB/s, and the peak in-flight
 connection level actually sustained.  Two extra 10k cells pin the
 verdict-cache economics (cache_on vs cache_off) at full pressure.
 
+Since PR 10 the blocking matrix also carries the ``sfip`` and
+``sfip_origin`` rows, so BASTION vs SFIP vs the filtering baselines is
+one overhead table.
+
 Byte-stability is the hard part — wall clocks are noisy.  Three
 mechanisms make the file reproducible:
 
@@ -48,7 +52,7 @@ import os
 import time
 
 #: this PR's snapshot number (bump per hot-path PR, one file each)
-PR_NUMBER = 9
+PR_NUMBER = 10
 
 SCHEMA = "repro-bench-trajectory/v1"
 
@@ -62,6 +66,8 @@ MATRIX_CONFIGS = (
     "seccomp_allowlist",
     "temporal",
     "debloat",
+    "sfip",
+    "sfip_origin",
 )
 
 #: the event-loop (C10k) matrix: concurrent keep-alive connections

@@ -1,12 +1,12 @@
 """The coverage + divergence oracle: one genome, the whole mechanism matrix.
 
-Every genome is compiled to an :class:`AttackSpec` and run under:
-
-- ``undefended``        (validity: the exploit must actually work)
-- ``bastion``           full CT+CF+AI policy
-- ``seccomp_allowlist`` / ``temporal`` / ``debloat``  the filtering baselines
-- ``binary_only``       the metadata-free recovered mechanism
-- ``llvm_cfi`` / ``dfi``  the compiler baselines
+Every genome is compiled to an :class:`AttackSpec` and run under
+``undefended`` (validity: the exploit must actually work) plus **every
+registered mechanism** — the matrix is derived from
+:data:`repro.mechanisms.registry.FUZZ_MATRIX`, so a newly registered
+mechanism (sfip, sfip_origin, ...) is fuzzed automatically and a
+forgotten registration fails ``tests/baselines/test_registry.py``
+instead of silently escaping coverage.
 
 Each run yields a 3-way verdict — ``allowed`` (the oracle fired),
 ``killed`` (a mechanism stopped the process before the goal), ``fizzled``
@@ -22,19 +22,12 @@ from dataclasses import dataclass, field
 
 from repro.attacks.runner import run_attack
 from repro.fuzz.genome import repair, spec_for_genome
+from repro.mechanisms.registry import FUZZ_MATRIX
 from repro.monitor.policy import ContextPolicy
-from repro.vm.cpu import CPUOptions
 
-#: matrix order is part of the corpus format — append only
-MATRIX = (
-    "bastion",
-    "seccomp_allowlist",
-    "temporal",
-    "debloat",
-    "binary_only",
-    "llvm_cfi",
-    "dfi",
-)
+#: matrix order is part of the corpus format — append only (the registry
+#: preserves registration order for exactly this reason)
+MATRIX = FUZZ_MATRIX
 
 #: the filtering baselines named by the acceptance criteria
 FILTERING_BASELINES = ("seccomp_allowlist", "temporal", "debloat")
@@ -45,10 +38,6 @@ def _run_mechanism(spec, mechanism):
         return run_attack(spec, None, "undefended")
     if mechanism == "bastion":
         return run_attack(spec, ContextPolicy.full(), "bastion")
-    if mechanism in ("llvm_cfi", "dfi"):
-        options = CPUOptions(llvm_cfi=(mechanism == "llvm_cfi"),
-                             dfi=(mechanism == "dfi"))
-        return run_attack(spec, None, mechanism, cpu_options=options)
     from repro.bench.harness import CONFIGS
 
     return run_attack(spec, None, mechanism, defense=CONFIGS[mechanism])

@@ -1,13 +1,18 @@
-"""Protection mechanisms behind one interface (see ``docs/architecture.md``).
+"""Protection mechanisms behind one interface (see ``docs/mechanisms.md``).
 
 ``mechanism_for(defense)`` maps a :class:`~repro.bench.harness.
 DefenseConfig` to the :class:`ProtectionMechanism` that implements it;
 ``mechanism.launch(kernel, app, module)`` is the entire launch path the
 bench harness uses, for BASTION and every baseline alike.
 
-:data:`MECHANISM_NAMES` / :func:`defense_for_mechanism` are the *named*
-registry behind ``repro.api.ProtectConfig(mechanism=...)`` — the stable
-way to pick a baseline without reaching into ``bench.harness.CONFIGS``.
+All named-mechanism registration lives in
+:mod:`repro.mechanisms.registry` — one :class:`~repro.mechanisms.
+registry.MechanismSpec` row per mechanism, from which
+:data:`MECHANISM_NAMES`, :func:`defense_for_mechanism`,
+``bench.harness.CONFIGS``'s baseline slice, ``mechanism_for``, and the
+fuzz oracle's matrix are all derived.  This module re-exports the
+registry surface (and the historical ``_MECHANISM_DEFENSES`` dict, now
+derived) so existing imports keep working.
 """
 
 from repro.mechanisms.base import (
@@ -15,37 +20,26 @@ from repro.mechanisms.base import (
     artifact_for,
     mechanism_for,
 )
+from repro.mechanisms.registry import (
+    FUZZ_MATRIX,
+    MECHANISM_NAMES,
+    MechanismSpec,
+    defense_for_mechanism,
+    named_defense_configs,
+)
 
-#: DefenseConfig kwargs for each named non-BASTION mechanism
+from repro.mechanisms.registry import _ORDER as _REGISTRY_ORDER
+from repro.mechanisms.registry import _REGISTRY
+
+#: deprecated: DefenseConfig kwargs per named non-BASTION mechanism.
+#: Kept as a registry-derived view for old importers; register a
+#: MechanismSpec in repro.mechanisms.registry instead of editing this.
 _MECHANISM_DEFENSES = {
-    "seccomp_allowlist": {"baseline": "seccomp_allowlist"},
-    "temporal": {"baseline": "temporal"},
-    "debloat": {"baseline": "debloat"},
-    "binary_only": {"baseline": "binary_only"},
-    "llvm_cfi": {"llvm_cfi": True},
-    "dfi": {"dfi": True},
+    name: dict(_REGISTRY[name].defense_kwargs)
+    for name in _REGISTRY_ORDER
+    if _REGISTRY[name].defense_kwargs is not None
 }
 
-#: every name ``ProtectConfig(mechanism=...)`` accepts
-MECHANISM_NAMES = ("bastion",) + tuple(sorted(_MECHANISM_DEFENSES))
-
-
-def defense_for_mechanism(name, label=None):
-    """The DefenseConfig for a *named* non-BASTION mechanism.
-
-    ``bastion`` is deliberately not served here: it carries a policy, so
-    :meth:`repro.api.ProtectConfig.defense` builds it from the full
-    config.  Unknown names raise ``ValueError`` listing the registry.
-    """
-    from repro.bench.harness import DefenseConfig
-
-    kwargs = _MECHANISM_DEFENSES.get(name)
-    if kwargs is None:
-        raise ValueError(
-            "unknown mechanism %r (expected one of %s)"
-            % (name, ", ".join(MECHANISM_NAMES))
-        )
-    return DefenseConfig(label or name, **kwargs)
 from repro.mechanisms.bastion import BastionMechanism
 from repro.mechanisms.baselines import (
     SERVING_ROOTS,
@@ -55,18 +49,24 @@ from repro.mechanisms.baselines import (
     TemporalMechanism,
 )
 from repro.mechanisms.binary import BinaryOnlyMechanism
+from repro.mechanisms.sfip import SfipMechanism, SfipOriginMechanism
 
 __all__ = [
     "ProtectionMechanism",
     "artifact_for",
     "mechanism_for",
     "MECHANISM_NAMES",
+    "FUZZ_MATRIX",
+    "MechanismSpec",
     "defense_for_mechanism",
+    "named_defense_configs",
     "BastionMechanism",
     "StaticMechanism",
     "SeccompAllowlistMechanism",
     "TemporalMechanism",
     "DebloatMechanism",
     "BinaryOnlyMechanism",
+    "SfipMechanism",
+    "SfipOriginMechanism",
     "SERVING_ROOTS",
 ]

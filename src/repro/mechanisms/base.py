@@ -72,28 +72,15 @@ class ProtectionMechanism:
 
 
 def mechanism_for(defense):
-    """The :class:`ProtectionMechanism` implementing a DefenseConfig."""
-    # imported here: bastion.py/baselines.py import this module's base class
-    from repro.mechanisms.bastion import BastionMechanism
-    from repro.mechanisms.baselines import (
-        DebloatMechanism,
-        SeccompAllowlistMechanism,
-        StaticMechanism,
-        TemporalMechanism,
-    )
-    from repro.mechanisms.binary import BinaryOnlyMechanism
+    """The :class:`ProtectionMechanism` implementing a DefenseConfig.
 
-    if defense.policy is not None:
-        return BastionMechanism(defense)
-    baseline = getattr(defense, "baseline", None)
-    if baseline == "seccomp_allowlist":
-        return SeccompAllowlistMechanism(defense)
-    if baseline == "temporal":
-        return TemporalMechanism(defense)
-    if baseline == "debloat":
-        return DebloatMechanism(defense)
-    if baseline == "binary_only":
-        return BinaryOnlyMechanism(defense)
-    if baseline is not None:
-        raise ValueError("unknown baseline mechanism %r" % (baseline,))
-    return StaticMechanism(defense)
+    Registry-driven since the repro.policy refactor: every named
+    mechanism is a :class:`~repro.mechanisms.registry.MechanismSpec` row
+    in :mod:`repro.mechanisms.registry`; this is a thin re-export kept
+    for its historical import path.
+    """
+    # imported here: registry resolves mechanism classes lazily, and
+    # bastion.py/baselines.py import this module's base class
+    from repro.mechanisms.registry import mechanism_for as _registry_lookup
+
+    return _registry_lookup(defense)

@@ -1,18 +1,27 @@
-"""Binary-only protection: BASTION's checks driven by recovered tables.
+"""Binary-only protection: BASTION's checks driven by a compiled policy.
 
 The legacy-binary scenario (B-Side, sysfilter): no compiler metadata ships
 with the program, so the policy is synthesized entirely from what
-:mod:`repro.analyze.binary` recovers off the loaded image —
+:mod:`repro.analyze.binary` recovers off the loaded image — and since the
+repro.policy refactor the mechanism consumes the recovered tables as a
+:class:`~repro.policy.CompiledPolicy` (the *binary producer*'s artifact)
+instead of reaching into ``BinaryRecovery`` internals:
 
-- a **KILL-by-default seccomp allowlist** over the *reachable* syscall
-  set (tighter than the plain ``seccomp_allowlist`` baseline, whose
-  presence-based set admits every syscall any linked-but-dead wrapper
-  could issue, ``system()``'s fork/execve/wait4 included);
-- a **call-type check** on sensitive syscalls: at dispatch time the hook
-  classifies how the trapped wrapper was invoked — decode the call
-  instruction at ``[rbp+8] - 4``, exactly the monitor's unwinder hop
-  (:mod:`repro.monitor.unwind`) — and kills on any call type the
-  recovered table forbids.
+- the policy's **presence table** (the reachability-tightened syscall
+  set) becomes a KILL-by-default seccomp allowlist — tighter than the
+  plain ``seccomp_allowlist`` baseline, whose presence-based set admits
+  every syscall any linked-but-dead wrapper could issue, ``system()``'s
+  fork/execve/wait4 included;
+- the policy's **call kinds** back a dispatch-time check on sensitive
+  syscalls: the hook classifies how the trapped wrapper was invoked —
+  decode the call instruction at ``[rbp+8] - 4``, exactly the monitor's
+  unwinder hop (:mod:`repro.monitor.unwind`) — and kills on any call
+  kind the policy forbids.
+
+The :class:`~repro.analyze.binary.BinaryRecovery` is still consulted at
+dispatch time, but only for its *runtime lookups* (``wrapper_at``, the
+image's ``call_kind_at``) — the classification machinery, not the policy
+tables.
 
 What it gives up relative to full BASTION: no CF context (no caller-chain
 walk beyond the first hop) and no AI context (no argument bindings — those
@@ -20,38 +29,35 @@ need compiler-observed value provenance).  That is the degraded-but-sound
 middle row between ``seccomp_allowlist`` and ``bastion`` in Table 6.
 """
 
-from repro.analyze.binary import recover_image_for
+from repro.analyze.binary import policy_for_image, recover_image_for
 from repro.errors import ProcessKilled, SegmentationFault
-from repro.kernel.seccomp import (
-    SECCOMP_RET_ALLOW,
-    SECCOMP_RET_KILL_PROCESS,
-    build_action_filter,
-)
 from repro.mechanisms.base import ProtectionMechanism
+from repro.policy import build_presence_filter
 from repro.syscalls.sensitive import is_sensitive
-from repro.syscalls.table import SYSCALLS
 from repro.vm.loader import INSTR_STRIDE
 from repro.vm.memory import WORD
 
 
-def build_recovered_filter(recovery):
-    """KILL-by-default filter allowing only recovered-reachable syscalls."""
-    allowed = recovery.reachable_syscalls
-    actions = {
-        entry.nr: SECCOMP_RET_KILL_PROCESS
-        for entry in SYSCALLS
-        if entry.name not in allowed
-    }
-    return build_action_filter(
-        actions, default_action=SECCOMP_RET_ALLOW, label="binary_only"
-    )
+def build_recovered_filter(source):
+    """KILL-by-default filter over a binary-produced policy's presence.
+
+    Accepts a :class:`~repro.policy.CompiledPolicy`; a raw
+    :class:`~repro.analyze.binary.BinaryRecovery` is still accepted for
+    old callers and compiled on the fly.
+    """
+    if hasattr(source, "reachable_syscalls"):  # a BinaryRecovery
+        from repro.analyze.binary import compile_policy
+
+        source = compile_policy(source)
+    return build_presence_filter(source, label="binary_only")
 
 
 class BinaryOnlyMechanism(ProtectionMechanism):
-    """Seccomp allowlist + call-type checks from binary recovery alone."""
+    """Seccomp allowlist + call-kind checks from binary recovery alone."""
 
     def __init__(self, defense):
         super().__init__(defense)
+        self.policy = None
         self.recovery = None
         #: sensitive syscalls checked / killed by the call-type hook
         self.checks = 0
@@ -61,22 +67,24 @@ class BinaryOnlyMechanism(ProtectionMechanism):
         # ``launch`` stashed the image it loaded — recover from exactly
         # the bytes the process runs, nothing else.
         recovery = recover_image_for(self.image.module)
+        policy = policy_for_image(self.image.module)
         self.recovery = recovery
-        kernel.install_seccomp(proc, build_recovered_filter(recovery))
+        self.policy = policy
+        kernel.install_seccomp(proc, build_recovered_filter(policy))
 
         costs = kernel.costs
+        call_kinds = policy.call_kinds
 
         def call_type_check(ctx):
             # Runs after the kernel's seccomp stage: anything outside the
-            # recovered allowlist is already dead by now.
+            # policy's presence table is already dead by now.
             if ctx.done or not is_sensitive(ctx.name):
                 return
             target = ctx.proc
             self.checks += 1
             target.ledger.charge(costs.monitor_check, "binary_calltype")
             kind = self._classify(recovery, target)
-            allowed = recovery.call_types.get(ctx.name, {})
-            if kind is not None and allowed.get(kind):
+            if kind is not None and kind in call_kinds.get(ctx.name, ()):
                 return
             self.kills += 1
             ctx.verdict = "kill"

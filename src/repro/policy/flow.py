@@ -1,0 +1,297 @@
+"""The shared syscall-transition-flow engine (SFIP's static extraction).
+
+Both policy producers — the metadata-driven flowgraph pass and the
+metadata-free binary analyzer — reduce their program view to the same
+shape: a set of :class:`FlowFunction` records (a flat instruction run per
+function) plus an entry point, the indirect-call target set, and the
+thread-entry set.  :func:`build_transition_graph` then runs one
+compositional interprocedural dataflow over that shape:
+
+- per function, a CFG is rebuilt from the flat run (``Label`` leaders,
+  ``Jump``/``Branch``/``Ret`` terminators, fallthrough otherwise);
+- the block state is the set of syscalls that can be the *last one
+  issued* at that point (plus a bottom token for "none yet since
+  function entry");
+- calls compose through per-callee summaries — FIRST (the (syscall,
+  origin) pairs a call can issue first), LAST (the syscalls it can issue
+  last), EMPTY (whether a syscall-free path exists) — iterated to a
+  global fixpoint, so recursive wrappers and mutual recursion converge
+  without path enumeration;
+- every discovered adjacency is recorded as ``prev -> next`` annotated
+  with its *origin*: the function whose body contains the ``next``
+  syscall instruction (what the ``sfip_origin`` variant checks against
+  ``image.func_containing(rip)`` at dispatch time).
+
+Soundness: states and summaries only ever grow, indirect calls fan out
+to every address-taken target, and unresolvable callees are treated as
+syscall-free pass-throughs — the graph over-approximates every syscall
+sequence a legitimate execution can produce, so enforcing it can only
+kill sequences no benign run reaches.  Precision is what the sfip
+fixture (``tests/fixtures/sfip_precision.json``) pins.
+
+Spawned children: the kernel runs clone() children from a thread entry,
+and :class:`repro.mechanisms.sfip.SfipMechanism` seeds a child's state
+from its parent's (which is ``clone`` at that instant) — so the engine
+adds ``clone -> first(thread_entry)`` edges rather than modelling child
+streams separately.
+"""
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import (
+    Branch,
+    Call,
+    CallIndirect,
+    Jump,
+    Label,
+    Ret,
+    Syscall,
+)
+
+#: block-state token for "no syscall issued yet since function entry"
+_BOT = None
+
+
+@dataclass(frozen=True)
+class FlowFunction:
+    """One function as the flow engine sees it.
+
+    ``fid`` is any hashable identity (the symbol name for IR functions,
+    the base address for recovered binary runs); ``symbol`` is the
+    presentation name used for origin annotations — it must match what
+    ``image.func_containing`` returns at runtime for origin enforcement
+    to line up.
+    """
+
+    fid: object
+    symbol: str
+    instrs: tuple
+
+
+class _FuncFlow:
+    """Preprocessed per-function CFG: blocks of events + successor ids."""
+
+    __slots__ = ("blocks", "direct_callees", "has_indirect")
+
+    def __init__(self, func, resolve_callee, indirect_targets):
+        instrs = func.instrs
+        n = len(instrs)
+        leaders = {0}
+        labels = {}  # label name -> [instr index of the Label]
+        for i, ins in enumerate(instrs):
+            if isinstance(ins, Label):
+                leaders.add(i)
+                labels.setdefault(ins.name, []).append(i)
+            elif ins.is_terminator and i + 1 < n:
+                leaders.add(i + 1)
+        ordered = sorted(leaders) if n else []
+        block_of = {}
+        for bid, start in enumerate(ordered):
+            stop = ordered[bid + 1] if bid + 1 < len(ordered) else n
+            for i in range(start, stop):
+                block_of[i] = bid
+
+        self.direct_callees = set()
+        self.has_indirect = False
+        self.blocks = []  # (events, successor bids, is_exit)
+        for bid, start in enumerate(ordered):
+            stop = ordered[bid + 1] if bid + 1 < len(ordered) else n
+            events = []
+            for ins in instrs[start:stop]:
+                if isinstance(ins, Syscall):
+                    events.append(("sys", ins.name))
+                elif isinstance(ins, Call):
+                    callee = resolve_callee(ins.callee)
+                    if callee is not None:
+                        self.direct_callees.add(callee)
+                        events.append(("call", (callee,)))
+                    else:
+                        # unresolvable target: a syscall-free pass-through
+                        events.append(("call", ()))
+                elif isinstance(ins, CallIndirect):
+                    self.has_indirect = True
+                    events.append(("call", tuple(indirect_targets)))
+            last = instrs[stop - 1]
+            succs = []
+            is_exit = False
+            if isinstance(last, Ret):
+                is_exit = True
+            elif isinstance(last, Jump):
+                targets = labels.get(last.label, ())
+                succs = [block_of[i] for i in targets]
+                is_exit = not targets
+            elif isinstance(last, Branch):
+                targets = list(labels.get(last.then_label, ())) + list(
+                    labels.get(last.else_label, ())
+                )
+                succs = [block_of[i] for i in targets]
+                is_exit = len(targets) < 2
+            elif bid + 1 < len(ordered):
+                succs = [bid + 1]
+            else:
+                is_exit = True  # fell off the end of the run
+            self.blocks.append((tuple(events), tuple(sorted(set(succs))), is_exit))
+
+
+@dataclass
+class TransitionGraph:
+    """What :func:`build_transition_graph` returns."""
+
+    #: prev -> {next: frozenset of origin symbols}
+    transitions: dict
+    #: sorted syscall names appearing as a transition target (the
+    #: presence set the flow engine can justify)
+    nodes: tuple
+    #: fids the engine found reachable from the roots
+    reachable: frozenset
+
+
+def build_transition_graph(
+    functions,
+    entry,
+    resolve_callee,
+    indirect_targets=(),
+    thread_entries=(),
+):
+    """Run the interprocedural flow fixpoint; see the module docstring.
+
+    ``functions`` maps fid -> :class:`FlowFunction`; ``resolve_callee``
+    maps a direct-call operand name to a fid (or None); ``entry`` and
+    ``thread_entries`` are fids; ``indirect_targets`` are the fids any
+    indirect callsite may reach.
+    """
+    indirect_targets = tuple(t for t in indirect_targets if t in functions)
+    thread_entries = tuple(t for t in thread_entries if t in functions)
+
+    def resolver(name):
+        fid = resolve_callee(name)
+        return fid if fid in functions else None
+
+    flows = {}
+
+    def flow_of(fid):
+        flow = flows.get(fid)
+        if flow is None:
+            flow = _FuncFlow(functions[fid], resolver, indirect_targets)
+            flows[fid] = flow
+        return flow
+
+    # -- function-level reachability ------------------------------------
+    reachable = set()
+    queue = [entry] + list(thread_entries)
+    while queue:
+        fid = queue.pop()
+        if fid in reachable or fid not in functions:
+            continue
+        reachable.add(fid)
+        flow = flow_of(fid)
+        queue.extend(flow.direct_callees)
+        if flow.has_indirect:
+            queue.extend(indirect_targets)
+
+    # -- global summary fixpoint ----------------------------------------
+    first = {fid: set() for fid in reachable}  # fid -> {(syscall, origin)}
+    last = {fid: set() for fid in reachable}  # fid -> {syscall}
+    empty = {fid: False for fid in reachable}  # syscall-free path exists?
+    transitions = {}  # prev -> {next: set(origins)}
+
+    def record(prev, nxt, origin):
+        origins = transitions.setdefault(prev, {}).setdefault(nxt, set())
+        if origin not in origins:
+            origins.add(origin)
+            return True
+        return False
+
+    def analyze(fid):
+        """One per-function block fixpoint; True if anything grew."""
+        func = functions[fid]
+        flow = flow_of(fid)
+        changed = False
+        if not flow.blocks:
+            if not empty[fid]:
+                empty[fid] = True
+                changed = True
+            return changed
+        block_in = [set() for _ in flow.blocks]
+        block_in[0].add(_BOT)
+        work = [0]
+        while work:
+            bid = work.pop()
+            events, succs, is_exit = flow.blocks[bid]
+            state = set(block_in[bid])
+            for event in events:
+                if event[0] == "sys":
+                    name = event[1]
+                    for token in state:
+                        if token is _BOT:
+                            if (name, func.symbol) not in first[fid]:
+                                first[fid].add((name, func.symbol))
+                                changed = True
+                        else:
+                            changed |= record(token, name, func.symbol)
+                    state = {name}
+                else:
+                    callees = [c for c in event[1] if c in reachable]
+                    callee_first = set()
+                    callee_last = set()
+                    callee_empty = not callees
+                    for callee in callees:
+                        callee_first |= first[callee]
+                        callee_last |= last[callee]
+                        callee_empty |= empty[callee]
+                    for name, origin in callee_first:
+                        for token in state:
+                            if token is _BOT:
+                                if (name, origin) not in first[fid]:
+                                    first[fid].add((name, origin))
+                                    changed = True
+                            else:
+                                changed |= record(token, name, origin)
+                    new_state = set(callee_last)
+                    if callee_empty:
+                        new_state |= state
+                    state = new_state
+            if is_exit:
+                for token in state:
+                    if token is _BOT:
+                        if not empty[fid]:
+                            empty[fid] = True
+                            changed = True
+                    elif token not in last[fid]:
+                        last[fid].add(token)
+                        changed = True
+            for succ in succs:
+                if not state <= block_in[succ]:
+                    block_in[succ] |= state
+                    work.append(succ)
+        return changed
+
+    ordered = sorted(reachable, key=lambda fid: functions[fid].symbol)
+    while True:
+        grew = False
+        for fid in ordered:
+            grew |= analyze(fid)
+        if not grew:
+            break
+
+    # -- roots: the START row, and clone -> thread-entry firsts ---------
+    if entry in reachable:
+        from repro.policy.artifact import START
+
+        for name, origin in first[entry]:
+            record(START, name, origin)
+    nodes = {nxt for nexts in transitions.values() for nxt in nexts}
+    if thread_entries and "clone" in nodes:
+        for te in thread_entries:
+            for name, origin in first[te]:
+                record("clone", name, origin)
+        nodes = {nxt for nexts in transitions.values() for nxt in nexts}
+
+    return TransitionGraph(
+        transitions={
+            prev: {nxt: frozenset(origins) for nxt, origins in nexts.items()}
+            for prev, nexts in transitions.items()
+        },
+        nodes=tuple(sorted(nodes)),
+        reachable=frozenset(reachable),
+    )

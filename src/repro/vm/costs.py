@@ -53,6 +53,12 @@ class CostModel:
     #: seccomp action-cache hit (Linux's per-syscall-nr bitmap: a mask test
     #: instead of running the BPF engine)
     seccomp_cache_hit: int = 1
+    #: SFIP transition check: one in-kernel state-table probe per syscall
+    #: (prev-state row lookup + membership test, SFIP §5)
+    sfip_check: int = 3
+    #: the sfip_origin variant additionally resolves the issuing function
+    #: from the trapped rip and probes the origin set
+    sfip_origin_check: int = 5
 
     #: per ready event harvested by ``epoll_wait`` (copy one epoll_event
     #: to userspace plus ready-list bookkeeping)

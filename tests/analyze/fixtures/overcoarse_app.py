@@ -1,0 +1,68 @@
+"""Fixture where an honest transition graph is still over-coarse.
+
+SFIP's state is *one* syscall deep: after observing ``open`` it cannot
+tell which branch produced it.  This app has a request path
+(``open -> read -> close``) and a privileged maintenance path
+(``open -> execve``) selected by a configuration word in memory — both
+genuinely executable, so the flow engine must (and does) admit both.
+The coarseness is that the graph's ``open`` state unions the branches:
+a data-only attacker who corrupts ``g_mode`` drives the process down
+the privileged path using only edges the graph admits, so SFIP allows
+the run — the same data-only gap Table 6's divergence rows
+(``aocr_nginx_attack2``, ``control_jujutsu``, ...) show BASTION's
+argument-integrity context closing on the real apps.
+
+What SFIP *does* kill here is any adjacency outside the union — e.g. a
+hijack issuing ``execve`` after ``read`` — which the runtime test pins
+via a direct dispatch.
+"""
+
+from repro.compiler.pipeline import BastionCompiler
+from repro.ir.builder import ModuleBuilder
+
+FIXTURE_NAME = "overcoarse-fixture"
+
+#: g_mode values: 0 = serve a request, 1 = privileged maintenance exec
+MODE_SERVE = 0
+MODE_MAINTENANCE = 1
+
+
+def build_module():
+    mb = ModuleBuilder(FIXTURE_NAME)
+    mb.global_var("g_mode", init=[MODE_SERVE])
+    for name, arity in (
+        ("open", 2),
+        ("read", 3),
+        ("close", 1),
+        ("execve", 3),
+    ):
+        fb = mb.function(name, params=["a%d" % i for i in range(arity)])
+        rc = fb.syscall(name, [fb.p(p) for p in fb.func.params])
+        fb.ret(rc)
+        fb.func.is_wrapper = True
+
+    serve = mb.function("serve_request", params=["fd"])
+    serve.call("read", [serve.p("fd"), 0, 64])
+    serve.call("close", [serve.p("fd")])
+    serve.ret(0)
+
+    maint = mb.function("maintenance_exec", params=["fd"])
+    maint.call("close", [maint.p("fd")])
+    maint.call("execve", [0, 0, 0])
+    maint.ret(0)
+
+    f = mb.function("main", params=[])
+    fd = f.call("open", [0, 0])
+    mode_addr = f.addr_global("g_mode")
+    mode = f.load(mode_addr)
+    f.if_then(
+        mode,
+        lambda: f.call("maintenance_exec", [fd], void=True),
+        lambda: f.call("serve_request", [fd], void=True),
+    )
+    f.ret(0)
+    return mb.build()
+
+
+def build_artifact():
+    return BastionCompiler().compile(build_module())

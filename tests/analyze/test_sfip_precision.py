@@ -1,0 +1,87 @@
+"""The sfip transition-precision payload and its pinned CI baseline."""
+
+import json
+import os
+
+from repro.analyze.sfip import (
+    check_sfip_regressions,
+    sfip_payload_json,
+    sfip_report,
+)
+from repro.apps import SYNTHETIC_APPS
+
+APPS = tuple(sorted(SYNTHETIC_APPS))
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "..", "fixtures", "sfip_precision.json"
+)
+
+
+def _payload(apps=APPS):
+    return {app: sfip_report(app) for app in apps}
+
+
+def test_byte_stable():
+    assert sfip_payload_json(_payload()) == sfip_payload_json(_payload())
+
+
+def test_matches_pinned_baseline():
+    """The committed baseline is exactly reproducible.  Regenerate with:
+    ``python -m repro.analyze sfip --all --write tests/fixtures/sfip_precision.json``
+    """
+    with open(FIXTURE) as fh:
+        pinned = fh.read()
+    assert sfip_payload_json(_payload()) + "\n" == pinned
+
+
+def test_binary_producer_never_tighter_than_flowgraph():
+    """The pinned contrast: recovered graphs may add edges (coarsening),
+    never drop flowgraph edges."""
+    with open(FIXTURE) as fh:
+        payload = json.load(fh)
+    for app, report in payload.items():
+        flow = report["flowgraph"]["summary"]
+        binary = report["binary"]["summary"]
+        assert binary["edges"] >= flow["edges"], app
+        assert set(flow["start"]) <= set(binary["start"]), app
+
+
+def test_regression_check_self_clean():
+    payload = _payload(("nginx", "vsftpd"))
+    baseline = json.loads(sfip_payload_json(payload))
+    assert check_sfip_regressions(baseline, payload) == []
+
+
+def test_regression_check_catches_admitted_transition():
+    payload = _payload(("vsftpd",))
+    baseline = json.loads(sfip_payload_json(payload))
+    transitions = baseline["vsftpd"]["flowgraph"]["policy"]["transitions"]
+    prev = sorted(transitions)[0]
+    removed = sorted(transitions[prev])[0]
+    del transitions[prev][removed]
+    found = check_sfip_regressions(baseline, payload)
+    assert any(
+        "admits new transition %s -> %s" % (prev, removed) in line
+        for line in found
+    ), found
+
+
+def test_regression_check_catches_lost_transition():
+    payload = _payload(("vsftpd",))
+    baseline = json.loads(sfip_payload_json(payload))
+    transitions = baseline["vsftpd"]["flowgraph"]["policy"]["transitions"]
+    transitions.setdefault("close", {})["execve"] = ["never_was"]
+    found = check_sfip_regressions(baseline, payload)
+    assert any("false-kill risk" in line for line in found), found
+
+
+def test_regression_check_catches_origin_drift():
+    payload = _payload(("vsftpd",))
+    baseline = json.loads(sfip_payload_json(payload))
+    transitions = baseline["vsftpd"]["flowgraph"]["policy"]["transitions"]
+    prev = sorted(transitions)[0]
+    nxt = sorted(transitions[prev])[0]
+    transitions[prev][nxt] = list(transitions[prev][nxt]) + ["phantom_fn"]
+    found = check_sfip_regressions(baseline, payload)
+    assert any(
+        "lost origins ['phantom_fn']" in line for line in found
+    ), found

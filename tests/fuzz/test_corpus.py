@@ -43,6 +43,9 @@ def test_required_disagreement_shapes(corpus):
         {"binary_only", "bastion"} == {allowing, killing}
         for allowing, killing in pairs
     ), pairs
+    # SFIP admits a sequence BASTION kills: corruption riding legal
+    # transition-graph adjacencies (the ISSUE 10 acceptance divergence)
+    assert ("sfip", "bastion") in pairs, pairs
 
 
 def test_divergences_replay(corpus):
